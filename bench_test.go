@@ -1,0 +1,368 @@
+package vprof_test
+
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (run with `go test -bench=. -benchmem`), plus ablation benches for the
+// design choices DESIGN.md calls out and micro-benchmarks of the hot paths.
+//
+// Quality metrics are attached with b.ReportMetric: "diagnosed" counts
+// issues whose root cause ranks in the top five (the paper's headline
+// metric), "rank" reports a specific workload's root-cause rank.
+
+import (
+	"fmt"
+	"testing"
+
+	"vprof/internal/analysis"
+	"vprof/internal/baselines"
+	"vprof/internal/bugs"
+	"vprof/internal/harness"
+	"vprof/internal/sampler"
+	"vprof/internal/stats"
+	"vprof/internal/vm"
+)
+
+// --- Tables ---
+
+func BenchmarkTable1Inventory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(harness.Table1()) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkTable3Diagnosis runs the full Table 3 protocol per workload
+// (vProf 5+5 runs, hist-disc ablation, all five baselines).
+func BenchmarkTable3Diagnosis(b *testing.B) {
+	for _, w := range bugs.All() {
+		w := w
+		b.Run(w.ID, func(b *testing.B) {
+			var lastRank int
+			for i := 0; i < b.N; i++ {
+				row, err := harness.DiagnoseWorkload(w)
+				if err != nil {
+					b.Fatal(err)
+				}
+				lastRank = row.VProfRank
+			}
+			b.ReportMetric(float64(lastRank), "rank")
+		})
+	}
+}
+
+func BenchmarkTable4Unresolved(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cases, err := harness.Table4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		found := 0
+		for _, c := range cases {
+			if c.RootFound {
+				found++
+			}
+		}
+		b.ReportMetric(float64(found), "diagnosed")
+	}
+}
+
+func BenchmarkTable5Overhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.Table5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 15 {
+			b.Fatalf("%d rows", len(rows))
+		}
+	}
+}
+
+// --- Figures ---
+
+func BenchmarkFigure6ValueSamples(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series, err := harness.Figure6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(series) != 2 {
+			b.Fatalf("%d series", len(series))
+		}
+	}
+}
+
+func BenchmarkFigure7Overhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.Figure7(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var worst float64
+		for _, r := range rows {
+			if r.VProfRatio > worst {
+				worst = r.VProfRatio
+			}
+		}
+		b.ReportMetric(worst, "worst-overhead-ratio")
+	}
+}
+
+func BenchmarkFigure8Sensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.Figure8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Report the default setting's score (DefaultDiscount 0.8).
+		for _, p := range res.DefaultDiscount {
+			if p.Setting > 0.79 && p.Setting < 0.81 {
+				b.ReportMetric(float64(p.Diagnosed), "diagnosed")
+			}
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md §5) ---
+
+// benchDiagnoseAll runs the vProf pipeline over all 15 workloads with the
+// given parameters and sampler options, reporting the top-5 count.
+func benchDiagnoseAll(b *testing.B, params analysis.Params, opts sampler.Options) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		diagnosed, classified := 0, 0
+		for _, w := range bugs.All() {
+			built, err := w.Build()
+			if err != nil {
+				b.Fatal(err)
+			}
+			in := analysis.Input{Debug: built.Prog.Debug, Schema: built.Schema}
+			for run := 0; run < 5; run++ {
+				nres := sampler.ProfileRun(built.NormalProg, built.NormalMeta, w.NormalConfig(run), opts)
+				bres := sampler.ProfileRun(built.Prog, built.Meta, w.BuggyConfig(run), opts)
+				in.Normal = append(in.Normal, sampler.MergeProfiles(nres.Profiles))
+				in.Buggy = append(in.Buggy, sampler.MergeProfiles(bres.Profiles))
+			}
+			rep, err := analysis.Analyze(in, params)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if r := rep.Rank(w.RootFunc); r >= 1 && r <= 5 {
+				diagnosed++
+			}
+			if fr := rep.Func(w.RootFunc); fr != nil && w.PaperClassified && fr.Pattern == w.Pattern {
+				classified++
+			}
+		}
+		b.ReportMetric(float64(diagnosed), "diagnosed")
+		b.ReportMetric(float64(classified), "classified")
+	}
+}
+
+// BenchmarkAblationUnwindDepth varies the virtual-stack-unwinding bound
+// (paper default 3; -1 disables). Shallower unwinding loses the caller value
+// samples that promote root causes.
+func BenchmarkAblationUnwindDepth(b *testing.B) {
+	for _, depth := range []int{-1, 1, 3, 5} {
+		depth := depth
+		name := "disabled"
+		switch depth {
+		case 1:
+			name = "depth1"
+		case 3:
+			name = "depth3"
+		case 5:
+			name = "depth5"
+		}
+		b.Run(name, func(b *testing.B) {
+			benchDiagnoseAll(b, analysis.DefaultParams(),
+				sampler.Options{Interval: bugs.DefaultInterval, UnwindDepth: depth})
+		})
+	}
+}
+
+// BenchmarkAblationVarCost disables the variable-based execution cost
+// (paper §5.1's caller cost inheritance).
+func BenchmarkAblationVarCost(b *testing.B) {
+	for _, disable := range []bool{false, true} {
+		disable := disable
+		name := "on"
+		if disable {
+			name = "off"
+		}
+		b.Run(name, func(b *testing.B) {
+			p := analysis.DefaultParams()
+			p.DisableVarCost = disable
+			benchDiagnoseAll(b, p, sampler.Options{Interval: bugs.DefaultInterval})
+		})
+	}
+}
+
+// BenchmarkAblationDimensions restricts the discounter to the value
+// dimension only (the paper motivates deltas and processing costs).
+func BenchmarkAblationDimensions(b *testing.B) {
+	for _, valueOnly := range []bool{false, true} {
+		valueOnly := valueOnly
+		name := "all3"
+		if valueOnly {
+			name = "valueOnly"
+		}
+		b.Run(name, func(b *testing.B) {
+			p := analysis.DefaultParams()
+			p.DimensionsValueOnly = valueOnly
+			benchDiagnoseAll(b, p, sampler.Options{Interval: bugs.DefaultInterval})
+		})
+	}
+}
+
+// BenchmarkAblationHistDiscounter disables the hist-discounter (Table 3's
+// comparison showed it matters for functions without monitored variables).
+func BenchmarkAblationHistDiscounter(b *testing.B) {
+	for _, disable := range []bool{false, true} {
+		disable := disable
+		name := "on"
+		if disable {
+			name = "off"
+		}
+		b.Run(name, func(b *testing.B) {
+			p := analysis.DefaultParams()
+			p.DisableHistDiscounter = disable
+			benchDiagnoseAll(b, p, sampler.Options{Interval: bugs.DefaultInterval})
+		})
+	}
+}
+
+// BenchmarkAblationInterval varies the sampling interval: denser sampling
+// costs more but gathers more value samples.
+func BenchmarkAblationInterval(b *testing.B) {
+	for _, interval := range []int64{31, 97, 331, 997} {
+		interval := interval
+		b.Run(fmt.Sprintf("every%d", interval), func(b *testing.B) {
+			benchDiagnoseAll(b, analysis.DefaultParams(), sampler.Options{Interval: interval})
+		})
+	}
+}
+
+// --- Baseline tool benches (cost of each Table 2 tool on one workload) ---
+
+func BenchmarkBaselines(b *testing.B) {
+	built, err := bugs.ByID("b4").Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	tools := []struct {
+		name string
+		run  func(*baselines.Target) *baselines.Result
+	}{
+		{"gprof", baselines.Gprof},
+		{"perf", baselines.Perf},
+		{"perf-PT", baselines.PerfPT},
+		{"COZ", baselines.Coz},
+		{"stat-debug", baselines.StatDebug},
+	}
+	for _, tool := range tools {
+		tool := tool
+		b.Run(tool.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if res := tool.run(built.Target()); res == nil {
+					b.Fatal("nil result")
+				}
+			}
+		})
+	}
+}
+
+// --- Micro-benchmarks of the hot paths ---
+
+func BenchmarkVMExecution(b *testing.B) {
+	built, err := bugs.ByID("b1").Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := built.W.NormalConfig(0)
+	b.ResetTimer()
+	var ticks int64
+	for i := 0; i < b.N; i++ {
+		m := vm.New(built.Prog, cfg)
+		_ = m.Run()
+		ticks += m.Ticks()
+	}
+	b.ReportMetric(float64(ticks)/float64(b.N), "ticks/run")
+}
+
+func BenchmarkProfiledExecution(b *testing.B) {
+	built, err := bugs.ByID("b1").Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := sampler.ProfileRun(built.Prog, built.Meta, built.W.NormalConfig(0),
+			sampler.Options{Interval: bugs.DefaultInterval})
+		if len(res.Profiles) == 0 {
+			b.Fatal("no profiles")
+		}
+	}
+}
+
+func BenchmarkProfilerInit(b *testing.B) {
+	built, err := bugs.ByID("b1").Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := sampler.New(built.Prog, built.Meta, sampler.Options{})
+		if p.NumVarNodes() == 0 {
+			b.Fatal("no variable nodes")
+		}
+	}
+}
+
+func BenchmarkADKSample(b *testing.B) {
+	x := make([]float64, 500)
+	y := make([]float64, 500)
+	for i := range x {
+		x[i] = float64(i % 37)
+		y[i] = float64((i*7 + 3) % 41)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stats.ADKSample(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHellinger(b *testing.B) {
+	x := make([]float64, 2000)
+	y := make([]float64, 2000)
+	for i := range x {
+		x[i] = float64(i % 97)
+		y[i] = float64((i * 13) % 89)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats.Hellinger(x, y)
+	}
+}
+
+func BenchmarkAnalyze(b *testing.B) {
+	built, err := bugs.ByID("b1").Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := analysis.Input{Debug: built.Prog.Debug, Schema: built.Schema}
+	for run := 0; run < 5; run++ {
+		np, _ := built.ProfileNormal(run)
+		bp, _ := built.ProfileBuggy(run)
+		in.Normal = append(in.Normal, np)
+		in.Buggy = append(in.Buggy, bp)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := analysis.Analyze(in, analysis.DefaultParams()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+// Command vprof-eval regenerates the paper's evaluation tables and figures
+// (§6) from the reproduction workloads.
+//
+// Usage:
+//
+//	vprof-eval                  # everything
+//	vprof-eval -table 3         # one table (1, 2, 3, 4, 5)
+//	vprof-eval -figure 8        # one figure (6, 7, 8)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vprof/internal/harness"
+)
+
+func main() {
+	table := flag.Int("table", 0, "render only this table (1-5)")
+	figure := flag.Int("figure", 0, "render only this figure (6-8)")
+	reps := flag.Int("reps", 3, "repetitions for wall-clock overhead measurements")
+	flag.Parse()
+
+	all := *table == 0 && *figure == 0
+	run := func(name string, fn func() (string, error)) {
+		out, err := fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vprof-eval: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+
+	if all || *table == 1 {
+		run("table 1", func() (string, error) { return harness.Table1(), nil })
+	}
+	if all || *table == 2 {
+		run("table 2", func() (string, error) { return harness.Table2(), nil })
+	}
+	if all || *table == 3 {
+		run("table 3", func() (string, error) {
+			text, _, err := harness.Table3()
+			return text, err
+		})
+	}
+	if all || *table == 4 {
+		run("table 4", func() (string, error) {
+			cases, err := harness.Table4()
+			if err != nil {
+				return "", err
+			}
+			return harness.RenderTable4(cases), nil
+		})
+	}
+	if all || *table == 5 {
+		run("table 5", func() (string, error) {
+			rows, err := harness.Table5()
+			if err != nil {
+				return "", err
+			}
+			return harness.RenderTable5(rows), nil
+		})
+	}
+	if all || *figure == 6 {
+		run("figure 6", func() (string, error) {
+			series, err := harness.Figure6()
+			if err != nil {
+				return "", err
+			}
+			return harness.RenderFigure6(series), nil
+		})
+	}
+	if all || *figure == 7 {
+		run("figure 7", func() (string, error) {
+			rows, err := harness.Figure7(*reps)
+			if err != nil {
+				return "", err
+			}
+			return harness.RenderFigure7(rows), nil
+		})
+	}
+	if all || *figure == 8 {
+		run("figure 8", func() (string, error) {
+			res, err := harness.Figure8()
+			if err != nil {
+				return "", err
+			}
+			return harness.RenderFigure8(res), nil
+		})
+	}
+}

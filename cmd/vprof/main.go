@@ -1,0 +1,316 @@
+// Command vprof is the command-line front end to the value-assisted cost
+// profiler, mirroring the paper's workflow (Figure 2):
+//
+//	vprof schema prog.vp                      # generate the monitoring schema
+//	vprof run prog.vp -inputs 40              # execute without profiling
+//	vprof profile prog.vp -inputs 40 -out dir # profile one execution to dir
+//	vprof diagnose prog.vp -normal 40 -buggy 90 -root hint
+//
+// diagnose runs the full pipeline: five normal and five buggy profiling
+// executions, post-profiling analysis, and the annotated ranking.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	vprof "vprof"
+	"vprof/internal/profilefmt"
+	"vprof/internal/sampler"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "schema":
+		err = cmdSchema(os.Args[2:])
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "profile":
+		err = cmdProfile(os.Args[2:])
+	case "disasm":
+		err = cmdDisasm(os.Args[2:])
+	case "analyze":
+		err = cmdAnalyze(os.Args[2:])
+	case "diagnose":
+		err = cmdDiagnose(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "vprof: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vprof: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage:
+  vprof schema <prog.vp> [-funcs f1,f2] [-no-globals]
+  vprof run <prog.vp> [-inputs a,b,...] [-seed n] [-max-ticks n]
+  vprof profile <prog.vp> [-inputs ...] [-out dir] [-interval n]
+  vprof disasm <prog.vp>
+  vprof analyze <prog.vp> -normal dir[,dir...] -buggy dir[,dir...] [-top n]
+  vprof diagnose <prog.vp> -normal a,b -buggy a,b [-runs n] [-top n] [-funcs f1,f2]
+`)
+}
+
+// splitFileArg allows the program file to precede the flags (vprof profile
+// prog.vp -inputs ...): it pops a leading non-flag argument.
+func splitFileArg(args []string) (string, []string) {
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		return args[0], args[1:]
+	}
+	return "", args
+}
+
+// fileArg resolves the program file from either position.
+func fileArg(pre string, fs *flag.FlagSet, cmd string) (string, error) {
+	switch {
+	case pre != "" && fs.NArg() == 0:
+		return pre, nil
+	case pre == "" && fs.NArg() == 1:
+		return fs.Arg(0), nil
+	}
+	return "", fmt.Errorf("%s: need exactly one program file", cmd)
+}
+
+func compileFile(path string) (*vprof.Program, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return vprof.Compile(path, string(src))
+}
+
+func parseInputs(s string) ([]int64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad input %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func schemaOpts(funcs string, noGlobals bool) vprof.SchemaOptions {
+	opts := vprof.SchemaOptions{SkipGlobals: noGlobals}
+	if funcs != "" {
+		opts.Functions = strings.Split(funcs, ",")
+	}
+	return opts
+}
+
+func cmdSchema(args []string) error {
+	file, args := splitFileArg(args)
+	fs := flag.NewFlagSet("schema", flag.ExitOnError)
+	funcs := fs.String("funcs", "", "comma-separated component functions to monitor")
+	noGlobals := fs.Bool("no-globals", false, "do not monitor globals")
+	fs.Parse(args)
+	file, err := fileArg(file, fs, "schema")
+	if err != nil {
+		return err
+	}
+	prog, err := compileFile(file)
+	if err != nil {
+		return err
+	}
+	sch := prog.GenerateSchema(schemaOpts(*funcs, *noGlobals))
+	fmt.Print(vprof.FormatSchema(sch))
+	fmt.Printf("# %d variables; %d metadata entries\n", len(sch.Entries), len(prog.Metadata(sch)))
+	return nil
+}
+
+func cmdRun(args []string) error {
+	file, args := splitFileArg(args)
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	inputs := fs.String("inputs", "", "comma-separated workload inputs")
+	seed := fs.Uint64("seed", 1, "PRNG seed")
+	maxTicks := fs.Int64("max-ticks", 0, "tick budget (0 = default)")
+	fs.Parse(args)
+	file, err := fileArg(file, fs, "run")
+	if err != nil {
+		return err
+	}
+	prog, err := compileFile(file)
+	if err != nil {
+		return err
+	}
+	in, err := parseInputs(*inputs)
+	if err != nil {
+		return err
+	}
+	outputs, ticks, err := prog.Run(vprof.RunSpec{Inputs: in, Seed: *seed, MaxTicks: *maxTicks})
+	for _, v := range outputs {
+		fmt.Println(v)
+	}
+	fmt.Printf("# %d ticks\n", ticks)
+	return err
+}
+
+func cmdProfile(args []string) error {
+	file, args := splitFileArg(args)
+	fs := flag.NewFlagSet("profile", flag.ExitOnError)
+	inputs := fs.String("inputs", "", "comma-separated workload inputs")
+	seed := fs.Uint64("seed", 1, "PRNG seed")
+	maxTicks := fs.Int64("max-ticks", 0, "tick budget (0 = default)")
+	interval := fs.Int64("interval", sampler.DefaultInterval, "sampling interval in ticks")
+	outDir := fs.String("out", "", "directory for gmon/gmon_var/layout artifacts")
+	funcs := fs.String("funcs", "", "comma-separated component functions to monitor")
+	fs.Parse(args)
+	file, err := fileArg(file, fs, "profile")
+	if err != nil {
+		return err
+	}
+	prog, err := compileFile(file)
+	if err != nil {
+		return err
+	}
+	in, err := parseInputs(*inputs)
+	if err != nil {
+		return err
+	}
+	sch := prog.GenerateSchema(schemaOpts(*funcs, false))
+	p := prog.Profile(vprof.RunSpec{Inputs: in, Seed: *seed, MaxTicks: *maxTicks, Interval: *interval}, sch)
+	fmt.Printf("profiled: %d alarms, %d value samples, %d monitored variables\n",
+		p.NumAlarms, len(p.Samples), len(p.Layout))
+	if *outDir != "" {
+		if err := profilefmt.WriteDir(*outDir, p); err != nil {
+			return err
+		}
+		fmt.Printf("wrote artifacts to %s\n", *outDir)
+	}
+	return nil
+}
+
+// cmdDisasm prints the compiled text section with function and basic-block
+// boundaries and the line table — the view the profiler's PC ranges are
+// defined over.
+func cmdDisasm(args []string) error {
+	file, args := splitFileArg(args)
+	fs := flag.NewFlagSet("disasm", flag.ExitOnError)
+	fs.Parse(args)
+	file, err := fileArg(file, fs, "disasm")
+	if err != nil {
+		return err
+	}
+	prog, err := compileFile(file)
+	if err != nil {
+		return err
+	}
+	fmt.Print(prog.Disassemble())
+	return nil
+}
+
+// cmdAnalyze runs the offline post-profiling analysis over profile
+// directories previously written by `vprof profile -out` (the paper's
+// workflow: profile runs dump gmon/gmon_var/layout files; the analyzer is a
+// separate step).
+func cmdAnalyze(args []string) error {
+	file, args := splitFileArg(args)
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	normal := fs.String("normal", "", "comma-separated normal profile directories")
+	buggy := fs.String("buggy", "", "comma-separated buggy profile directories")
+	top := fs.Int("top", 10, "rows to print")
+	funcs := fs.String("funcs", "", "comma-separated component functions (must match the profiling schema)")
+	fs.Parse(args)
+	file, err := fileArg(file, fs, "analyze")
+	if err != nil {
+		return err
+	}
+	if *normal == "" || *buggy == "" {
+		return fmt.Errorf("analyze: -normal and -buggy directories are required")
+	}
+	prog, err := compileFile(file)
+	if err != nil {
+		return err
+	}
+	sch := prog.GenerateSchema(schemaOpts(*funcs, false))
+
+	load := func(spec string) ([]*vprof.Profile, error) {
+		var out []*vprof.Profile
+		for _, dir := range strings.Split(spec, ",") {
+			profiles, err := profilefmt.ReadDir(strings.TrimSpace(dir))
+			if err != nil {
+				return nil, err
+			}
+			if len(profiles) == 0 {
+				return nil, fmt.Errorf("no profiles in %s", dir)
+			}
+			out = append(out, sampler.MergeProfiles(profiles))
+		}
+		return out, nil
+	}
+	normals, err := load(*normal)
+	if err != nil {
+		return err
+	}
+	buggies, err := load(*buggy)
+	if err != nil {
+		return err
+	}
+	report, err := vprof.Analyze(prog, sch, normals, buggies, vprof.DefaultParams())
+	if err != nil {
+		return err
+	}
+	fmt.Print(report.Render(*top))
+	return nil
+}
+
+func cmdDiagnose(args []string) error {
+	file, args := splitFileArg(args)
+	fs := flag.NewFlagSet("diagnose", flag.ExitOnError)
+	normal := fs.String("normal", "", "inputs for the normal execution")
+	buggy := fs.String("buggy", "", "inputs for the buggy execution")
+	runs := fs.Int("runs", 5, "profiling runs per side")
+	top := fs.Int("top", 10, "rows to print")
+	maxTicks := fs.Int64("max-ticks", 0, "tick budget per run")
+	funcs := fs.String("funcs", "", "comma-separated component functions to monitor")
+	root := fs.String("root", "", "known root cause (prints its rank)")
+	fs.Parse(args)
+	file, err := fileArg(file, fs, "diagnose")
+	if err != nil {
+		return err
+	}
+	prog, err := compileFile(file)
+	if err != nil {
+		return err
+	}
+	nIn, err := parseInputs(*normal)
+	if err != nil {
+		return err
+	}
+	bIn, err := parseInputs(*buggy)
+	if err != nil {
+		return err
+	}
+	sch := prog.GenerateSchema(schemaOpts(*funcs, false))
+	report, err := vprof.Diagnose(prog, sch,
+		vprof.RunSpec{Inputs: nIn, MaxTicks: *maxTicks},
+		vprof.RunSpec{Inputs: bIn, MaxTicks: *maxTicks},
+		*runs, vprof.DefaultParams())
+	if err != nil {
+		return err
+	}
+	fmt.Print(report.Render(*top))
+	if *root != "" {
+		fmt.Printf("\nroot cause %s ranked %d\n", *root, report.Rank(*root))
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"flag"
+	"testing"
+)
+
+func TestParseInputs(t *testing.T) {
+	got, err := parseInputs(" 1, 2 ,30")
+	if err != nil || len(got) != 3 || got[0] != 1 || got[2] != 30 {
+		t.Fatalf("parseInputs = %v, %v", got, err)
+	}
+	if got, err := parseInputs(""); err != nil || got != nil {
+		t.Fatalf("empty inputs = %v, %v", got, err)
+	}
+	if _, err := parseInputs("1,x"); err == nil {
+		t.Fatal("expected error for non-numeric input")
+	}
+}
+
+func TestSplitFileArg(t *testing.T) {
+	file, rest := splitFileArg([]string{"prog.vp", "-inputs", "4"})
+	if file != "prog.vp" || len(rest) != 2 {
+		t.Fatalf("split = %q %v", file, rest)
+	}
+	file, rest = splitFileArg([]string{"-inputs", "4", "prog.vp"})
+	if file != "" || len(rest) != 3 {
+		t.Fatalf("flag-first split = %q %v", file, rest)
+	}
+	file, rest = splitFileArg(nil)
+	if file != "" || rest != nil {
+		t.Fatalf("empty split = %q %v", file, rest)
+	}
+}
+
+func TestFileArg(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	fs.Parse([]string{"prog.vp"})
+	if f, err := fileArg("", fs, "t"); err != nil || f != "prog.vp" {
+		t.Fatalf("trailing file: %q %v", f, err)
+	}
+	fs2 := flag.NewFlagSet("t", flag.ContinueOnError)
+	fs2.Parse(nil)
+	if f, err := fileArg("pre.vp", fs2, "t"); err != nil || f != "pre.vp" {
+		t.Fatalf("leading file: %q %v", f, err)
+	}
+	if _, err := fileArg("", fs2, "t"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	fs3 := flag.NewFlagSet("t", flag.ContinueOnError)
+	fs3.Parse([]string{"a.vp"})
+	if _, err := fileArg("b.vp", fs3, "t"); err == nil {
+		t.Fatal("two files accepted")
+	}
+}
+
+func TestSchemaOpts(t *testing.T) {
+	opts := schemaOpts("f,g", true)
+	if !opts.SkipGlobals || len(opts.Functions) != 2 {
+		t.Fatalf("opts = %+v", opts)
+	}
+	if opts := schemaOpts("", false); opts.Functions != nil {
+		t.Fatalf("empty funcs: %+v", opts)
+	}
+}
+
+// TestSubcommandsEndToEnd drives the real subcommand functions against the
+// checked-in example program.
+func TestSubcommandsEndToEnd(t *testing.T) {
+	prog := "../../testdata/recovery.vp"
+	if err := cmdSchema([]string{prog}); err != nil {
+		t.Fatalf("schema: %v", err)
+	}
+	if err := cmdRun([]string{prog, "-inputs", "40"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	nDir := t.TempDir()
+	bDir := t.TempDir()
+	if err := cmdProfile([]string{prog, "-inputs", "40", "-max-ticks", "200000", "-out", nDir}); err != nil {
+		t.Fatalf("profile normal: %v", err)
+	}
+	if err := cmdProfile([]string{prog, "-inputs", "90", "-max-ticks", "200000", "-out", bDir}); err != nil {
+		t.Fatalf("profile buggy: %v", err)
+	}
+	if err := cmdAnalyze([]string{prog, "-normal", nDir, "-buggy", bDir, "-top", "3"}); err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	if err := cmdAnalyze([]string{prog, "-normal", nDir}); err == nil {
+		t.Fatal("analyze without -buggy accepted")
+	}
+	if err := cmdDiagnose([]string{prog, "-normal", "40", "-buggy", "90", "-runs", "2", "-max-ticks", "200000"}); err != nil {
+		t.Fatalf("diagnose: %v", err)
+	}
+}

@@ -1,0 +1,3 @@
+module vprof
+
+go 1.22

@@ -1,0 +1,285 @@
+package analysis
+
+import (
+	"sort"
+
+	"vprof/internal/debuginfo"
+	"vprof/internal/sampler"
+	"vprof/internal/schema"
+	"vprof/internal/stats"
+)
+
+// tickSeries collapses a variable's samples to one observation per alarm
+// tick (virtual unwinding can record the same variable several times within
+// one alarm at different stack depths; the variable has a single value at
+// that moment).
+func tickSeries(samples []sampler.Sample) []float64 {
+	var out []float64
+	var lastTick int64 = -1
+	for _, s := range samples {
+		if s.Tick == lastTick {
+			continue
+		}
+		lastTick = s.Tick
+		out = append(out, float64(s.Value))
+	}
+	return out
+}
+
+// discountVariable computes the discount ratio for one variable across the
+// paper's three dimensions, returning the minimum and the dimension that
+// produced it.
+func discountVariable(p Params, isPointer bool, normal, buggy []float64) (float64, Dimension, bool) {
+	type dim struct {
+		d    Dimension
+		n, b []float64
+	}
+	dims := []dim{
+		{DimValue, normal, buggy},
+		{DimDelta, stats.ChangeDeltas(normal), stats.ChangeDeltas(buggy)},
+		{DimCost, stats.RunLengths(normal), stats.RunLengths(buggy)},
+	}
+	if isPointer {
+		// Pointer values (addresses) carry no meaning across runs; only
+		// the processing-cost dimension applies (paper §5.1).
+		dims = dims[2:]
+	} else if p.DimensionsValueOnly {
+		dims = dims[:1]
+	}
+
+	best, bestRaw := 1.0, 2.0
+	bestDim := DimNone
+	tested := false
+	for _, dm := range dims {
+		r, raw, ok := discountOneDim(p, dm.n, dm.b)
+		if !ok {
+			continue
+		}
+		tested = true
+		if raw < bestRaw || bestDim == DimNone {
+			best, bestRaw = r, raw
+			bestDim = dm.d
+		}
+	}
+	if !tested {
+		return 1, DimNone, false
+	}
+	return best, bestDim, true
+}
+
+// discountOneDim computes the discount ratio for a single dimension,
+// returning both the floored ratio and the raw ratio before the
+// ValidDiscount floor (dimension selection compares raw ratios, per the
+// paper's Redis-8668 walkthrough: value 0.12 vs cost 0, cost wins). ok is
+// false when there is not enough information in either execution.
+func discountOneDim(p Params, normal, buggy []float64) (ratio, raw float64, ok bool) {
+	nN, nB := len(normal), len(buggy)
+	switch {
+	case nN == 0 && nB == 0:
+		return 1, 1, false
+	case nN < p.MinSamples && nB < p.MinSamples:
+		// Too little data on both sides: no information.
+		return 1, 1, false
+	case nN < p.MinSamples || nB < p.MinSamples:
+		// One side has data, the other (almost) none. If the
+		// populated side is substantial this is itself anomalous —
+		// the paper's MDEV-16289 case (0 normal vs 30+ buggy samples
+		// of clust_index gave a zero discount).
+		if nN >= p.OneSidedSamples || nB >= p.OneSidedSamples {
+			return 0, 0, true
+		}
+		return p.DefaultDiscount, p.DefaultDiscount, true
+	}
+
+	res, err := stats.ADKSample(normal, buggy)
+	if err != nil {
+		// Degenerate: e.g. the variable holds the same constant in
+		// both runs. Indistinguishable distributions.
+		return p.DefaultDiscount, p.DefaultDiscount, true
+	}
+	if res.P >= p.PValue {
+		// Cannot reject "same distribution" with confidence: apply the
+		// default discount.
+		return p.DefaultDiscount, p.DefaultDiscount, true
+	}
+	raw = 1 - stats.Hellinger(normal, buggy)
+	ratio = raw
+	if ratio < p.ValidDiscount {
+		ratio = 0
+	}
+	return ratio, raw, true
+}
+
+// abnormalPCs identifies buggy samples that are anomalous along the given
+// dimension and returns their PCs (with multiplicity), used by the
+// classifier to localize basic blocks.
+func abnormalPCs(dim Dimension, normal []float64, buggy []sampler.Sample) []int {
+	series := tickSeries(buggy)
+	marks := abnormalPositions(dim, normal, series)
+	if len(marks) == 0 {
+		return nil
+	}
+	// Map marked tick positions back to sample PCs: walk buggy samples,
+	// tracking the per-tick index.
+	var out []int
+	pos := -1
+	var lastTick int64 = -1
+	for _, s := range buggy {
+		if s.Tick != lastTick {
+			lastTick = s.Tick
+			pos++
+		}
+		if marks[pos] {
+			out = append(out, int(s.PC))
+		}
+	}
+	return out
+}
+
+// abnormalPositions marks the indices of buggy per-tick observations that
+// fall outside what the normal execution exhibited.
+func abnormalPositions(dim Dimension, normal, buggy []float64) map[int]bool {
+	marks := map[int]bool{}
+	switch dim {
+	case DimValue, DimNone:
+		lo, hi, ok := stats.MinMax(normal)
+		for i, v := range buggy {
+			if !ok || v < lo || v > hi {
+				marks[i] = true
+			}
+		}
+	case DimDelta:
+		lo, hi, ok := stats.MinMax(stats.ChangeDeltas(normal))
+		last := 0 // index of the last distinct value
+		for i := 1; i < len(buggy); i++ {
+			if buggy[i] == buggy[last] {
+				continue
+			}
+			d := buggy[i] - buggy[last]
+			last = i
+			if !ok || d < lo || d > hi {
+				marks[i] = true
+			}
+		}
+	case DimCost:
+		_, maxRun, ok := stats.MinMax(stats.RunLengths(normal))
+		run := 1
+		for i := 1; i < len(buggy); i++ {
+			if buggy[i] == buggy[i-1] {
+				run++
+			} else {
+				run = 1
+			}
+			if !ok || float64(run) > maxRun {
+				marks[i] = true
+			}
+		}
+		if len(buggy) == 1 && !ok {
+			marks[0] = true
+		}
+	}
+	return marks
+}
+
+// analyzeVariables runs the variable-discounter over every monitored
+// variable appearing in either profile, returning reports keyed by
+// "func\x00name".
+func analyzeVariables(p Params, in Input) map[string]*VariableReport {
+	normal, buggy := in.Normal[0], in.Buggy[0]
+	keys := map[string]sampler.LayoutEntry{}
+	for _, l := range normal.Layout {
+		keys[l.Func+"\x00"+l.Name] = l
+	}
+	for _, l := range buggy.Layout {
+		keys[l.Func+"\x00"+l.Name] = l
+	}
+
+	out := make(map[string]*VariableReport, len(keys))
+	for key, l := range keys {
+		nSamples := normal.VarSamples(l.Func, l.Name)
+		bSamples := buggy.VarSamples(l.Func, l.Name)
+		nSeries := tickSeries(nSamples)
+		bSeries := tickSeries(bSamples)
+		vr := &VariableReport{
+			Func:        l.Func,
+			Name:        l.Name,
+			IsPointer:   l.IsPointer,
+			NormalCount: len(nSeries),
+			BuggyCount:  len(bSeries),
+		}
+		if e := in.Schema.Lookup(l.Func, l.Name); e != nil {
+			vr.Tags = e.Tags
+		}
+		vr.Discount, vr.Dimension, vr.Tested = discountVariable(p, l.IsPointer, nSeries, bSeries)
+		_, vr.MaxRunNormal, _ = stats.MinMax(stats.RunLengths(nSeries))
+		buggyRuns := stats.RunLengths(bSeries)
+		_, vr.MaxRunBuggy, _ = stats.MinMax(buggyRuns)
+		vr.RunsBuggy = len(buggyRuns)
+		if vr.Tested && vr.Discount < p.DefaultDiscount {
+			vr.AbnormalPCs = abnormalPCs(vr.Dimension, nSeries, bSamples)
+		}
+		out[key] = vr
+	}
+	return out
+}
+
+// attributeVariables maps variable reports to functions: locals to their
+// declaring function; globals to every function containing a PC at which the
+// global was sampled in the buggy profile (paper §5.1).
+func attributeVariables(vars map[string]*VariableReport, buggy *sampler.Profile, info *debuginfo.Info) map[string][]*VariableReport {
+	out := map[string][]*VariableReport{}
+	// Globals: find the functions where each global's samples occurred.
+	globalFuncs := map[string]map[string]bool{}
+	layoutKey := make([]string, len(buggy.Layout))
+	for i, l := range buggy.Layout {
+		layoutKey[i] = l.Func + "\x00" + l.Name
+	}
+	for _, s := range buggy.Samples {
+		l := buggy.Layout[s.Layout]
+		if l.Func != debuginfo.GlobalScope {
+			continue
+		}
+		fn := info.FuncAt(int(s.PC))
+		if fn == nil {
+			continue
+		}
+		key := layoutKey[s.Layout]
+		if globalFuncs[key] == nil {
+			globalFuncs[key] = map[string]bool{}
+		}
+		globalFuncs[key][fn.Name] = true
+	}
+	for key, vr := range vars {
+		if vr.Func == debuginfo.GlobalScope {
+			for fn := range globalFuncs[key] {
+				out[fn] = append(out[fn], vr)
+			}
+			continue
+		}
+		out[vr.Func] = append(out[vr.Func], vr)
+	}
+	// Deterministic per-function ordering: most anomalous first; on ties,
+	// tagged variables (more diagnostic signal) and locals before
+	// globals, then by name.
+	for _, list := range out {
+		sort.Slice(list, func(i, j int) bool {
+			a, b := list[i], list[j]
+			if a.Discount != b.Discount {
+				return a.Discount < b.Discount
+			}
+			aTag, bTag := a.Tags != schema.TagNone, b.Tags != schema.TagNone
+			if aTag != bTag {
+				return aTag
+			}
+			aLocal, bLocal := a.Func != debuginfo.GlobalScope, b.Func != debuginfo.GlobalScope
+			if aLocal != bLocal {
+				return aLocal
+			}
+			if a.Func != b.Func {
+				return a.Func < b.Func
+			}
+			return a.Name < b.Name
+		})
+	}
+	return out
+}

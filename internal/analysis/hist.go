@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"vprof/internal/debuginfo"
+	"vprof/internal/sampler"
+	"vprof/internal/stats"
+)
+
+// pcCostApp returns the gprof-view PC cost per *application* function:
+// library-function PCs are excluded (gprof records no samples outside the
+// profiled executable, and vProf inherits this) as are synthetic functions.
+func pcCostApp(p *sampler.Profile, info *debuginfo.Info) map[string]float64 {
+	out := map[string]float64{}
+	for pc, n := range p.Hist {
+		if n == 0 {
+			continue
+		}
+		fn := info.FuncAt(pc)
+		if fn == nil || fn.Library || isSynthetic(fn.Name) {
+			continue
+		}
+		out[fn.Name] += float64(n * p.Interval)
+	}
+	return out
+}
+
+func isSynthetic(name string) bool {
+	return len(name) >= 2 && name[0] == '_' && name[1] == '_'
+}
+
+// histDiscounter computes discount ratios by cross-comparing a function's
+// cost rank between every (buggy, normal) profile pair (paper §5.1): with n
+// buggy and m normal profiles, r = h/c where h counts comparisons in which
+// the function ranks higher (more costly) in the normal profile, and c is
+// the number of comparisons in which the function appeared at all.
+func histDiscounter(p Params, normal, buggy []*sampler.Profile, info *debuginfo.Info) map[string]float64 {
+	normalRanks := make([]map[string]int, len(normal))
+	for j, np := range normal {
+		normalRanks[j] = stats.Ranks(pcCostApp(np, info))
+	}
+	buggyRanks := make([]map[string]int, len(buggy))
+	for i, bp := range buggy {
+		buggyRanks[i] = stats.Ranks(pcCostApp(bp, info))
+	}
+
+	funcs := map[string]bool{}
+	for _, r := range normalRanks {
+		for f := range r {
+			funcs[f] = true
+		}
+	}
+	for _, r := range buggyRanks {
+		for f := range r {
+			funcs[f] = true
+		}
+	}
+
+	out := map[string]float64{}
+	for f := range funcs {
+		h, c := 0, 0
+		for _, br := range buggyRanks {
+			bRank, bOK := br[f]
+			for _, nr := range normalRanks {
+				nRank, nOK := nr[f]
+				if !bOK && !nOK {
+					continue
+				}
+				c++
+				switch {
+				case !bOK:
+					// Only seen in normal: costlier there.
+					h++
+				case !nOK:
+					// Only seen in buggy: elevated by the bug.
+				case nRank < bRank:
+					// Smaller rank number = more costly.
+					h++
+				}
+			}
+		}
+		if c == 0 {
+			continue
+		}
+		r := float64(h) / float64(c)
+		if r < p.ValidDiscount {
+			r = 0
+		}
+		out[f] = r
+	}
+	return out
+}

@@ -1,0 +1,41 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render formats the report as the annotated profile vProf prints (paper
+// Figure 2's output stage): rank, calibrated cost, function, discount and
+// its source, the most anomalous variable, the suspicious basic block, and
+// the inferred bug pattern. topN <= 0 renders every function.
+func (r *Report) Render(topN int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-4s %-12s %-34s %-9s %-8s %-28s %-10s %s\n",
+		"rank", "adj-cost", "function", "discount", "source", "variable", "block", "pattern")
+	n := len(r.Funcs)
+	if topN > 0 && topN < n {
+		n = topN
+	}
+	for _, fr := range r.Funcs[:n] {
+		varName := "-"
+		if fr.TopVariable != nil {
+			varName = fr.TopVariable.Name
+			if fr.TopVariable.Func != fr.Name {
+				varName = fr.TopVariable.Func + "." + fr.TopVariable.Name
+			}
+			varName += fmt.Sprintf(" [%s]", fr.TopVariable.Dimension)
+		}
+		block := "-"
+		if len(fr.Blocks) > 0 {
+			block = fmt.Sprintf("%s:%d", fr.Blocks[0].Block, fr.Blocks[0].Line)
+		}
+		pattern := "-"
+		if fr.Pattern != PatternNC {
+			pattern = fr.Pattern.String()
+		}
+		fmt.Fprintf(&b, "%-4d %-12.0f %-34s %-9.2f %-8s %-28s %-10s %s\n",
+			fr.Rank, fr.Calibrated, fr.Name, fr.Discount, fr.DiscountSource, varName, block, pattern)
+	}
+	return b.String()
+}

@@ -1,0 +1,81 @@
+package baselines
+
+import (
+	"vprof/internal/compiler"
+	"vprof/internal/vm"
+)
+
+// CozSpeedup is the virtual speedup factor applied to each candidate block.
+const CozSpeedup = 0.5
+
+// Coz implements COZ-style causal profiling (Table 2): for every basic block
+// in the scoped functions it re-runs the buggy workload with that block
+// virtually sped up and measures the change in end-to-end runtime. Blocks
+// whose speedup shortens the run the most are where optimization pays off;
+// functions are ranked by their best block.
+//
+// Failure modes from the paper are reproduced: COZ only observes the parent
+// process (its runtime injects into one process), so a root cause that
+// executes solely in children yields FailChild for the harness to notice;
+// and one evaluated workload crashed the tool (Target.CrashesCOZ).
+func Coz(t *Target) *Result {
+	if t.CrashesCOZ {
+		return &Result{Tool: "COZ", Failure: FailCrash}
+	}
+	cfg := cfgWithPhase(t.BuggyCfg, 0)
+	baseline := rootRuntime(t.Prog, cfg, nil)
+
+	// COZ's runtime injects into one process and does not follow forks:
+	// when the bulk of execution happens in children, its experiments see
+	// almost nothing (the paper's "child" failures).
+	var treeTicks int64
+	for _, p := range vm.RunProcesses(t.Prog, func(int) vm.Config { return cfg }) {
+		treeTicks += p.VM.Ticks()
+	}
+	childBlind := treeTicks > 0 && baseline*10 < treeTicks
+
+	scores := map[string]float64{}
+	for _, fn := range t.Prog.Debug.Funcs {
+		if fn.Library || isSyntheticName(fn.Name) || !t.inScope(fn.Name) {
+			continue
+		}
+		for _, blk := range fn.Blocks {
+			start, end := blk.Start, blk.End
+			scale := func(pc int, cost int64) int64 {
+				if pc >= start && pc < end {
+					return int64(float64(cost) * CozSpeedup)
+				}
+				return cost
+			}
+			runtime := rootRuntime(t.Prog, cfg, scale)
+			gain := float64(baseline - runtime)
+			// Gains within measurement noise are not findings: a
+			// tick-budget-bounded (hung) workload has the same
+			// runtime whatever is sped up, and COZ reports nothing.
+			if gain < float64(baseline)*0.01 {
+				continue
+			}
+			if gain > scores[fn.Name] {
+				scores[fn.Name] = gain
+			}
+		}
+	}
+	res := &Result{Tool: "COZ", Funcs: rankingFromScores(scores)}
+	if childBlind {
+		res.Failure = FailChild
+	}
+	return res
+}
+
+func isSyntheticName(name string) bool {
+	return len(name) >= 2 && name[0] == '_' && name[1] == '_'
+}
+
+// rootRuntime runs only the root process (COZ does not follow forks) and
+// returns its tick count.
+func rootRuntime(prog *compiler.Program, cfg vm.Config, scale func(int, int64) int64) int64 {
+	cfg.CostScale = scale
+	m := vm.New(prog, cfg)
+	_ = m.Run() // tick-budget exits are fine; the measured time stands
+	return m.Ticks()
+}

@@ -1,0 +1,73 @@
+package baselines
+
+import (
+	"sort"
+
+	"vprof/internal/compiler"
+	"vprof/internal/vm"
+)
+
+// PerfPT enhances perf with Intel-PT-style control-flow profiling (Table 2):
+// profile normal and buggy executions, count branches taken per function,
+// and re-rank perf's top-10 functions by scaling each one's cost with the
+// ratio of its branch-count difference over total branches.
+//
+// The paper's observation — that control flow is noisy and a performance bug
+// often shows the *same* control flow executed more often — emerges
+// naturally: a loop iterating 100x more keeps the same branch *mix*, so the
+// difference ratio stays small for everything and the re-ranking barely
+// moves the root cause.
+func PerfPT(t *Target) *Result {
+	perf := Perf(t)
+	top := perf.Funcs
+	if len(top) > 10 {
+		top = top[:10]
+	}
+
+	buggyBr := branchCounts(t.Prog, cfgWithPhase(t.BuggyCfg, 0))
+	normalBr := branchCounts(t.normalProg(), cfgWithPhase(t.NormalCfg, 0))
+	var total float64
+	for _, n := range buggyBr {
+		total += float64(n)
+	}
+	for _, n := range normalBr {
+		total += float64(n)
+	}
+	if total == 0 {
+		total = 1
+	}
+
+	rescored := make([]RankedFunc, len(top))
+	for i, f := range top {
+		diff := float64(buggyBr[f.Name]) - float64(normalBr[f.Name])
+		if diff < 0 {
+			diff = -diff
+		}
+		rescored[i] = RankedFunc{Name: f.Name, Score: f.Score * (diff / total)}
+	}
+	sort.Slice(rescored, func(i, j int) bool {
+		if rescored[i].Score != rescored[j].Score {
+			return rescored[i].Score > rescored[j].Score
+		}
+		return rescored[i].Name < rescored[j].Name
+	})
+	// Functions below the top-10 keep their perf order after the
+	// re-ranked head.
+	out := append(rescored, perf.Funcs[len(top):]...)
+	return &Result{Tool: "perf-PT", Funcs: out}
+}
+
+// branchCounts runs the full process tree and sums taken-branch counts per
+// function name.
+func branchCounts(prog *compiler.Program, cfg vm.Config) map[string]int64 {
+	out := map[string]int64{}
+	procs := vm.RunProcesses(prog, func(int) vm.Config { return cfg })
+	for _, p := range procs {
+		for fi, n := range p.VM.BranchTaken {
+			if n != 0 {
+				out[prog.Funcs[fi].Name] += n
+			}
+		}
+	}
+	return out
+}

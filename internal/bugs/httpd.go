@@ -1,0 +1,375 @@
+package bugs
+
+import "vprof/internal/analysis"
+
+// Apache httpd workloads: b6–b10 of Table 1.
+
+func init() {
+	register(&Workload{
+		ID:          "b6",
+		Noise:       noisePack(httpdNoise, 10, 16000),
+		Ticket:      "HTTPD-62668",
+		App:         "Apache httpd",
+		Description: "Output filter endless loop so server process never terminates",
+		Pattern:     analysis.PatternMissingConstraint,
+		SourceFile:  "server/util_filter.vp",
+		// An empty (broken) bucket is never consumed, so the output
+		// filter spins until the shutdown deadline; the listener then
+		// waits out its full request timeout — the paper's side-effect
+		// false positive that vProf ranks first.
+		Source: `
+var request_done = 0;
+var shutdown_deadline;
+
+extfunc apr_poll(n) {
+	work(n);
+	return n;
+}
+
+func apr_bucket_read(b) {
+	work(80);
+	return b;
+}
+
+func ap_filter_output(nbuckets, broken_bucket) {
+	var remaining = nbuckets;
+	while (remaining > 0) {
+		apr_bucket_read(remaining);
+		if (broken_bucket > 0 && remaining == broken_bucket) {
+			if (now() > shutdown_deadline) {
+				return remaining;
+			}
+		} else {
+			remaining--;
+		}
+	}
+	request_done = 1;
+	return 0;
+}
+
+func listener_thread() {
+	var polls = 0;
+	while (request_done == 0 && polls < 300) {
+		apr_poll(150);
+		polls++;
+	}
+	return polls;
+}
+
+func ap_process_request(nbuckets) {
+	work(300);
+	ap_filter_output(nbuckets, input(1));
+	work(100);
+	return 0;
+}
+
+func main() {
+	shutdown_deadline = input(2);
+	ap_process_request(input(0));
+	listener_thread();
+}
+`,
+		// input(0)=buckets, input(1)=index of the broken empty bucket
+		// (0 = none), input(2)=shutdown deadline in ticks.
+		NormalInputs: []int64{40, 0, 500000},
+		BuggyInputs:  []int64{40, 20, 320000},
+		RootFunc:     "ap_filter_output",
+		FixMarker:    "remaining == broken_bucket",
+		Notes: "Paper: vProf ranks listener_thread first (it waits for the request timeout in the buggy " +
+			"run but returns immediately normally — a hard-to-avoid side-effect false positive) and the " +
+			"root cause 5th.",
+		PaperRanks: map[string]string{
+			"vprof": "5th", "gprof": "36th", "perf": "13th", "perf-PT": "13th",
+			"COZ": "NR", "stat-debug": "NR", "hist-disc": "15th",
+		},
+		PaperBBDist:     []float64{19, 0},
+		PaperClassified: true,
+	})
+
+	register(&Workload{
+		ID:          "b7",
+		Noise:       noisePack(httpdNoise, 12, 12000),
+		Ticket:      "HTTPD-54852",
+		App:         "Apache httpd",
+		Description: "Gracefully restart service with MPM workers takes long time",
+		Pattern:     analysis.PatternMissingConstraint,
+		SourceFile:  "server/mpm_unix.vp",
+		CrashesCOZ:  true,
+		// Figure 4: ap_mpm_pod_killpg keeps calling dummy_connection for
+		// every configured slot even after all children have exited;
+		// each such call polls to its timeout.
+		Source: `
+var server_limit;
+var active_children;
+
+func dummy_connection(pod) {
+	work(60);
+	if (active_children > 0) {
+		active_children = active_children - 1;
+		return 0;
+	}
+	work(1800);
+	return 1;
+}
+
+func ap_mpm_pod_killpg(pod, num) {
+	for (var i = 0; i < num; i++) {
+		dummy_connection(pod);
+	}
+	return 0;
+}
+
+func ap_reclaim_child_processes() {
+	work(500);
+	return 0;
+}
+
+func ap_graceful_restart() {
+	var pod = alloc();
+	ap_mpm_pod_killpg(pod, server_limit);
+	ap_reclaim_child_processes();
+	return 0;
+}
+
+func main() {
+	server_limit = input(0);
+	active_children = input(1);
+	ap_graceful_restart();
+}
+`,
+		// input(0)=ServerLimit slots, input(1)=children still alive.
+		NormalInputs: []int64{64, 64},
+		BuggyInputs:  []int64{64, 3},
+		RootFunc:     "ap_mpm_pod_killpg",
+		FixMarker:    "for (var i = 0; i < num; i++)",
+		Notes: "Paper: vProf ranks dummy_connection above the root cause, but the callee relationship " +
+			"still points at ap_mpm_pod_killpg (3rd); COZ crashed on this workload.",
+		PaperRanks: map[string]string{
+			"vprof": "3rd", "gprof": "182nd", "perf": "1024th", "perf-PT": "1024th",
+			"COZ": "crash", "stat-debug": "7th", "hist-disc": "181st",
+		},
+		PaperBBDist:     []float64{0, 0},
+		PaperClassified: true,
+	})
+
+	register(&Workload{
+		ID:          "b8",
+		Ticket:      "HTTPD-62318",
+		App:         "Apache httpd",
+		Description: "Health check is executed more often than configured interval",
+		Pattern:     analysis.PatternWrongConstraint,
+		SourceFile:  "modules/proxy/mod_proxy_hcheck.vp",
+		// The interval comparison divides milliseconds by 1000, so any
+		// sub-second interval collapses to zero and the probe runs on
+		// every watchdog round. Health checks run in child processes
+		// (plus one light parent round), reproducing COZ's child-side
+		// blindness while leaving gprof's parent view intact.
+		Source: `
+var hc_interval_ms;
+
+func hc_check(backend) {
+	work(300);
+	return backend;
+}
+
+func other_watchdog_work() {
+	work(200);
+	return 0;
+}
+
+func hc_watchdog_callback(rounds) {
+	var threshold = hc_interval_ms / 1000;
+	var last = 0;
+	for (var t = 0; t < rounds; t++) {
+		other_watchdog_work();
+		if (t - last >= threshold) {
+			hc_check(t);
+			last = t;
+		}
+	}
+	return 0;
+}
+
+func hc_child(rounds) {
+	hc_watchdog_callback(rounds);
+	return 0;
+}
+
+func main() {
+	hc_interval_ms = input(0);
+	hc_watchdog_callback(input(1) / 20);
+	spawn("hc_child", input(1));
+	spawn("hc_child", input(1));
+}
+`,
+		// input(0)=configured interval in ms, input(1)=watchdog rounds.
+		// 30000ms behaves sanely (threshold 30 rounds); 500ms collapses
+		// to zero and probes every round.
+		NormalInputs: []int64{30000, 600},
+		BuggyInputs:  []int64{500, 600},
+		RootFunc:     "hc_watchdog_callback",
+		FixMarker:    "t - last >= threshold",
+		Notes:        "Paper: both vProf and gprof rank the root cause 1st; COZ fails (root cause in child).",
+		PaperRanks: map[string]string{
+			"vprof": "1st", "gprof": "1st", "perf": "6th", "perf-PT": "7th",
+			"COZ": "child", "stat-debug": "3rd", "hist-disc": "6th",
+		},
+		PaperBBDist:     []float64{0, 0},
+		PaperClassified: true,
+	})
+
+	register(&Workload{
+		ID:          "b9",
+		Noise:       noisePack(httpdNoise, 9, 8000),
+		Ticket:      "HTTPD-64066",
+		App:         "Apache httpd",
+		Description: "Slow startup/reload when many vhosts are configured",
+		Pattern:     analysis.PatternScalability,
+		SourceFile:  "server/vhost.vp",
+		// Duplicate-vhost detection compares every pair of vhosts:
+		// quadratic in the configuration size.
+		Source: `
+var n_vhosts;
+
+func strcasecmp_vhost(a, b) {
+	work(14);
+	return a == b;
+}
+
+func read_config_entry(v) {
+	work(40);
+	return v;
+}
+
+func ap_read_config() {
+	for (var v = 0; v < n_vhosts; v++) {
+		read_config_entry(v);
+	}
+	return 0;
+}
+
+func ap_fini_vhost_config() {
+	var dupes = 0;
+	for (var i = 0; i < n_vhosts; i++) {
+		for (var j = 0; j < i; j++) {
+			if (strcasecmp_vhost(i, j)) {
+				dupes++;
+			}
+		}
+	}
+	return dupes;
+}
+
+func ap_run_post_config() {
+	work(800);
+	return 0;
+}
+
+func main() {
+	n_vhosts = input(0);
+	ap_read_config();
+	ap_fini_vhost_config();
+	ap_run_post_config();
+}
+`,
+		NormalInputs: []int64{48},
+		BuggyInputs:  []int64{168},
+		RootFunc:     "ap_fini_vhost_config",
+		FixMarker:    "for (var j = 0; j < i; j++)",
+		Notes:        "Paper: vProf 2nd with bb-dist (21,0); the string comparison callee tops raw profiles.",
+		PaperRanks: map[string]string{
+			"vprof": "2nd", "gprof": "11th", "perf": "28th", "perf-PT": "28th",
+			"COZ": "NR", "stat-debug": "9th", "hist-disc": "11th",
+		},
+		PaperBBDist:     []float64{21, 0},
+		PaperClassified: true,
+	})
+
+	register(&Workload{
+		ID:          "b10",
+		Noise:       noisePack(httpdNoise, 4, 8000),
+		Ticket:      "HTTPD-52914",
+		App:         "Apache httpd",
+		Description: "Workers eat 60-100% CPU even though no client sent requests",
+		Pattern:     analysis.PatternWrongConstraint,
+		SourceFile:  "server/mpm/event/event.vp",
+		// A keep-alive flag wrongly zeroes the poll timeout, so idle
+		// worker listeners spin instead of blocking. Workers are child
+		// processes; the parent runs one brief listener round.
+		Source: `
+var queue_timeout;
+var keepalive_set;
+
+func apr_pollset_poll(timeout, ready) {
+	if (ready > 0) {
+		work(12);
+		return 1;
+	}
+	if (timeout > 0) {
+		work(100);
+		return 1;
+	}
+	work(8);
+	return 0;
+}
+
+func process_connection(c) {
+	work(300);
+	return c;
+}
+
+func listener_thread(n_events) {
+	var handled = 0;
+	var next_event = 600;
+	while (handled < n_events) {
+		var timeout = queue_timeout;
+		if (keepalive_set > 0) {
+			timeout = 0;
+		}
+		var ready = 0;
+		if (now() >= next_event) {
+			ready = 1;
+		}
+		var got = apr_pollset_poll(timeout, ready);
+		if (got > 0) {
+			process_connection(handled);
+			handled++;
+			next_event = now() + 600;
+		}
+	}
+	return handled;
+}
+
+func worker_main(n_events) {
+	listener_thread(n_events);
+	return 0;
+}
+
+func main() {
+	queue_timeout = input(0);
+	keepalive_set = input(1);
+	spawn("worker_main", input(2));
+	spawn("worker_main", input(2));
+	spawn("worker_main", input(2));
+	listener_thread(input(2) / 20);
+}
+`,
+		// input(0)=poll timeout, input(1)=keep-alive flag, input(2)=
+		// events per worker before shutdown. A blocking poll sleeps
+		// off-CPU until its event arrives (a CPU profiler sees only the
+		// syscall overhead); a zero-timeout poll returns immediately,
+		// so between events idle workers spin through dozens of wakeups,
+		// burning the whole inter-event gap as CPU.
+		NormalInputs: []int64{150, 0, 500},
+		BuggyInputs:  []int64{150, 1, 500},
+		RootFunc:     "listener_thread",
+		FixMarker:    "timeout = 0;",
+		Notes:        "Paper: vProf 1st; COZ fails (workers are children).",
+		PaperRanks: map[string]string{
+			"vprof": "1st", "gprof": "4th", "perf": "16th", "perf-PT": "16th",
+			"COZ": "child", "stat-debug": "161st", "hist-disc": "4th",
+		},
+		PaperBBDist:     []float64{0, 0},
+		PaperClassified: true,
+	})
+}

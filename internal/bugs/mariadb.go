@@ -1,0 +1,594 @@
+package bugs
+
+import "vprof/internal/analysis"
+
+// MariaDB workloads: b1–b5 of Table 1 plus the unresolved issues u2
+// (MDEV-16289) and u3 (MDEV-17878) of Table 4.
+
+func init() {
+	register(&Workload{
+		ID:          "b1",
+		Noise:       noisePack(mariadbNoise, 12, 24000),
+		Ticket:      "MDEV-21826",
+		App:         "MariaDB",
+		Description: "Server crash recovery loops on the same log sequence number (LSN) forever",
+		Pattern:     analysis.PatternWrongConstraint,
+		SourceFile:  "storage/innobase/log/log0recv.vp",
+		// recv_sys_init sets recv_n_pool_free_frames to a third of the
+		// buffer pool; recv_group_scan_log_recs multiplies it by the
+		// instance count, driving available_mem to zero, so scanning
+		// never finishes and recovery keeps re-applying the same LSNs.
+		Source: `
+var recv_n_pool_free_frames;
+var srv_page_size = 8;
+var srv_buf_pool_instances = 3;
+var log_end_batch = 40;
+
+extfunc os_file_read(n) {
+	work(n);
+	return n;
+}
+
+func buf_pool_get_n_pages() {
+	return input(0);
+}
+
+func recv_sys_init() {
+	recv_n_pool_free_frames = buf_pool_get_n_pages() / 3;
+}
+
+func log_read_seg(batch) {
+	os_file_read(40);
+	return batch;
+}
+
+func recv_parse_log_recs(available_mem, batch) {
+	work(150);
+	if (available_mem <= 0) {
+		return false;
+	}
+	if (batch >= log_end_batch) {
+		return true;
+	}
+	return false;
+}
+
+func recv_apply_hashed_log_recs() {
+	work(450);
+	return 0;
+}
+
+func recv_scan_log_recs(available_mem, batch) {
+	if (recv_parse_log_recs(available_mem, batch)) {
+		return true;
+	}
+	return false;
+}
+
+func recv_group_scan_log_recs(checkpoint_lsn) {
+	var available_mem = srv_page_size * (buf_pool_get_n_pages() - recv_n_pool_free_frames * srv_buf_pool_instances);
+	var batch = checkpoint_lsn;
+	while (!recv_scan_log_recs(available_mem, batch)) {
+		recv_apply_hashed_log_recs();
+		log_read_seg(batch);
+		batch = batch + 1;
+		if (batch > log_end_batch) {
+			batch = 0;
+		}
+	}
+	return batch;
+}
+
+func trx_lists_init_at_db_start() {
+	work(800);
+	return 0;
+}
+
+func buf_flush_sync() {
+	work(600);
+	return 0;
+}
+
+func main() {
+	recv_sys_init();
+	recv_group_scan_log_recs(0);
+	trx_lists_init_at_db_start();
+	buf_flush_sync();
+}
+`,
+		// input(0): buffer pool pages. 40 leaves one page of headroom
+		// (available_mem > 0); 90 is divisible by 3, so available_mem
+		// collapses to zero.
+		NormalInputs: []int64{40},
+		BuggyInputs:  []int64{90},
+		RootFunc:     "recv_group_scan_log_recs",
+		FixMarker:    "srv_buf_pool_instances);",
+		Notes: "Paper: gprof ranks recv_apply_hashed_log_recs first and the root cause 454th; " +
+			"vProf promotes the root cause to 1st via available_mem/recv_n_pool_free_frames.",
+		PaperRanks: map[string]string{
+			"vprof": "1st", "gprof": "454th", "perf": "32nd", "perf-PT": "32nd",
+			"COZ": "NR", "stat-debug": "4th", "hist-disc": "447th",
+		},
+		PaperBBDist:     []float64{5, 0},
+		PaperClassified: true,
+	})
+
+	register(&Workload{
+		ID:          "b2",
+		Noise:       noisePack(mariadbNoise, 4, 8000),
+		Ticket:      "MDEV-23399",
+		App:         "MariaDB",
+		Description: "Performance drops when the size of data set is larger than the size of buffer pool",
+		Pattern:     analysis.PatternScalability,
+		SourceFile:  "storage/innobase/buf/buf0lru.vp",
+		// Figure 5: when the buffer pool is full, buf_LRU_get_free_block
+		// triggers a linear scan of the whole LRU list under
+		// buf_pool.mutex.
+		Source: `
+var lru_len;
+var free_len;
+var miss_permille;
+
+func fil_io() {
+	work(280);
+	return 0;
+}
+
+func page_process(r) {
+	work(45);
+	return r;
+}
+
+func buf_flush_ready(b) {
+	work(3);
+	return b % 149 == 148;
+}
+
+func buf_LRU_get_free_only() {
+	work(4);
+	if (free_len > 0) {
+		free_len = free_len - 1;
+		return 1;
+	}
+	return 0;
+}
+
+func buf_LRU_scan_chunk(start, len) {
+	var hits = 0;
+	for (var c = 0; c < len; c++) {
+		if (buf_flush_ready(start + c)) {
+			hits++;
+			free_len = free_len + 1;
+		}
+	}
+	return hits;
+}
+
+func buf_LRU_scan_and_free_block(scan_all) {
+	var scanned = 0;
+	var limit = 100;
+	if (scan_all > 0) {
+		limit = lru_len;
+	}
+	var freed = 0;
+	while (scanned < limit && freed < 8) {
+		freed = freed + buf_LRU_scan_chunk(scanned, 100);
+		scanned = scanned + 100;
+	}
+	return freed;
+}
+
+func buf_LRU_get_free_block() {
+	var n_iterations = 0;
+	var block = 0;
+	while (block == 0) {
+		block = buf_LRU_get_free_only();
+		if (block == 0) {
+			buf_LRU_scan_and_free_block(n_iterations);
+			n_iterations++;
+		}
+	}
+	return block;
+}
+
+func buf_page_get(k) {
+	work(10);
+	if (rand(1000) < miss_permille) {
+		fil_io();
+		buf_LRU_get_free_block();
+	}
+	return k;
+}
+
+func srv_tpcc_worker(reads) {
+	for (var i = 0; i < reads; i++) {
+		buf_page_get(i);
+		page_process(i);
+	}
+	return 0;
+}
+
+func main() {
+	lru_len = input(0);
+	free_len = input(1);
+	miss_permille = input(2);
+	srv_tpcc_worker(input(3));
+}
+`,
+		// Normal: data fits — the free list absorbs the few misses and
+		// the LRU scan never runs. Buggy: the data set exceeds the pool;
+		// every miss falls through the 100-block fast path and scans the
+		// full LRU list (buf_flush_ready frees a block only deep into
+		// it).
+		NormalInputs: []int64{1200, 60, 60, 400},
+		BuggyInputs:  []int64{1200, 0, 350, 400},
+		RootFunc:     "buf_LRU_scan_and_free_block",
+		FixMarker:    "limit = lru_len;",
+		Notes: "Paper: throughput decays as every free-block request scans ~1.6M LRU entries while " +
+			"holding buf_pool.mutex; the scanned induction variable reaches 134468.",
+		PaperRanks: map[string]string{
+			"vprof": "1st", "gprof": "5th", "perf": "2nd", "perf-PT": "2nd",
+			"COZ": "NR", "stat-debug": "12th", "hist-disc": "1st",
+		},
+		PaperBBDist:     []float64{7, 0},
+		PaperClassified: true,
+	})
+
+	register(&Workload{
+		ID:          "b3",
+		Ticket:      "MDEV-13498",
+		App:         "MariaDB",
+		Description: "Deleting a table with CASCADE constraint is very slow",
+		Pattern:     analysis.PatternMissingConstraint,
+		SourceFile:  "storage/innobase/row/row0upd.vp",
+		// Every deleted row re-checks all foreign keys by scanning the
+		// child table from the start, never skipping rows already
+		// deleted: each check gets slower as the delete progresses.
+		Source: `
+var n_rows;
+
+func btr_cur_search(pos) {
+	work(9);
+	return pos;
+}
+
+func row_purge_record(r) {
+	work(20);
+	return r;
+}
+
+func fk_scan_child(row) {
+	var pos = 0;
+	while (pos < row * 3) {
+		btr_cur_search(pos);
+		pos++;
+	}
+	return 0;
+}
+
+func row_upd_check_references(row) {
+	for (var fk = 0; fk < 3; fk++) {
+		fk_scan_child(row);
+	}
+	return 0;
+}
+
+func row_delete_row(row) {
+	row_purge_record(row);
+	row_upd_check_references(row);
+	return 0;
+}
+
+func row_drop_table_for_mysql() {
+	for (var row = 0; row < n_rows; row++) {
+		row_delete_row(row);
+	}
+	return 0;
+}
+
+func main() {
+	n_rows = input(0);
+	row_drop_table_for_mysql();
+}
+`,
+		NormalInputs: []int64{12},
+		BuggyInputs:  []int64{100},
+		RootFunc:     "row_upd_check_references",
+		FixMarker:    "for (var fk = 0; fk < 3; fk++)",
+		Notes: "Paper: vProf ranked the root cause 1st but reported no basic block (DWARF could not " +
+			"map the anomalous sample's PC); COZ also found it (1st).",
+		PaperRanks: map[string]string{
+			"vprof": "1st", "gprof": "2nd", "perf": "3rd", "perf-PT": "6th",
+			"COZ": "1st", "stat-debug": "30th", "hist-disc": "177th",
+		},
+		PaperBBDist:     nil, // n/a in the paper
+		PaperClassified: true,
+	})
+
+	register(&Workload{
+		ID:          "b4",
+		Noise:       noisePack(mariadbNoise, 10, 18000),
+		Ticket:      "MDEV-15333",
+		App:         "MariaDB",
+		Description: "Slow start-up even when .ibd file validation is off",
+		Pattern:     analysis.PatternWrongConstraint,
+		SourceFile:  "storage/innobase/dict/dict0load.vp",
+		// The validation gate wrongly also fires when force-recovery
+		// state is set, so startup validates every tablespace although
+		// the user disabled validation.
+		Source: `
+var srv_file_check = 0;
+var srv_force_recovery;
+var n_tables;
+
+func fil_ibd_open(t) {
+	work(380);
+	return t;
+}
+
+func dict_load_table(t) {
+	work(25);
+	return t;
+}
+
+func validate_all_tablespaces() {
+	for (var v = 0; v < n_tables; v++) {
+		fil_ibd_open(v);
+	}
+	return 0;
+}
+
+func dict_check_tablespaces() {
+	var validate = srv_file_check == 1 || srv_force_recovery > 0;
+	for (var t = 0; t < n_tables; t++) {
+		dict_load_table(t);
+	}
+	if (validate) {
+		validate_all_tablespaces();
+	}
+	return 0;
+}
+
+func srv_start() {
+	work(700);
+	dict_check_tablespaces();
+	work(500);
+	return 0;
+}
+
+func main() {
+	srv_force_recovery = input(1);
+	n_tables = input(0);
+	srv_start();
+}
+`,
+		// Same table count; only the recovery flag differs, so the wrong
+		// constraint is the sole source of extra cost.
+		NormalInputs: []int64{900, 0},
+		BuggyInputs:  []int64{900, 1},
+		RootFunc:     "dict_check_tablespaces",
+		FixMarker:    "if (validate)",
+		Notes:        "Paper: vProf 3rd with bb-dist (9,0) and correct Wrong Constraint classification.",
+		PaperRanks: map[string]string{
+			"vprof": "3rd", "gprof": "21st", "perf": "9th", "perf-PT": "5th",
+			"COZ": "NR", "stat-debug": "18th", "hist-disc": "31st",
+		},
+		PaperBBDist:     []float64{9, 0},
+		PaperClassified: true,
+	})
+
+	register(&Workload{
+		ID:          "b5",
+		Noise:       noisePack(mariadbNoise, 8, 10000),
+		Ticket:      "MDEV-17933",
+		App:         "MariaDB",
+		Description: "Checking the server status takes >10 seconds with 3M tables",
+		Pattern:     analysis.PatternScalability,
+		SourceFile:  "sql/sql_show.vp",
+		// SHOW STATUS walks every open table; ut_delay (mutex backoff)
+		// is inherently costly in both runs and distracts cost-only
+		// profilers.
+		Source: `
+var n_open_tables;
+
+func ut_delay(n) {
+	work(n);
+	return n;
+}
+
+func collect_table_stats(t) {
+	work(8);
+	return t;
+}
+
+func sum_status_chunk(start, len) {
+	for (var c = 0; c < len; c++) {
+		collect_table_stats(start + c);
+	}
+	return len;
+}
+
+func calc_sum_of_all_status() {
+	var idx = 0;
+	while (idx < n_open_tables) {
+		sum_status_chunk(idx, 64);
+		ut_delay(300);
+		idx = idx + 64;
+	}
+	return idx;
+}
+
+func handle_show_status() {
+	work(400);
+	calc_sum_of_all_status();
+	work(200);
+	return 0;
+}
+
+func main() {
+	n_open_tables = input(0);
+	handle_show_status();
+}
+`,
+		NormalInputs: []int64{600},
+		BuggyInputs:  []int64{18000},
+		RootFunc:     "calc_sum_of_all_status",
+		FixMarker:    "while (idx < n_open_tables)",
+		Notes: "Paper: vProf ranks ut_delay first but with a high discount ratio (inherently costly " +
+			"in both runs); the root cause is 4th with bb-dist (0,0).",
+		PaperRanks: map[string]string{
+			"vprof": "4th", "gprof": "13th", "perf": "4th", "perf-PT": "9th",
+			"COZ": "NR", "stat-debug": "566th", "hist-disc": "22nd",
+		},
+		PaperBBDist:     []float64{0, 0},
+		PaperClassified: true,
+	})
+
+	register(&Workload{
+		ID:          "u2",
+		Ticket:      "MDEV-16289",
+		App:         "MariaDB",
+		Description: "Query runs unexpectedly slow for some timezone settings (unresolved > 4 years)",
+		Pattern:     analysis.PatternNC, // turned out not to be a bug
+		Unresolved:  true,
+		SourceFile:  "storage/innobase/row/row0sel.vp",
+		// Different timezone settings shift the timestamp window, so the
+		// "slow" query simply matches many more records: the temporary
+		// clust_index/result_rec storage is only populated then.
+		Source: `
+func btr_search_row(r) {
+	work(35);
+	return r;
+}
+
+func stash_record(ci, rr) {
+	work(90);
+	return 0;
+}
+
+func row_search_mvcc(lo, hi) {
+	var fetched = 0;
+	for (var r = 0; r < 1200; r++) {
+		btr_search_row(r);
+		if (r >= lo && r < hi) {
+			var clust_index = alloc();
+			var result_rec = alloc();
+			stash_record(clust_index, result_rec);
+			fetched++;
+		}
+	}
+	return fetched;
+}
+
+func exec_select() {
+	work(300);
+	row_search_mvcc(input(0), input(1));
+	return 0;
+}
+
+func main() {
+	exec_select();
+}
+`,
+		// Normal: the fast timezone window matches nothing; buggy: the
+		// shifted window matches 700 records.
+		NormalInputs: []int64{0, 0},
+		BuggyInputs:  []int64{0, 700},
+		RootFunc:     "row_search_mvcc",
+		FixMarker:    "var clust_index = alloc();",
+		Notes: "Paper: row_search_mvcc ranked 1st with a zero discount because clust_index/result_rec " +
+			"have >30 samples in the slow query and none in the fast one; the diagnosis showed the " +
+			"two timezones issue different queries — correct behavior, not a bug (5 person-hours).",
+	})
+
+	register(&Workload{
+		ID:          "u3",
+		Ticket:      "MDEV-17878",
+		App:         "MariaDB",
+		Description: "Query plan search for a many-join SELECT takes forever at 100% CPU (unresolved > 4 years)",
+		Pattern:     analysis.PatternWrongConstraint,
+		Unresolved:  true,
+		SourceFile:  "sql/opt_subselect.vp",
+		// The buggy version defaults optimizer_use_condition_selectivity
+		// to 1, disabling the cost-based prune, so the join-order search
+		// explores the full factorial space.
+		Source: `
+var optimizer_use_condition_selectivity = 1;
+
+func best_access_path(j) {
+	work(120);
+	return j;
+}
+
+func best_extension_by_limited_search(n_joins, depth, best_cost) {
+	var explored = 0;
+	for (var j = 0; j < n_joins; j++) {
+		best_access_path(j);
+		explored++;
+		var cost = depth * 100 + j * 10;
+		if (optimizer_use_condition_selectivity >= 2 && cost > best_cost) {
+			return explored;
+		}
+		if (depth < 4) {
+			best_extension_by_limited_search(n_joins, depth + 1, best_cost);
+		}
+	}
+	return explored;
+}
+
+func make_join_plan() {
+	best_extension_by_limited_search(input(0), 0, 150);
+	return 0;
+}
+
+func main() {
+	make_join_plan();
+}
+`,
+		// The normal baseline is a different server version whose
+		// default enables the prune (the paper's third attempt at a
+		// normal run: same dataset, different version).
+		NormalSource: `
+var optimizer_use_condition_selectivity = 4;
+
+func best_access_path(j) {
+	work(120);
+	return j;
+}
+
+func best_extension_by_limited_search(n_joins, depth, best_cost) {
+	var explored = 0;
+	for (var j = 0; j < n_joins; j++) {
+		best_access_path(j);
+		explored++;
+		var cost = depth * 100 + j * 10;
+		if (optimizer_use_condition_selectivity >= 2 && cost > best_cost) {
+			return explored;
+		}
+		if (depth < 4) {
+			best_extension_by_limited_search(n_joins, depth + 1, best_cost);
+		}
+	}
+	return explored;
+}
+
+func make_join_plan() {
+	best_extension_by_limited_search(input(0), 0, 150);
+	return 0;
+}
+
+func main() {
+	make_join_plan();
+}
+`,
+		NormalInputs: []int64{6},
+		BuggyInputs:  []int64{6},
+		RootFunc:     "best_extension_by_limited_search",
+		FixMarker:    "optimizer_use_condition_selectivity >= 2",
+		Notes: "Paper: with a different-version normal run, the root cause ranks 1st and the anomalous " +
+			"conditional variable is optimizer_use_condition_selectivity, whose default differs across " +
+			"versions (12 person-hours; the paper narrates the label as Missing Constraint, though its " +
+			"own rule 3 maps an anomalous conditional variable to Wrong Constraint, which is what this " +
+			"implementation reports).",
+	})
+}

@@ -1,0 +1,165 @@
+package bugs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// NoisePack models the surrounding application: a set of subsystem functions
+// that run identically in normal and buggy executions. Real servers have
+// hundreds of such functions; they are what buries a cheap root-cause
+// function deep in a raw cost profile (gprof ranked the MDEV-21826 root
+// cause 454th). Each noise function costs roughly the same in both runs (so
+// vProf's discounters demote it) and contains a seeded-random branch (so
+// statistical debugging sees a sea of mildly varying predicates, its
+// real-world failure mode).
+type NoisePack struct {
+	// Names are the generated function names (realistic for the app).
+	Names []string
+	// Work is the per-call tick cost of each noise function.
+	Work int64
+	// Rounds is how many times the background driver calls each function.
+	Rounds int
+	// ChildEntries, when non-empty, injects the background driver into
+	// these entry functions (spawned children) instead of interposing
+	// main.
+	ChildEntries []string
+}
+
+// TotalTicks estimates the pack's per-run cost (for budget sizing).
+func (n *NoisePack) TotalTicks() int64 {
+	if n == nil {
+		return 0
+	}
+	return int64(len(n.Names)) * int64(n.Rounds) * (n.Work + 20)
+}
+
+// driverName is the generated background driver function.
+const driverName = "run_background_tasks"
+
+// injectNoise appends the pack's functions to src and interposes main: the
+// workload's main is renamed app_main and a generated main runs the
+// background driver first. All edits preserve existing line numbers
+// (FixMarker ground truth) — the rename happens in place and everything new
+// is appended at the end. The generated main deliberately references no
+// globals, so the noise phase produces no samples for app variables.
+func injectNoise(src string, n *NoisePack) (string, error) {
+	if n == nil {
+		return src, nil
+	}
+	const marker = "func main() {"
+	if !strings.Contains(src, marker) {
+		return "", fmt.Errorf("noise injection: no %q in source", marker)
+	}
+	var b strings.Builder
+	if len(n.ChildEntries) == 0 {
+		// Interpose main: the generated main runs the background work
+		// and then the application. It references no globals, so the
+		// noise phase produces no samples for app variables.
+		src = strings.Replace(src, marker, "func app_main() {", 1)
+		b.WriteString(src)
+		b.WriteString("\nfunc main() { " + driverName + "(); app_main(); }\n")
+	} else {
+		// Inject the driver into the named (child-process) entry
+		// functions instead: background work belongs to the children.
+		for _, entry := range n.ChildEntries {
+			em := "func " + entry + "("
+			idx := strings.Index(src, em)
+			if idx < 0 {
+				return "", fmt.Errorf("noise injection: no entry %q", entry)
+			}
+			brace := strings.Index(src[idx:], "{")
+			if brace < 0 {
+				return "", fmt.Errorf("noise injection: malformed entry %q", entry)
+			}
+			at := idx + brace + 1
+			src = src[:at] + " " + driverName + "();" + src[at:]
+		}
+		b.WriteString(src)
+		b.WriteString("\n")
+	}
+	for i, name := range n.Names {
+		// Split the cost across a per-run random "mode" plus a seeded
+		// random branch: the function's total cost is stable, but its
+		// branch predicates fluctuate run to run — real background
+		// predicates are noisy, which is what limits statistical
+		// debugging.
+		hi := n.Work/2 + int64(i%7)
+		lo := n.Work - hi
+		fmt.Fprintf(&b, `
+var %s_mode = rand(3);
+
+func %s(task) {
+	if (rand(100) < %d + %s_mode * 25) {
+		work(%d);
+		return task + 1;
+	}
+	work(%d);
+	return task;
+}
+`, name, name, 15+(i*13)%30, name, hi+lo/4, lo+hi/4)
+	}
+	// The driver's round count jitters up to ~12%% per run, modeling
+	// varying background load (this is what makes control-flow profiling
+	// noisy).
+	fmt.Fprintf(&b, "\nfunc %s() {\n\tvar done = 0;\n\tvar rounds = %d + rand(%d);\n\tfor (var bg = 0; bg < rounds; bg++) {\n",
+		driverName, n.Rounds, n.Rounds/8+1)
+	for _, name := range n.Names {
+		fmt.Fprintf(&b, "\t\tdone = %s(done);\n", name)
+	}
+	fmt.Fprintf(&b, "\t}\n\treturn done;\n}\n")
+	return b.String(), nil
+}
+
+// Noise banks with realistic per-application function names.
+var (
+	mariadbNoise = []string{
+		"srv_monitor_task", "log_checkpoint_margin", "buf_flush_page_cleaner",
+		"lock_sys_timeout_check", "trx_purge_worker", "os_aio_handler",
+		"fts_optimize_thread", "dict_stats_update", "row_ins_index_entry",
+		"btr_defragment_chunk", "page_zip_compress", "ibuf_merge_pages",
+	}
+	httpdNoise = []string{
+		"ap_read_request", "ap_run_log_transaction", "ap_core_translate",
+		"ap_proxy_pre_request", "ap_escape_html", "apr_pool_cleanup_run",
+		"ap_process_async_conn", "ap_run_access_checker", "ap_set_keepalive",
+		"mod_ssl_handshake_step", "ap_scoreboard_update", "ap_queue_info_push",
+	}
+	redisNoise = []string{
+		"dictRehashStep", "activeExpireCycle", "clusterCron",
+		"replicationCron", "aofRewriteBufferAppend", "rdbSaveInfoUpdate",
+		"evictPoolPopulate", "updateCachedTime", "trackingInvalidateKey",
+		"moduleTimerHandler", "checkClientTimeouts", "freeClientsInAsyncQueue",
+	}
+	postgresNoise = []string{
+		"pgstat_report_activity", "WalWriterNap", "CheckpointerMainLoop",
+		"AutoVacLauncherTick", "ExecScanFetch", "heap_getnext_block",
+		"index_beginscan_internal", "LWLockAcquireWait", "ProcessCatchupEvent",
+		"smgr_flush_pending", "tuplestore_advance", "RelationCacheLookup",
+	}
+)
+
+// noisePack builds a pack from a bank, sized so that each noise function's
+// total cost lands near perFuncTicks in every run.
+func noisePack(bank []string, count int, perFuncTicks int64) *NoisePack {
+	if count > len(bank) {
+		count = len(bank)
+	}
+	const work = 60
+	// Per call: the branch executes ~5/8 of Work plus ~13 ticks of call
+	// and branch overhead.
+	perCall := work*5/8 + 13
+	rounds := int(perFuncTicks / int64(perCall))
+	if rounds < 1 {
+		rounds = 1
+	}
+	return &NoisePack{Names: bank[:count], Work: work, Rounds: rounds}
+}
+
+// childNoise builds a pack whose driver runs inside the named child-process
+// entry functions rather than main.
+func childNoise(bank []string, count int, perFuncTicks int64, entries ...string) *NoisePack {
+	n := noisePack(bank, count, perFuncTicks)
+	n.ChildEntries = entries
+	return n
+}

@@ -1,0 +1,165 @@
+package bugs
+
+import "vprof/internal/analysis"
+
+// PostgreSQL workloads: b14 and b15 of Table 1. Both run the problematic
+// code in a backend/worker child process forked from the postmaster, which
+// is what defeats COZ (and, for b14, gprof) in the paper.
+
+func init() {
+	register(&Workload{
+		ID:          "b14",
+		Noise:       childNoise(postgresNoise, 6, 6000, "backend_main"),
+		Ticket:      "Postgres-17330",
+		App:         "PostgreSQL",
+		Description: "EXPLAIN query hangs for some query plans",
+		Pattern:     analysis.PatternScalability,
+		SourceFile:  "src/backend/utils/adt/ruleutils.vp",
+		// Deparsing parameters re-walks every ancestor subplan for each
+		// parameter without memoization: quadratic in plan depth and
+		// linear in parameters, which explodes for deep plans.
+		Source: `
+var plan_depth;
+
+func expression_tree_walker(n) {
+	work(55);
+	return n;
+}
+
+func find_param_referent(depth) {
+	var visits = 0;
+	var level = depth;
+	while (level > 0) {
+		for (var s = 0; s < plan_depth; s++) {
+			expression_tree_walker(s);
+			visits++;
+		}
+		level--;
+	}
+	return visits;
+}
+
+func get_parameter(depth) {
+	return find_param_referent(depth);
+}
+
+func deparse_expression(nparams) {
+	for (var p = 0; p < nparams; p++) {
+		get_parameter(plan_depth);
+	}
+	return 0;
+}
+
+func explain_query(nparams) {
+	work(250);
+	deparse_expression(nparams);
+	work(150);
+	return 0;
+}
+
+func backend_main(nparams) {
+	explain_query(nparams);
+	return 0;
+}
+
+func postmaster_accept() {
+	work(120);
+	return 0;
+}
+
+func main() {
+	plan_depth = input(0);
+	postmaster_accept();
+	spawn("backend_main", input(1));
+}
+`,
+		// input(0)=plan nesting depth, input(1)=parameters to deparse.
+		NormalInputs: []int64{4, 4},
+		BuggyInputs:  []int64{16, 12},
+		RootFunc:     "find_param_referent",
+		FixMarker:    "for (var s = 0; s < plan_depth; s++)",
+		Notes: "Paper: gprof does not rank the root cause at all (backend child process); vProf 4th " +
+			"with bb-dist (17,0); COZ fails on the child process.",
+		PaperRanks: map[string]string{
+			"vprof": "4th", "gprof": "NR", "perf": "163rd", "perf-PT": "163rd",
+			"COZ": "child", "stat-debug": "13th", "hist-disc": "NR",
+		},
+		PaperBBDist:     []float64{17, 0},
+		PaperClassified: true,
+	})
+
+	register(&Workload{
+		ID:          "b15",
+		Noise:       noisePack(postgresNoise, 6, 6000),
+		Ticket:      "Postgres-14b1",
+		App:         "PostgreSQL",
+		Description: "vacuum process fails to prune all heap pages and endlessly retries",
+		Pattern:     analysis.PatternWrongConstraint,
+		SourceFile:  "src/backend/access/heap/vacuumlazy.vp",
+		// lazy_scan_prune retries whenever the prune horizon check
+		// fails; with a stale horizon (vacuum_horizon_stale) the
+		// aggressive autovacuum worker retries the same page forever.
+		// The deciding state lives behind the vacrel pointer, so vProf
+		// has no basic-type variable to classify with (the paper's NC).
+		Source: `
+var vacuum_horizon_stale;
+
+func heap_page_prune(vacrel, aggressive) {
+	work(380);
+	if (vacuum_horizon_stale > 0 && aggressive > 0) {
+		return 0;
+	}
+	return 1;
+}
+
+func lazy_scan_prune(vacrel, aggressive) {
+	while (!heap_page_prune(vacrel, aggressive)) {
+		work(25);
+	}
+	return 0;
+}
+
+func lazy_scan_heap(npages, aggressive) {
+	var vacrel = alloc();
+	for (var pg = 0; pg < npages; pg++) {
+		lazy_scan_prune(vacrel, aggressive);
+	}
+	return 0;
+}
+
+func autovacuum_worker(npages) {
+	lazy_scan_heap(npages, 1);
+	return 0;
+}
+
+func postmaster_tick() {
+	work(150);
+	return 0;
+}
+
+func main() {
+	vacuum_horizon_stale = input(1);
+	postmaster_tick();
+	lazy_scan_heap(input(0) / 16, 0);
+	spawn("autovacuum_worker", input(0));
+}
+`,
+		// input(0)=heap pages, input(1)=1 when the prune horizon is
+		// stale (the bug trigger). The parent runs a small
+		// non-aggressive pass (visible to gprof); the aggressive worker
+		// child loops forever on its first page.
+		NormalInputs: []int64{64, 0},
+		BuggyInputs:  []int64{64, 1},
+		RootFunc:     "lazy_scan_prune",
+		FixMarker:    "while (!heap_page_prune(vacrel, aggressive))",
+		Notes: "Paper: vProf 3rd; classification NC because the deciding variable is stored inside a " +
+			"class pointer; COZ fails on the worker child.",
+		PaperRanks: map[string]string{
+			"vprof": "3rd", "gprof": "14th", "perf": "56th", "perf-PT": "56th",
+			"COZ": "child", "stat-debug": "18th", "hist-disc": "8th",
+		},
+		PaperBBDist: []float64{2, 0},
+		// The paper could not classify this issue (NC).
+		PaperClassified: false,
+	})
+}

@@ -1,0 +1,386 @@
+package bugs
+
+import "vprof/internal/analysis"
+
+// Redis workloads: b11–b13 of Table 1 and the unresolved u1 (Redis-10981)
+// of Table 4.
+
+func init() {
+	register(&Workload{
+		ID:          "b11",
+		Ticket:      "Redis-8145",
+		App:         "Redis",
+		Description: "cluster nodes command is costly in a large cluster",
+		Pattern:     analysis.PatternScalability,
+		SourceFile:  "src/cluster.vp",
+		// Generating the CLUSTER NODES reply re-concatenates the whole
+		// description for every node: the copy cost grows with the
+		// accumulated length, making the command quadratic.
+		Source: `
+var n_nodes;
+
+func addReply(n) {
+	work(200);
+	return n;
+}
+
+func clusterGenNodesDescription() {
+	var written = 0;
+	for (var i = 0; i < n_nodes; i++) {
+		work(30);
+		written = written + 120;
+		work(written / 64);
+	}
+	return written;
+}
+
+func clusterCommand(r) {
+	work(40);
+	clusterGenNodesDescription();
+	addReply(r);
+	return 0;
+}
+
+func main() {
+	n_nodes = input(0);
+	for (var r = 0; r < input(1); r++) {
+		clusterCommand(r);
+	}
+}
+`,
+		// input(0)=cluster nodes, input(1)=CLUSTER NODES requests.
+		NormalInputs: []int64{40, 12},
+		BuggyInputs:  []int64{400, 12},
+		RootFunc:     "clusterGenNodesDescription",
+		FixMarker:    "work(written / 64);",
+		Notes:        "Paper: both vProf and gprof rank the root cause 1st (it is genuinely costly); COZ 2nd.",
+		PaperRanks: map[string]string{
+			"vprof": "1st", "gprof": "1st", "perf": "10th", "perf-PT": "10th",
+			"COZ": "2nd", "stat-debug": "NR", "hist-disc": "59th",
+		},
+		PaperBBDist:     []float64{0, 0},
+		PaperClassified: true,
+	})
+
+	register(&Workload{
+		ID:          "b12",
+		Noise:       noisePack(redisNoise, 4, 8000),
+		Ticket:      "Redis-8668",
+		App:         "Redis",
+		Description: "BRPOP becomes slow when a large number of clients exist",
+		Pattern:     analysis.PatternMissingConstraint,
+		SourceFile:  "src/blocked.vp",
+		// Every pushed key walks and rotates the whole blocked-clients
+		// list, even for clients that cannot be served; the zmalloc
+		// family is inherently costly and distracts raw profilers. In
+		// the buggy run a large client population stays blocked, so
+		// numclients holds one value abnormally long (Figure 6b).
+		Source: `
+var numclients = input(0);
+
+func zmalloc(n) {
+	work(26);
+	return n;
+}
+
+func zfree(n) {
+	work(30);
+	return n;
+}
+
+func dictEncObjKeyCompare(k) {
+	work(30);
+	return k;
+}
+
+func listRotateHeadToTail() {
+	work(25);
+	return 0;
+}
+
+func serveClientsBlockedOnKey(key, can_serve) {
+	var served = 0;
+	var i = 0;
+	while (i < numclients) {
+		listRotateHeadToTail();
+		dictEncObjKeyCompare(key);
+		zmalloc(64);
+		if (i % 9 == 3 && can_serve > 0) {
+			served++;
+			numclients = numclients - 1;
+		}
+		zfree(64);
+		i++;
+	}
+	return served;
+}
+
+func processPushCommand(r, can_serve) {
+	zmalloc(32);
+	work(40);
+	serveClientsBlockedOnKey(r, can_serve);
+	zfree(32);
+	return 0;
+}
+
+func main() {
+	for (var r = 0; r < input(1); r++) {
+		processPushCommand(r, input(2));
+		numclients = numclients + input(3);
+	}
+}
+`,
+		// input(0)=initial blocked clients, input(1)=push commands,
+		// input(2)=1 when pushed keys actually serve (and unblock)
+		// waiting clients, 0 when the large population is blocked on
+		// *other* keys yet still rotated through (the missing
+		// constraint), input(3)=new clients arriving per command.
+		NormalInputs: []int64{90, 20, 1, 8},
+		BuggyInputs:  []int64{170, 20, 0, 2},
+		RootFunc:     "serveClientsBlockedOnKey",
+		FixMarker:    "listRotateHeadToTail();",
+		Notes: "Paper: zmalloc* and dictEncObjKeyCompare top gprof; vProf gives them hist-discounts " +
+			"(1.0 and 0.76) and a zero discount to the root cause via numclients' processing-cost " +
+			"dimension (value dim alone gave 0.12).",
+		PaperRanks: map[string]string{
+			"vprof": "1st", "gprof": "5th", "perf": "19th", "perf-PT": "19th",
+			"COZ": "1st", "stat-debug": "8th", "hist-disc": "2nd",
+		},
+		PaperBBDist:     []float64{7, 5},
+		PaperClassified: true,
+	})
+
+	register(&Workload{
+		ID:          "b13",
+		Noise:       noisePack(redisNoise, 9, 4000),
+		Ticket:      "Redis-10310",
+		App:         "Redis",
+		Description: "ZREVRANGE command 50% slower after upgrade",
+		Pattern:     analysis.PatternMissingConstraint,
+		SourceFile:  "src/t_zset.vp",
+		// The 7.0.3 refactoring always materializes a range-spec copy
+		// per command; 6.2.7 (the normal baseline) replies directly.
+		// The anomalous variable vProf finds is the spec pointer —
+		// args-tagged only, so the pattern cannot be classified (the
+		// paper's NC case).
+		Source: `
+var zset_len;
+
+func lookupKeyRead(k) {
+	work(60);
+	return k;
+}
+
+func addReplyArray(n) {
+	work(150);
+	return n;
+}
+
+func ziplist_iterate(n) {
+	work(n * 12);
+	return n;
+}
+
+func copy_range_spec(spec) {
+	work(700);
+	return spec;
+}
+
+func genericZrangebyrankCommand(spec, count) {
+	ziplist_iterate(count);
+	copy_range_spec(spec);
+	addReplyArray(count);
+	return count;
+}
+
+func zrevrangeCommand(r) {
+	var spec = alloc();
+	lookupKeyRead(r);
+	genericZrangebyrankCommand(spec, zset_len);
+	return 0;
+}
+
+func main() {
+	zset_len = input(0);
+	for (var r = 0; r < input(1); r++) {
+		zrevrangeCommand(r);
+	}
+}
+`,
+		NormalSource: `
+var zset_len;
+
+func lookupKeyRead(k) {
+	work(60);
+	return k;
+}
+
+func addReplyArray(n) {
+	work(150);
+	return n;
+}
+
+func ziplist_iterate(n) {
+	work(n * 12);
+	return n;
+}
+
+func genericZrangebyrankCommand(spec, count) {
+	ziplist_iterate(count);
+	addReplyArray(count);
+	return count;
+}
+
+func zrevrangeCommand(r) {
+	var spec = alloc();
+	lookupKeyRead(r);
+	genericZrangebyrankCommand(spec, zset_len);
+	return 0;
+}
+
+func main() {
+	zset_len = input(0);
+	for (var r = 0; r < input(1); r++) {
+		zrevrangeCommand(r);
+	}
+}
+`,
+		// Same workload on both versions: input(0)=zset length,
+		// input(1)=commands.
+		NormalInputs: []int64{40, 60},
+		BuggyInputs:  []int64{40, 60},
+		RootFunc:     "genericZrangebyrankCommand",
+		FixMarker:    "copy_range_spec(spec);",
+		Notes: "Paper: vProf 2nd; classification NC because the identified variable invokes a function " +
+			"pointer and carries no loop/cond labels.",
+		PaperRanks: map[string]string{
+			"vprof": "2nd", "gprof": "16th", "perf": "13th", "perf-PT": "13th",
+			"COZ": "9th", "stat-debug": "NR", "hist-disc": "33rd",
+		},
+		PaperBBDist: []float64{0, 0},
+		// The paper could not classify this issue (NC).
+		PaperClassified: false,
+	})
+
+	register(&Workload{
+		ID:          "u1",
+		Ticket:      "Redis-10981",
+		App:         "Redis",
+		Description: "lrange command takes longer to finish after upgrade from 6.2.7 to 7.0.3 (unresolved > 6 months)",
+		Pattern:     analysis.PatternWrongConstraint,
+		Unresolved:  true,
+		SourceFile:  "src/networking.vp",
+		// 7.0.3: expireIfNeeded moved inside lookupKey (refactoring — a
+		// false positive) and clientHasPendingReplies gained an
+		// io-threads condition that slows the reply hot path — the real
+		// regression the paper confirmed by reverting the condition.
+		Source: `
+var io_threads_active = 1;
+
+func expireIfNeeded(k) {
+	work(90);
+	return k;
+}
+
+func lookupKey(key) {
+	work(50);
+	expireIfNeeded(key);
+	return key;
+}
+
+func clientHasPendingReplies(client) {
+	if (io_threads_active > 0 && client % 2 == 0) {
+		work(140);
+		return 1;
+	}
+	work(8);
+	return 0;
+}
+
+func _addReplyToBufferOrList(c, n) {
+	work(35);
+	if (clientHasPendingReplies(c)) {
+		work(25);
+	}
+	return n;
+}
+
+func addReply(c, n) {
+	_addReplyToBufferOrList(c, n);
+	return n;
+}
+
+func lrangeCommand(c) {
+	lookupKey(c);
+	for (var e = 0; e < 30; e++) {
+		addReply(c, e);
+	}
+	return 0;
+}
+
+func main() {
+	for (var r = 0; r < input(0); r++) {
+		lrangeCommand(r);
+	}
+}
+`,
+		NormalSource: `
+var io_threads_active = 1;
+
+func expireIfNeeded(k) {
+	work(90);
+	return k;
+}
+
+func lookupKey(key) {
+	work(50);
+	return key;
+}
+
+func clientHasPendingReplies(client) {
+	work(8);
+	return 0;
+}
+
+func _addReplyToBuffer(c, n) {
+	work(35);
+	if (clientHasPendingReplies(c)) {
+		work(25);
+	}
+	return n;
+}
+
+func addReply(c, n) {
+	_addReplyToBuffer(c, n);
+	return n;
+}
+
+func lrangeCommand(c) {
+	expireIfNeeded(c);
+	lookupKey(c);
+	for (var e = 0; e < 30; e++) {
+		addReply(c, e);
+	}
+	return 0;
+}
+
+func main() {
+	for (var r = 0; r < input(0); r++) {
+		lrangeCommand(r);
+	}
+}
+`,
+		NormalInputs: []int64{40},
+		BuggyInputs:  []int64{40},
+		RootFunc:     "clientHasPendingReplies",
+		FixMarker:    "io_threads_active > 0",
+		Components: map[string][]string{
+			"db.c":         {"lookupKey", "expireIfNeeded"},
+			"networking.c": {"clientHasPendingReplies", "_addReplyToBufferOrList", "_addReplyToBuffer", "addReply"},
+		},
+		Notes: "Paper: investigating db.c first surfaces lookupKey (a refactoring false positive: " +
+			"expireIfNeeded moved inside); in networking.c the new _addReplyToBufferOrList is excluded " +
+			"as refactoring and clientHasPendingReplies is flagged via the client variable's processing " +
+			"cost; reverting the 7.0.3 condition removed the regression (8 person-hours, confirmed).",
+	})
+}

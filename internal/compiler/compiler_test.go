@@ -1,0 +1,732 @@
+package compiler_test
+
+import (
+	"testing"
+
+	"vprof/internal/compiler"
+	"vprof/internal/debuginfo"
+	"vprof/internal/lang"
+	"vprof/internal/vm"
+)
+
+// compileSrc parses and compiles src, failing the test on error.
+func compileSrc(t *testing.T, src string) *compiler.Program {
+	t.Helper()
+	f, err := lang.Parse("test.vp", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	p, err := compiler.Compile(f)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return p
+}
+
+// runSrc compiles and executes src, returning the out() log.
+func runSrc(t *testing.T, src string, inputs ...int64) []int64 {
+	t.Helper()
+	p := compileSrc(t, src)
+	m := vm.New(p, vm.Config{Inputs: inputs})
+	if err := m.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return m.Outputs
+}
+
+func wantOutputs(t *testing.T, got, want []int64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("outputs = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("outputs[%d] = %d, want %d (all: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	out := runSrc(t, `
+func main() {
+	out(1 + 2 * 3);
+	out(10 - 4 / 2);
+	out(17 % 5);
+	out(-(3 - 10));
+	out((2 + 3) * 4);
+}`)
+	wantOutputs(t, out, []int64{7, 8, 2, 7, 20})
+}
+
+func TestComparisonsAndLogic(t *testing.T) {
+	out := runSrc(t, `
+func main() {
+	out(3 < 4);
+	out(4 <= 3);
+	out(5 == 5);
+	out(5 != 5);
+	out(9 > 2 && 2 > 9);
+	out(9 > 2 || 2 > 9);
+	out(!0);
+	out(!7);
+	out(true);
+	out(false);
+}`)
+	wantOutputs(t, out, []int64{1, 0, 1, 0, 0, 1, 1, 0, 1, 0})
+}
+
+func TestShortCircuit(t *testing.T) {
+	// side() must not run when short-circuited.
+	out := runSrc(t, `
+var calls = 0;
+func side() { calls++; return 1; }
+func main() {
+	var a = 0 && side();
+	var b = 1 || side();
+	out(calls);
+	var c = 1 && side();
+	var d = 0 || side();
+	out(calls);
+	out(a + b + c + d);
+}`)
+	// a = 0&&… = 0, b = 1||… = 1, c = 1&&side() = 1, d = 0||side() = 1.
+	wantOutputs(t, out, []int64{0, 2, 3})
+}
+
+func TestGlobalsAndInit(t *testing.T) {
+	out := runSrc(t, `
+var base = 100;
+var derived = 0;
+func main() {
+	derived = base * 2;
+	out(derived);
+	base += 1;
+	out(base);
+}`)
+	wantOutputs(t, out, []int64{200, 101})
+}
+
+func TestGlobalInitCallsFunction(t *testing.T) {
+	out := runSrc(t, `
+var pages = npages() / 3;
+func npages() { return 30; }
+func main() { out(pages); }`)
+	wantOutputs(t, out, []int64{10})
+}
+
+func TestWhileLoop(t *testing.T) {
+	out := runSrc(t, `
+func main() {
+	var i = 0;
+	var sum = 0;
+	while (i < 5) {
+		sum += i;
+		i++;
+	}
+	out(sum);
+}`)
+	wantOutputs(t, out, []int64{10})
+}
+
+func TestForLoopBreakContinue(t *testing.T) {
+	out := runSrc(t, `
+func main() {
+	var sum = 0;
+	for (var i = 0; i < 10; i++) {
+		if (i % 2 == 0) { continue; }
+		if (i > 7) { break; }
+		sum += i;
+	}
+	out(sum);
+}`)
+	wantOutputs(t, out, []int64{1 + 3 + 5 + 7})
+}
+
+func TestNestedLoops(t *testing.T) {
+	out := runSrc(t, `
+func main() {
+	var count = 0;
+	for (var i = 0; i < 4; i++) {
+		for (var j = 0; j < 4; j++) {
+			if (j == 2) { break; }
+			count++;
+		}
+	}
+	out(count);
+}`)
+	wantOutputs(t, out, []int64{8})
+}
+
+func TestFunctionCallsAndRecursion(t *testing.T) {
+	out := runSrc(t, `
+func fib(n) {
+	if (n < 2) { return n; }
+	return fib(n - 1) + fib(n - 2);
+}
+func main() { out(fib(10)); }`)
+	wantOutputs(t, out, []int64{55})
+}
+
+func TestImplicitReturnZero(t *testing.T) {
+	out := runSrc(t, `
+func noret() { var x = 3; }
+func main() { out(noret()); }`)
+	wantOutputs(t, out, []int64{0})
+}
+
+func TestShadowing(t *testing.T) {
+	out := runSrc(t, `
+var x = 1;
+func main() {
+	out(x);
+	var x = 2;
+	out(x);
+	{
+		var x = 3;
+		out(x);
+	}
+	out(x);
+}`)
+	wantOutputs(t, out, []int64{1, 2, 3, 2})
+}
+
+func TestBuiltins(t *testing.T) {
+	out := runSrc(t, `
+func main() {
+	out(input(0));
+	out(input(1));
+	out(input(9));
+	out(abs(-4));
+	out(min(3, 8));
+	out(max(3, 8));
+	out(work(5));
+}`, 42, 7)
+	wantOutputs(t, out, []int64{42, 7, 0, 4, 3, 8, 5})
+}
+
+func TestWorkConsumesTicks(t *testing.T) {
+	p := compileSrc(t, `func main() { work(1000); }`)
+	m := vm.New(p, vm.Config{})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Ticks() < 1000 {
+		t.Fatalf("ticks = %d, want >= 1000", m.Ticks())
+	}
+}
+
+func TestRandDeterministic(t *testing.T) {
+	src := `func main() { out(rand(100)); out(rand(100)); out(rand(100)); }`
+	a := runSrc(t, src)
+	b := runSrc(t, src)
+	wantOutputs(t, a, b)
+	p := compileSrc(t, src)
+	m := vm.New(p, vm.Config{Seed: 99})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a {
+		if m.Outputs[i] != a[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seed produced identical rand sequence")
+	}
+}
+
+func TestDivisionByZeroTraps(t *testing.T) {
+	p := compileSrc(t, `func main() { var x = 0; out(1 / x); }`)
+	m := vm.New(p, vm.Config{})
+	err := m.Run()
+	var rte *vm.RuntimeError
+	if err == nil {
+		t.Fatal("expected runtime error")
+	}
+	if ok := errorsAs(err, &rte); !ok {
+		t.Fatalf("err = %T %v, want *RuntimeError", err, err)
+	}
+	if rte.Line == 0 {
+		t.Error("runtime error lacks line")
+	}
+}
+
+func errorsAs(err error, target **vm.RuntimeError) bool {
+	for err != nil {
+		if e, ok := err.(*vm.RuntimeError); ok {
+			*target = e
+			return true
+		}
+		return false
+	}
+	return false
+}
+
+func TestTickBudget(t *testing.T) {
+	p := compileSrc(t, `func main() { while (true) { work(10); } }`)
+	m := vm.New(p, vm.Config{MaxTicks: 10000})
+	err := m.Run()
+	if err != vm.ErrTicksExceeded {
+		t.Fatalf("err = %v, want ErrTicksExceeded", err)
+	}
+	if m.Ticks() < 10000 {
+		t.Fatalf("ticks = %d", m.Ticks())
+	}
+}
+
+func TestAlloc(t *testing.T) {
+	out := runSrc(t, `
+func main() {
+	var p = alloc();
+	var q = alloc();
+	out(p == q);
+	out(p == p);
+	out(p != q);
+	out(!p);
+}`)
+	wantOutputs(t, out, []int64{0, 1, 1, 0})
+}
+
+func TestSpawnQueuesChildren(t *testing.T) {
+	p := compileSrc(t, `
+var g = 5;
+func child(a, b) { out(a + b + g); }
+func main() {
+	g = 7;
+	spawn("child", 1, 2);
+	g = 9;
+	spawn("child", 3, 4);
+}`)
+	procs := vm.RunProcesses(p, func(pid int) vm.Config { return vm.Config{} })
+	if len(procs) != 3 {
+		t.Fatalf("%d processes, want 3", len(procs))
+	}
+	// Children observe the globals snapshot at spawn time.
+	if got := procs[1].VM.Outputs[0]; got != 1+2+7 {
+		t.Errorf("child1 out = %d, want 10", got)
+	}
+	if got := procs[2].VM.Outputs[0]; got != 3+4+9 {
+		t.Errorf("child2 out = %d, want 16", got)
+	}
+	if procs[1].ParentPid != 1 || procs[2].ParentPid != 1 {
+		t.Errorf("parent pids: %d %d", procs[1].ParentPid, procs[2].ParentPid)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []string{
+		`func f() {}`,                              // no main
+		`func main(x) {}`,                          // main with params
+		`func main() { undeclared = 1; }`,          // assign undeclared
+		`func main() { out(undeclared); }`,         // read undeclared
+		`func main() { nofn(); }`,                  // unknown function
+		`func main() { work(1, 2); }`,              // builtin arity
+		`func f(a) {} func main() { f(); }`,        // user arity
+		`func main() {} func main() {}`,            // dup function
+		`var g; var g; func main() {}`,             // dup global
+		`func main() { break; }`,                   // break outside loop
+		`func main() { continue; }`,                // continue outside loop
+		`func work() {} func main() {}`,            // shadow builtin
+		`func main() { spawn("nope"); }`,           // spawn unknown
+		`func f(a) {} func main() { spawn("f"); }`, // spawn arity
+		`func main() { var s = "str"; }`,           // string outside spawn
+		`func main() { var x = 1; var x = 2; }`,    // dup in same scope
+	}
+	for _, src := range cases {
+		f, err := lang.Parse("t.vp", src)
+		if err != nil {
+			t.Errorf("parse(%q): %v", src, err)
+			continue
+		}
+		if _, err := compiler.Compile(f); err == nil {
+			t.Errorf("Compile(%q): expected error", src)
+		}
+	}
+}
+
+func TestFunctionRangesContiguous(t *testing.T) {
+	p := compileSrc(t, `
+func a() { work(1); }
+func b() { a(); }
+func main() { b(); }`)
+	for _, f := range p.Funcs {
+		if f.End <= f.Entry {
+			t.Errorf("func %s: empty range [%d,%d)", f.Name, f.Entry, f.End)
+		}
+	}
+	// Ranges must not overlap and must cover all instructions.
+	covered := make([]bool, len(p.Instrs))
+	for _, f := range p.Funcs {
+		for pc := f.Entry; pc < f.End; pc++ {
+			if covered[pc] {
+				t.Fatalf("pc %d covered twice", pc)
+			}
+			covered[pc] = true
+		}
+	}
+	for pc, c := range covered {
+		if !c {
+			t.Errorf("pc %d not in any function", pc)
+		}
+	}
+}
+
+func TestDebugLineTable(t *testing.T) {
+	p := compileSrc(t, "func main() {\n\tvar x = 1;\n\tx = 2;\n}")
+	d := p.Debug
+	if d.TextLen != len(p.Instrs) {
+		t.Fatalf("TextLen = %d, want %d", d.TextLen, len(p.Instrs))
+	}
+	mainFn := d.FuncNamed("main")
+	if mainFn == nil {
+		t.Fatal("no main in debug info")
+	}
+	sawLine2, sawLine3 := false, false
+	for pc := mainFn.Entry; pc < mainFn.End; pc++ {
+		switch d.LineAt(pc) {
+		case 2:
+			sawLine2 = true
+		case 3:
+			sawLine3 = true
+		}
+	}
+	if !sawLine2 || !sawLine3 {
+		t.Errorf("line table misses lines: 2=%v 3=%v", sawLine2, sawLine3)
+	}
+}
+
+func TestBasicBlocks(t *testing.T) {
+	p := compileSrc(t, `
+func main() {
+	var i = 0;
+	while (i < 3) {
+		i++;
+	}
+	out(i);
+}`)
+	fn := p.Debug.FuncNamed("main")
+	if len(fn.Blocks) < 3 {
+		t.Fatalf("main has %d blocks, want >= 3 (loop head, body, exit)", len(fn.Blocks))
+	}
+	// Blocks tile the function range exactly.
+	pc := fn.Entry
+	for _, b := range fn.Blocks {
+		if b.Start != pc {
+			t.Fatalf("block %s starts at %d, want %d", b.Label, b.Start, pc)
+		}
+		if b.End <= b.Start {
+			t.Fatalf("block %s empty", b.Label)
+		}
+		pc = b.End
+	}
+	if pc != fn.End {
+		t.Fatalf("blocks end at %d, function ends at %d", pc, fn.End)
+	}
+	// BlockAt agrees with the tiling.
+	for _, b := range fn.Blocks {
+		if got := fn.BlockAt(b.Start); got == nil || got.Label != b.Label {
+			t.Errorf("BlockAt(%d) = %v, want %s", b.Start, got, b.Label)
+		}
+	}
+}
+
+func TestDebugVarLocations(t *testing.T) {
+	p := compileSrc(t, `
+func callee(v) { return v + 1; }
+func main() {
+	var a = 1;
+	var b = 2;
+	var c = 3;
+	var d = 4;
+	var e = 5;
+	callee(a);
+	out(a + b + c + d + e);
+}`)
+	d := p.Debug
+	// a..d occupy callee-saved slots 0..3: single range each.
+	for _, name := range []string{"a", "b", "c", "d"} {
+		entries := d.VarEntries("main", name)
+		if len(entries) != 1 {
+			t.Errorf("%s: %d entries, want 1", name, len(entries))
+			continue
+		}
+		if entries[0].Loc != debuginfo.LocReg {
+			t.Errorf("%s: loc %v, want reg", name, entries[0].Loc)
+		}
+	}
+	// e is caller-saved (slot 4) and main contains one user call after its
+	// declaration: its range must be split with a gap at the call PC.
+	eEntries := d.VarEntries("main", "e")
+	if len(eEntries) != 2 {
+		t.Fatalf("e: %d entries, want 2 (split around call): %v", len(eEntries), eEntries)
+	}
+	gapStart := eEntries[0].PCEnd
+	if eEntries[1].PCStart != gapStart+1 {
+		t.Errorf("gap is [%d,%d), want width 1", eEntries[0].PCEnd, eEntries[1].PCStart)
+	}
+	// The gap PC must be the call instruction.
+	if p.Instrs[gapStart].Op != compiler.OpCall {
+		t.Errorf("gap instr = %v, want call", p.Instrs[gapStart].Op)
+	}
+}
+
+func TestDebugGlobalsScopedToReferencingFunctions(t *testing.T) {
+	p := compileSrc(t, `
+var g1 = 1;
+var g2;
+func uses_both() { g2 = g1; return g2; }
+func uses_none() { return 7; }
+func main() { uses_both(); uses_none(); }`)
+	both := p.Debug.FuncNamed("uses_both")
+	for _, name := range []string{"g1", "g2"} {
+		entries := p.Debug.VarEntries(debuginfo.GlobalScope, name)
+		if len(entries) != 1 {
+			t.Fatalf("%s: %d entries, want 1 (only uses_both references it)", name, len(entries))
+		}
+		e := entries[0]
+		if e.PCStart != both.Entry || e.PCEnd != both.End {
+			t.Errorf("%s covers [%d,%d), want uses_both [%d,%d)", name, e.PCStart, e.PCEnd, both.Entry, both.End)
+		}
+		if e.Loc != debuginfo.LocMem {
+			t.Errorf("%s in %v, want memory", name, e.Loc)
+		}
+	}
+}
+
+func TestTooManyLocalsHaveNoDebugInfo(t *testing.T) {
+	src := `func main() {
+	var v0 = 0; var v1 = 1; var v2 = 2; var v3 = 3; var v4 = 4;
+	var v5 = 5; var v6 = 6; var v7 = 7; var v8 = 8; var v9 = 9;
+	out(v0+v1+v2+v3+v4+v5+v6+v7+v8+v9);
+}`
+	p := compileSrc(t, src)
+	if got := len(p.Debug.VarEntries("main", "v9")); got != 0 {
+		t.Errorf("v9 (slot 9) has %d debug entries, want 0 (incomplete DWARF model)", got)
+	}
+	if got := len(p.Debug.VarEntries("main", "v0")); got != 1 {
+		t.Errorf("v0 has %d entries, want 1", got)
+	}
+}
+
+func TestPointerInference(t *testing.T) {
+	p := compileSrc(t, `
+var gptr;
+func get_block() { return alloc(); }
+func use(q) { return q; }
+func main() {
+	var block = get_block();
+	var copy2 = block;
+	var n = 7;
+	gptr = alloc();
+	use(block);
+}`)
+	cases := []struct {
+		fn, name string
+		want     bool
+	}{
+		{"main", "block", true},
+		{"main", "copy2", true},
+		{"main", "n", false},
+		{debuginfo.GlobalScope, "gptr", true},
+		{"use", "q", true},
+	}
+	for _, c := range cases {
+		if got := p.IsPointerVar(c.fn, c.name); got != c.want {
+			t.Errorf("IsPointerVar(%s, %s) = %v, want %v", c.fn, c.name, got, c.want)
+		}
+	}
+}
+
+func TestCallGraph(t *testing.T) {
+	p := compileSrc(t, `
+func leaf() { work(1); }
+func mid() { leaf(); leaf(); }
+func main() { mid(); leaf(); }`)
+	got := p.CallGraph["main"]
+	if len(got) != 2 || got[0] != "mid" || got[1] != "leaf" {
+		t.Errorf("CallGraph[main] = %v", got)
+	}
+	if cg := p.CallGraph["mid"]; len(cg) != 1 || cg[0] != "leaf" {
+		t.Errorf("CallGraph[mid] = %v", cg)
+	}
+}
+
+func TestLibraryFlag(t *testing.T) {
+	p := compileSrc(t, `
+extfunc libread(n) { work(n); return n; }
+func main() { libread(5); }`)
+	if !p.Debug.FuncNamed("libread").Library {
+		t.Error("libread not marked Library in debug info")
+	}
+	if p.Debug.FuncNamed("main").Library {
+		t.Error("main wrongly marked Library")
+	}
+}
+
+func TestAlarmFires(t *testing.T) {
+	p := compileSrc(t, `func main() { work(1000); }`)
+	var fires int
+	var pcs []int
+	m := vm.New(p, vm.Config{
+		AlarmInterval: 100,
+		OnAlarm: func(v *vm.VM) {
+			fires++
+			pcs = append(pcs, v.PC())
+		},
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fires < 9 || fires > 12 {
+		t.Fatalf("alarm fired %d times for ~1000 ticks at interval 100", fires)
+	}
+	// During work() the PC must be inside main (at the callb instruction).
+	mainFn := p.FuncNamed("main")
+	inMain := 0
+	for _, pc := range pcs {
+		if mainFn.Contains(pc) {
+			inMain++
+		}
+	}
+	if inMain < fires-2 {
+		t.Errorf("only %d/%d alarm PCs inside main", inMain, fires)
+	}
+}
+
+func TestAlarmPhase(t *testing.T) {
+	p := compileSrc(t, `func main() { work(1000); }`)
+	run := func(phase int64) []int64 {
+		var at []int64
+		m := vm.New(p, vm.Config{
+			AlarmInterval: 100,
+			AlarmPhase:    phase,
+			OnAlarm:       func(v *vm.VM) { at = append(at, v.Ticks()) },
+		})
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return at
+	}
+	a, b := run(0), run(37)
+	if len(a) == 0 || len(b) == 0 {
+		t.Fatal("no alarms fired")
+	}
+	if b[0]%100 != 37 {
+		t.Errorf("first phased alarm at tick %d, want ≡37 (mod 100)", b[0])
+	}
+	if a[0] == b[0] {
+		t.Error("phase had no effect")
+	}
+}
+
+func TestUnwindFrameViews(t *testing.T) {
+	p := compileSrc(t, `
+func inner(x) { work(500); return x; }
+func outer(y) { return inner(y + 1); }
+func main() { var start = 3; outer(start); }`)
+	sawStack := false
+	m := vm.New(p, vm.Config{
+		AlarmInterval: 50,
+		OnAlarm: func(v *vm.VM) {
+			if v.Depth() < 3 {
+				return
+			}
+			f0, ok0 := v.Frame(0)
+			f1, ok1 := v.Frame(1)
+			if !ok0 || !ok1 {
+				t.Error("Frame() failed at depth >= 3")
+				return
+			}
+			innerFn := p.FuncNamed("inner")
+			outerFn := p.FuncNamed("outer")
+			if f0.FuncIndex != innerFn.Index {
+				return
+			}
+			if f1.FuncIndex != outerFn.Index {
+				t.Errorf("caller frame func = %d, want outer(%d)", f1.FuncIndex, outerFn.Index)
+				return
+			}
+			// The caller PC (f0.RetPC) must lie inside outer.
+			if !outerFn.Contains(f0.RetPC) {
+				t.Errorf("retPC %d not inside outer [%d,%d)", f0.RetPC, outerFn.Entry, outerFn.End)
+			}
+			// outer's param y (slot 0) is start == 3; inner's param x
+			// (slot 0) is y+1 == 4.
+			if got := f1.Slot(0); got.I != 3 {
+				t.Errorf("outer.y = %d, want 3", got.I)
+			}
+			if got := f0.Slot(0); got.I != 4 {
+				t.Errorf("inner.x = %d, want 4", got.I)
+			}
+			sawStack = true
+		},
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !sawStack {
+		t.Fatal("never observed inner<-outer<-main stack at an alarm")
+	}
+}
+
+func TestBranchCounting(t *testing.T) {
+	p := compileSrc(t, `
+func looper(n) {
+	var i = 0;
+	while (i < n) { i++; }
+	return i;
+}
+func main() { looper(50); }`)
+	m := vm.New(p, vm.Config{})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	li := p.FuncNamed("looper").Index
+	if m.BranchTaken[li] == 0 {
+		t.Error("no branches recorded for looper")
+	}
+}
+
+func TestDeterministicExecution(t *testing.T) {
+	src := `
+func busy(n) { var s = 0; for (var i = 0; i < n; i++) { s += rand(10); } return s; }
+func main() { out(busy(200)); out(now()); }`
+	a := runSrc(t, src, 5)
+	b := runSrc(t, src, 5)
+	wantOutputs(t, a, b)
+}
+
+func TestIRStringers(t *testing.T) {
+	p := compileSrc(t, `
+var g;
+func f(a) { if (a > 0) { return -a; } return a; }
+func main() { g = f(3); }`)
+	for _, ins := range p.Instrs {
+		if s := ins.String(); s == "" {
+			t.Fatalf("empty instruction string for %v", ins.Op)
+		}
+	}
+	if compiler.OpCall.String() != "call" || compiler.OpHalt.String() != "halt" {
+		t.Error("op names wrong")
+	}
+	if compiler.Op(200).String() == "" {
+		t.Error("unknown op should still render")
+	}
+	if compiler.BuiltinName(compiler.BWork) != "work" {
+		t.Errorf("BuiltinName = %q", compiler.BuiltinName(compiler.BWork))
+	}
+	if compiler.BuiltinName(compiler.Builtin(99)) == "" {
+		t.Error("unknown builtin should still render")
+	}
+	if gi, ok := p.GlobalIndex("g"); !ok || gi != 0 {
+		t.Errorf("GlobalIndex(g) = %d, %v", gi, ok)
+	}
+	if _, ok := p.GlobalIndex("nope"); ok {
+		t.Error("GlobalIndex of unknown global reported ok")
+	}
+	var ce error = &compiler.CompileError{Msg: "boom"}
+	if ce.Error() == "" {
+		t.Error("CompileError.Error empty")
+	}
+}

@@ -1,0 +1,188 @@
+package compiler
+
+import (
+	"fmt"
+	"sort"
+
+	"vprof/internal/debuginfo"
+)
+
+// buildDebugInfo computes the line table, basic blocks and variable-location
+// entries for a fully compiled program, attaching the result to c.prog.Debug.
+func buildDebugInfo(c *state) {
+	prog := c.prog
+	info := &debuginfo.Info{
+		File:    prog.File,
+		TextLen: len(prog.Instrs),
+		Lines:   make([]int32, len(prog.Instrs)),
+	}
+	for pc, ins := range prog.Instrs {
+		info.Lines[pc] = ins.Line
+	}
+
+	// Function ranges, sorted by entry PC (they already are: functions are
+	// emitted sequentially).
+	for _, f := range prog.Funcs {
+		fr := debuginfo.FuncRange{
+			Name:     f.Name,
+			File:     prog.File,
+			DeclLine: f.DeclLine,
+			Entry:    f.Entry,
+			End:      f.End,
+			Library:  f.Library,
+			Blocks:   basicBlocks(prog, f),
+		}
+		info.Funcs = append(info.Funcs, fr)
+	}
+	sort.Slice(info.Funcs, func(i, j int) bool { return info.Funcs[i].Entry < info.Funcs[j].Entry })
+
+	// Variable locations.
+	for _, meta := range c.funcMeta {
+		emitVarLocs(prog, info, meta)
+	}
+	// Globals live in memory and are *described* only within the PC
+	// ranges of the functions that reference them — the analogue of a
+	// DWARF global being scoped to its compilation unit's code range
+	// (the paper's Figure 3 shows recv_n_pool_free_frames covering
+	// 0x9b0e30:0x9bc6bb, not the whole binary). One metadata entry per
+	// referencing function.
+	for gi, name := range prog.GlobalNames {
+		isPtr := prog.IsPointerVar(debuginfo.GlobalScope, name)
+		for _, f := range prog.Funcs {
+			if f.Synthetic || !funcReferencesGlobal(prog, f, gi) {
+				continue
+			}
+			info.Vars = append(info.Vars, debuginfo.VarLoc{
+				Name:      name,
+				Func:      debuginfo.GlobalScope,
+				PCStart:   f.Entry,
+				PCEnd:     f.End,
+				Loc:       debuginfo.LocMem,
+				Addr:      GlobalBase + 8*gi,
+				Size:      8,
+				IsPointer: isPtr,
+			})
+		}
+	}
+	prog.Debug = info
+}
+
+// funcReferencesGlobal reports whether f's code loads or stores global gi.
+func funcReferencesGlobal(prog *Program, f *FuncInfo, gi int) bool {
+	for pc := f.Entry; pc < f.End; pc++ {
+		ins := prog.Instrs[pc]
+		if (ins.Op == OpLoadG || ins.Op == OpStoreG) && int(ins.A) == gi {
+			return true
+		}
+	}
+	return false
+}
+
+// basicBlocks computes the basic blocks of one function using the classic
+// leader algorithm: the entry, every jump target, and every instruction
+// following a control transfer start a block.
+func basicBlocks(prog *Program, f *FuncInfo) []debuginfo.BlockRange {
+	if f.End <= f.Entry {
+		return nil
+	}
+	leaders := map[int]bool{f.Entry: true}
+	for pc := f.Entry; pc < f.End; pc++ {
+		ins := prog.Instrs[pc]
+		switch ins.Op {
+		case OpJump, OpJZ, OpJNZ:
+			if t := int(ins.A); t >= f.Entry && t < f.End {
+				leaders[t] = true
+			}
+			if pc+1 < f.End {
+				leaders[pc+1] = true
+			}
+		case OpRet, OpHalt:
+			if pc+1 < f.End {
+				leaders[pc+1] = true
+			}
+		}
+	}
+	starts := make([]int, 0, len(leaders))
+	for pc := range leaders {
+		starts = append(starts, pc)
+	}
+	sort.Ints(starts)
+	blocks := make([]debuginfo.BlockRange, len(starts))
+	for i, start := range starts {
+		end := f.End
+		if i+1 < len(starts) {
+			end = starts[i+1]
+		}
+		blocks[i] = debuginfo.BlockRange{
+			Label: fmt.Sprintf("bb%d", i),
+			Index: i,
+			Start: start,
+			End:   end,
+			Line:  int(prog.Instrs[start].Line),
+		}
+	}
+	return blocks
+}
+
+// emitVarLocs produces the VarLoc entries for one function's parameters and
+// locals according to the register model:
+//
+//   - slots < NumCalleeSaved: one entry spanning [live, scope end)
+//   - slots < NumRegSlots: entries broken at user-call PCs (the register is
+//     caller-saved; DWARF does not describe the spill slot)
+//   - slots >= NumRegSlots: no entries (incomplete debug info)
+//
+// Liveness ends at the enclosing lexical scope's last PC, as DWARF block
+// scoping does.
+func emitVarLocs(prog *Program, info *debuginfo.Info, meta funcDebugMeta) {
+	f := meta.fn
+	if f.Synthetic {
+		return
+	}
+	for slot, name := range meta.slotNames {
+		if name == "" || slot >= NumRegSlots {
+			continue
+		}
+		live := meta.slotDecl[slot]
+		scopeEnd := f.End
+		if meta.slotEnd[slot] >= 0 && meta.slotEnd[slot] < f.End {
+			scopeEnd = meta.slotEnd[slot]
+		}
+		isPtr := prog.IsPointerVar(f.Name, name)
+		base := debuginfo.VarLoc{
+			Name:      name,
+			Func:      f.Name,
+			Loc:       debuginfo.LocReg,
+			Reg:       slot,
+			Size:      8,
+			IsPointer: isPtr,
+			DeclLine:  meta.slotLine[slot],
+		}
+		if slot < NumCalleeSaved {
+			v := base
+			v.PCStart, v.PCEnd = live, scopeEnd
+			if v.PCStart < v.PCEnd {
+				info.Vars = append(info.Vars, v)
+			}
+			continue
+		}
+		// Caller-saved: split [live, scopeEnd) around user-call PCs.
+		start := live
+		for _, callPC := range meta.callPCs {
+			if callPC < live || callPC >= scopeEnd {
+				continue
+			}
+			if start < callPC {
+				v := base
+				v.PCStart, v.PCEnd = start, callPC
+				info.Vars = append(info.Vars, v)
+			}
+			start = callPC + 1
+		}
+		if start < scopeEnd {
+			v := base
+			v.PCStart, v.PCEnd = start, scopeEnd
+			info.Vars = append(info.Vars, v)
+		}
+	}
+}

@@ -1,0 +1,273 @@
+package compiler_test
+
+// Property-based testing of the compiler+VM expression pipeline: random
+// expression trees are rendered to source, compiled, executed on the VM, and
+// compared against a direct reference evaluation of the same tree.
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"vprof/internal/compiler"
+	"vprof/internal/lang"
+	"vprof/internal/vm"
+)
+
+// expr is a random expression tree over three pre-set variables a, b, c.
+type expr interface {
+	render(sb *strings.Builder)
+	eval(env map[string]int64) (int64, bool) // ok=false on div/mod by zero
+}
+
+type litExpr int64
+
+func (l litExpr) render(sb *strings.Builder) { fmt.Fprintf(sb, "%d", int64(l)) }
+func (l litExpr) eval(map[string]int64) (int64, bool) {
+	return int64(l), true
+}
+
+type varExpr string
+
+func (v varExpr) render(sb *strings.Builder) { sb.WriteString(string(v)) }
+func (v varExpr) eval(env map[string]int64) (int64, bool) {
+	return env[string(v)], true
+}
+
+type unExpr struct {
+	op string
+	x  expr
+}
+
+func (u unExpr) render(sb *strings.Builder) {
+	sb.WriteString(u.op)
+	sb.WriteString("(")
+	u.x.render(sb)
+	sb.WriteString(")")
+}
+
+func (u unExpr) eval(env map[string]int64) (int64, bool) {
+	x, ok := u.x.eval(env)
+	if !ok {
+		return 0, false
+	}
+	switch u.op {
+	case "-":
+		return -x, true
+	case "!":
+		if x == 0 {
+			return 1, true
+		}
+		return 0, true
+	}
+	panic("bad unop")
+}
+
+type binExpr struct {
+	op   string
+	x, y expr
+}
+
+func (b binExpr) render(sb *strings.Builder) {
+	sb.WriteString("(")
+	b.x.render(sb)
+	sb.WriteString(" " + b.op + " ")
+	b.y.render(sb)
+	sb.WriteString(")")
+}
+
+func boolToInt(v bool) int64 {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+func (b binExpr) eval(env map[string]int64) (int64, bool) {
+	x, ok := b.x.eval(env)
+	if !ok {
+		return 0, false
+	}
+	// Short-circuit operators must not evaluate the right side (a
+	// division by zero there must not trap).
+	switch b.op {
+	case "&&":
+		if x == 0 {
+			return 0, true
+		}
+		y, ok := b.y.eval(env)
+		if !ok {
+			return 0, false
+		}
+		return boolToInt(y != 0), true
+	case "||":
+		if x != 0 {
+			return 1, true
+		}
+		y, ok := b.y.eval(env)
+		if !ok {
+			return 0, false
+		}
+		return boolToInt(y != 0), true
+	}
+	y, ok := b.y.eval(env)
+	if !ok {
+		return 0, false
+	}
+	switch b.op {
+	case "+":
+		return x + y, true
+	case "-":
+		return x - y, true
+	case "*":
+		return x * y, true
+	case "/":
+		if y == 0 {
+			return 0, false
+		}
+		return x / y, true
+	case "%":
+		if y == 0 {
+			return 0, false
+		}
+		return x % y, true
+	case "==":
+		return boolToInt(x == y), true
+	case "!=":
+		return boolToInt(x != y), true
+	case "<":
+		return boolToInt(x < y), true
+	case "<=":
+		return boolToInt(x <= y), true
+	case ">":
+		return boolToInt(x > y), true
+	case ">=":
+		return boolToInt(x >= y), true
+	}
+	panic("bad binop")
+}
+
+var binOps = []string{"+", "-", "*", "/", "%", "==", "!=", "<", "<=", ">", ">=", "&&", "||"}
+
+func genExpr(rng *rand.Rand, depth int) expr {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		if rng.Intn(2) == 0 {
+			return litExpr(rng.Int63n(41) - 20)
+		}
+		return varExpr([]string{"a", "b", "c"}[rng.Intn(3)])
+	}
+	if rng.Intn(5) == 0 {
+		return unExpr{op: []string{"-", "!"}[rng.Intn(2)], x: genExpr(rng, depth-1)}
+	}
+	return binExpr{
+		op: binOps[rng.Intn(len(binOps))],
+		x:  genExpr(rng, depth-1),
+		y:  genExpr(rng, depth-1),
+	}
+}
+
+// TestExpressionSemanticsQuick compiles random expressions and checks the VM
+// agrees with the reference evaluator, including trap behavior.
+func TestExpressionSemanticsQuick(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := genExpr(rng, 4)
+		env := map[string]int64{
+			"a": rng.Int63n(21) - 10,
+			"b": rng.Int63n(21) - 10,
+			"c": rng.Int63n(7) - 3,
+		}
+		var sb strings.Builder
+		e.render(&sb)
+		src := fmt.Sprintf(`
+func main() {
+	var a = %d;
+	var b = %d;
+	var c = %d;
+	out(%s);
+}`, env["a"], env["b"], env["c"], sb.String())
+
+		f, err := lang.Parse("quick.vp", src)
+		if err != nil {
+			t.Logf("seed %d: parse error: %v\nsrc: %s", seed, err, src)
+			return false
+		}
+		prog, err := compiler.Compile(f)
+		if err != nil {
+			t.Logf("seed %d: compile error: %v\nsrc: %s", seed, err, src)
+			return false
+		}
+		m := vm.New(prog, vm.Config{})
+		runErr := m.Run()
+
+		want, ok := e.eval(env)
+		if !ok {
+			// The reference traps: the VM must too.
+			if runErr == nil {
+				t.Logf("seed %d: expected trap, got %v\nsrc: %s", seed, m.Outputs, src)
+				return false
+			}
+			return true
+		}
+		if runErr != nil {
+			t.Logf("seed %d: unexpected trap %v\nsrc: %s", seed, runErr, src)
+			return false
+		}
+		// Boolean-producing roots normalize to 0/1 in both evaluators.
+		if len(m.Outputs) != 1 || m.Outputs[0] != want {
+			t.Logf("seed %d: vm=%v want=%d\nsrc: %s", seed, m.Outputs, want, src)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRandomProgramsTerminate generates small random loop programs and
+// checks the VM always terminates within its budget and never panics.
+func TestRandomProgramsTerminate(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		bound := rng.Intn(50) + 1
+		step := rng.Intn(3) + 1
+		var cond strings.Builder
+		genExpr(rng, 2).render(&cond)
+		src := fmt.Sprintf(`
+func helper(x) {
+	work(%d);
+	return x + 1;
+}
+func main() {
+	var a = %d;
+	var b = %d;
+	var c = %d;
+	var acc = 0;
+	for (var i = 0; i < %d; i = i + %d) {
+		if ((%s) > 0) {
+			acc = acc + helper(i);
+		} else {
+			acc = acc - 1;
+		}
+	}
+	out(acc);
+}`, rng.Intn(40)+1, rng.Int63n(9)-4, rng.Int63n(9)-4, rng.Int63n(9)-4, bound, step, cond.String())
+		f, err := lang.Parse("rand.vp", src)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		prog, err := compiler.Compile(f)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		m := vm.New(prog, vm.Config{MaxTicks: 100000})
+		if err := m.Run(); err != nil && err != vm.ErrTicksExceeded {
+			if _, isTrap := err.(*vm.RuntimeError); !isTrap {
+				t.Fatalf("seed %d: unexpected error %v", seed, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,210 @@
+// Package debuginfo models the DWARF debugging information that vProf's
+// binary static analysis extracts from a -pg executable (paper §3.2).
+//
+// The compiler emits an Info per program. Each monitored variable is
+// described by one or more VarLoc entries, the analogue of the paper's
+// variable metadata lines:
+//
+//	pc_start:pc_end:location:offset:size:basic_type_ptr
+//
+// A variable may have several entries (its runtime location changes over the
+// function body), and — exactly as the paper observes for available_mem —
+// there may be *gaps*: PC ranges where the variable exists in the source but
+// has no location entry, because a caller-saved register was spilled across a
+// call and the spill slot is not described. vProf treats such PCs as "not
+// accessible".
+package debuginfo
+
+import (
+	"fmt"
+	"sort"
+)
+
+// GlobalScope is the function-name placeholder for global variables, matching
+// the paper's #global schema keyword.
+const GlobalScope = "#global"
+
+// LocKind says where a variable lives at runtime.
+type LocKind uint8
+
+const (
+	// LocReg places the variable in a virtual register (a frame slot).
+	LocReg LocKind = iota
+	// LocMem places the variable at a fixed memory address (globals).
+	LocMem
+)
+
+func (k LocKind) String() string {
+	if k == LocMem {
+		return "addr"
+	}
+	return "reg"
+}
+
+// VarLoc is one variable-metadata entry: a contiguous PC range in which the
+// variable can be read from a specific location.
+type VarLoc struct {
+	Name string
+	Func string // declaring function, or GlobalScope
+	// [PCStart, PCEnd) is the half-open PC range covered by this entry.
+	PCStart, PCEnd int
+	Loc            LocKind
+	Reg            int // register (frame-slot) number when Loc == LocReg
+	Addr           int // memory address when Loc == LocMem
+	Size           int // size in bytes (always 8 in this model)
+	// BasicTypePtr marks a pointer to a basic type that should be
+	// dereferenced to obtain the value (paper's basic_type_ptr flag).
+	BasicTypePtr bool
+	// IsPointer marks a variable holding a pointer to a non-basic type;
+	// the discounter uses only the processing-cost dimension for these.
+	IsPointer bool
+	DeclLine  int
+}
+
+// Contains reports whether pc falls inside the entry's PC range.
+func (v *VarLoc) Contains(pc int) bool { return pc >= v.PCStart && pc < v.PCEnd }
+
+// String renders the entry in the paper's metadata format.
+func (v *VarLoc) String() string {
+	loc := fmt.Sprintf("r%d", v.Reg)
+	off := 0
+	if v.Loc == LocMem {
+		loc = "addr"
+		off = v.Addr
+	}
+	return fmt.Sprintf("0x%x:0x%x:%s:%d:%d:%v", v.PCStart, v.PCEnd, loc, off, v.Size, v.BasicTypePtr)
+}
+
+// BlockRange describes one basic block of a function.
+type BlockRange struct {
+	Label string // bb0, bb1, ... in PC order
+	Index int    // ordinal within the function
+	// [Start, End) PC range.
+	Start, End int
+	Line       int // source line of the block's first instruction
+}
+
+// FuncRange describes one function's place in the text section.
+type FuncRange struct {
+	Name     string
+	File     string
+	DeclLine int
+	// [Entry, End) PC range.
+	Entry, End int
+	// Library marks code living outside the profiled executable (the
+	// paper's dynamic-library case: gprof records no samples there).
+	Library bool
+	Blocks  []BlockRange
+}
+
+// Contains reports whether pc falls inside the function's range.
+func (f *FuncRange) Contains(pc int) bool { return pc >= f.Entry && pc < f.End }
+
+// Block returns the block with the given label, or nil.
+func (f *FuncRange) Block(label string) *BlockRange {
+	for i := range f.Blocks {
+		if f.Blocks[i].Label == label {
+			return &f.Blocks[i]
+		}
+	}
+	return nil
+}
+
+// BlockAt returns the block containing pc, or nil.
+func (f *FuncRange) BlockAt(pc int) *BlockRange {
+	for i := range f.Blocks {
+		if pc >= f.Blocks[i].Start && pc < f.Blocks[i].End {
+			return &f.Blocks[i]
+		}
+	}
+	return nil
+}
+
+// Info is the complete debug information for a compiled program.
+type Info struct {
+	File    string
+	TextLen int
+	Funcs   []FuncRange // sorted by Entry
+	Lines   []int32     // pc -> source line (len == TextLen)
+	Vars    []VarLoc
+}
+
+// FuncAt returns the function containing pc, or nil.
+func (in *Info) FuncAt(pc int) *FuncRange {
+	i := sort.Search(len(in.Funcs), func(i int) bool { return in.Funcs[i].End > pc })
+	if i < len(in.Funcs) && in.Funcs[i].Contains(pc) {
+		return &in.Funcs[i]
+	}
+	return nil
+}
+
+// FuncNamed returns the function with the given name, or nil.
+func (in *Info) FuncNamed(name string) *FuncRange {
+	for i := range in.Funcs {
+		if in.Funcs[i].Name == name {
+			return &in.Funcs[i]
+		}
+	}
+	return nil
+}
+
+// LineAt returns the source line for pc, or 0 if out of range.
+func (in *Info) LineAt(pc int) int {
+	if pc < 0 || pc >= len(in.Lines) {
+		return 0
+	}
+	return int(in.Lines[pc])
+}
+
+// BlockAt returns the function and basic block containing pc.
+func (in *Info) BlockAt(pc int) (*FuncRange, *BlockRange) {
+	fn := in.FuncAt(pc)
+	if fn == nil {
+		return nil, nil
+	}
+	return fn, fn.BlockAt(pc)
+}
+
+// VarsOf returns the metadata entries for variables declared in the named
+// function (use GlobalScope for globals).
+func (in *Info) VarsOf(fn string) []VarLoc {
+	var out []VarLoc
+	for _, v := range in.Vars {
+		if v.Func == fn {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// VarEntries returns all metadata entries for a specific variable of a
+// function.
+func (in *Info) VarEntries(fn, name string) []VarLoc {
+	var out []VarLoc
+	for _, v := range in.Vars {
+		if v.Func == fn && v.Name == name {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// BlockDistance returns the absolute distance, in basic-block ordinals,
+// between two blocks of the same function. This is the paper's bb-dist
+// metric (Table 3): distance between the block vProf reports and the block
+// where developers fixed the bug. It returns -1 if either block is unknown.
+func (in *Info) BlockDistance(fn, labelA, labelB string) int {
+	f := in.FuncNamed(fn)
+	if f == nil {
+		return -1
+	}
+	a, b := f.Block(labelA), f.Block(labelB)
+	if a == nil || b == nil {
+		return -1
+	}
+	d := a.Index - b.Index
+	if d < 0 {
+		d = -d
+	}
+	return d
+}

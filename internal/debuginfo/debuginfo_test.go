@@ -1,0 +1,141 @@
+package debuginfo
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleInfo() *Info {
+	return &Info{
+		File:    "t.vp",
+		TextLen: 100,
+		Lines:   mkLines(100),
+		Funcs: []FuncRange{
+			{Name: "alpha", Entry: 0, End: 40, Blocks: []BlockRange{
+				{Label: "bb0", Index: 0, Start: 0, End: 10, Line: 2},
+				{Label: "bb1", Index: 1, Start: 10, End: 25, Line: 4},
+				{Label: "bb2", Index: 2, Start: 25, End: 40, Line: 7},
+			}},
+			{Name: "beta", Entry: 40, End: 90, Library: true, Blocks: []BlockRange{
+				{Label: "bb0", Index: 0, Start: 40, End: 90, Line: 12},
+			}},
+			{Name: "gamma", Entry: 90, End: 100},
+		},
+		Vars: []VarLoc{
+			{Name: "x", Func: "alpha", PCStart: 5, PCEnd: 40, Loc: LocReg, Reg: 1, Size: 8},
+			{Name: "x", Func: "alpha", PCStart: 0, PCEnd: 3, Loc: LocReg, Reg: 2, Size: 8},
+			{Name: "g", Func: GlobalScope, PCStart: 0, PCEnd: 100, Loc: LocMem, Addr: 0x1000, Size: 8},
+		},
+	}
+}
+
+func mkLines(n int) []int32 {
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(i/10 + 1)
+	}
+	return out
+}
+
+func TestFuncAt(t *testing.T) {
+	in := sampleInfo()
+	cases := []struct {
+		pc   int
+		want string
+	}{
+		{0, "alpha"}, {39, "alpha"}, {40, "beta"}, {89, "beta"}, {90, "gamma"}, {99, "gamma"},
+	}
+	for _, c := range cases {
+		fn := in.FuncAt(c.pc)
+		if fn == nil || fn.Name != c.want {
+			t.Errorf("FuncAt(%d) = %v, want %s", c.pc, fn, c.want)
+		}
+	}
+	if in.FuncAt(100) != nil || in.FuncAt(-1) != nil {
+		t.Error("out-of-range pc should return nil")
+	}
+}
+
+func TestFuncNamedAndBlocks(t *testing.T) {
+	in := sampleInfo()
+	alpha := in.FuncNamed("alpha")
+	if alpha == nil {
+		t.Fatal("alpha missing")
+	}
+	if b := alpha.BlockAt(12); b == nil || b.Label != "bb1" {
+		t.Errorf("BlockAt(12) = %v", b)
+	}
+	if b := alpha.Block("bb2"); b == nil || b.Start != 25 {
+		t.Errorf("Block(bb2) = %v", b)
+	}
+	if alpha.Block("bb9") != nil {
+		t.Error("unknown label should be nil")
+	}
+	if in.FuncNamed("nope") != nil {
+		t.Error("unknown function should be nil")
+	}
+	fn, blk := in.BlockAt(30)
+	if fn.Name != "alpha" || blk.Label != "bb2" {
+		t.Errorf("BlockAt(30) = %s/%v", fn.Name, blk)
+	}
+}
+
+func TestLineAt(t *testing.T) {
+	in := sampleInfo()
+	if l := in.LineAt(25); l != 3 {
+		t.Errorf("LineAt(25) = %d", l)
+	}
+	if in.LineAt(-1) != 0 || in.LineAt(1000) != 0 {
+		t.Error("out-of-range LineAt should be 0")
+	}
+}
+
+func TestVarQueries(t *testing.T) {
+	in := sampleInfo()
+	if got := len(in.VarsOf("alpha")); got != 2 {
+		t.Errorf("VarsOf(alpha) = %d entries", got)
+	}
+	if got := len(in.VarEntries("alpha", "x")); got != 2 {
+		t.Errorf("VarEntries(alpha, x) = %d", got)
+	}
+	if got := len(in.VarsOf(GlobalScope)); got != 1 {
+		t.Errorf("VarsOf(#global) = %d", got)
+	}
+	v := in.Vars[0]
+	if !v.Contains(5) || !v.Contains(39) || v.Contains(40) || v.Contains(4) {
+		t.Error("Contains boundary behavior wrong")
+	}
+}
+
+func TestBlockDistance(t *testing.T) {
+	in := sampleInfo()
+	if d := in.BlockDistance("alpha", "bb0", "bb2"); d != 2 {
+		t.Errorf("distance bb0..bb2 = %d", d)
+	}
+	if d := in.BlockDistance("alpha", "bb2", "bb0"); d != 2 {
+		t.Errorf("distance symmetric: %d", d)
+	}
+	if d := in.BlockDistance("alpha", "bb1", "bb1"); d != 0 {
+		t.Errorf("self distance = %d", d)
+	}
+	if d := in.BlockDistance("alpha", "bb0", "bb9"); d != -1 {
+		t.Errorf("unknown block = %d", d)
+	}
+	if d := in.BlockDistance("nope", "bb0", "bb1"); d != -1 {
+		t.Errorf("unknown function = %d", d)
+	}
+}
+
+func TestVarLocString(t *testing.T) {
+	reg := VarLoc{PCStart: 0x10, PCEnd: 0x20, Loc: LocReg, Reg: 3, Size: 8}
+	if s := reg.String(); !strings.Contains(s, "0x10:0x20:r3:0:8:false") {
+		t.Errorf("reg format: %s", s)
+	}
+	mem := VarLoc{PCStart: 0, PCEnd: 5, Loc: LocMem, Addr: 4096, Size: 8, BasicTypePtr: true}
+	if s := mem.String(); !strings.Contains(s, "addr:4096:8:true") {
+		t.Errorf("mem format: %s", s)
+	}
+	if LocReg.String() != "reg" || LocMem.String() != "addr" {
+		t.Error("LocKind strings wrong")
+	}
+}

@@ -1,0 +1,150 @@
+package harness
+
+import (
+	"fmt"
+
+	"vprof/internal/analysis"
+	"vprof/internal/baselines"
+	"vprof/internal/bugs"
+	"vprof/internal/sampler"
+)
+
+// DiagnoseWorkload runs the complete Table 3 protocol for one workload: the
+// vProf pipeline (5+5 runs), the hist-discounter-only ablation (zero
+// variables monitored), and the five baseline tools.
+func DiagnoseWorkload(w *bugs.Workload) (Table3Row, error) {
+	b, err := w.Build()
+	if err != nil {
+		return Table3Row{}, err
+	}
+	row := Table3Row{ID: w.ID, Ticket: w.Ticket, Paper: w.PaperRanks}
+
+	rep, err := b.Analyze(analysis.DefaultParams(), Runs)
+	if err != nil {
+		return row, err
+	}
+	row.VProfRank = rep.Rank(w.RootFunc)
+	row.FalsePositive = FalsePositiveRatio(rep, b)
+	row.BBMean, row.BBMin, row.BBOK = b.BBDist(rep)
+	if fr := rep.Func(w.RootFunc); fr != nil {
+		row.Pattern = fr.Pattern
+		row.ClassMatch = fr.Pattern == w.Pattern
+		row.ClassNC = fr.Pattern == analysis.PatternNC
+	}
+
+	histRep, err := HistDiscOnly(b)
+	if err != nil {
+		return row, err
+	}
+	row.HistDisc = histRep.Rank(w.RootFunc)
+
+	target := b.Target()
+	row.Gprof = baselines.Gprof(target).Rank(w.RootFunc)
+	row.Perf = baselines.Perf(target).Rank(w.RootFunc)
+	row.PerfPT = baselines.PerfPT(target).Rank(w.RootFunc)
+	coz := baselines.Coz(target)
+	row.Coz = coz.Rank(w.RootFunc)
+	row.CozFailure = coz.Failure
+	if coz.Failure != "" {
+		row.Coz = 0
+	}
+	row.StatDebug = baselines.StatDebug(target).Rank(w.RootFunc)
+	return row, nil
+}
+
+// HistDiscOnly runs vProf with zero variables monitored, leaving only the
+// hist-discounter (Table 3's hist-disc column).
+func HistDiscOnly(b *bugs.Built) (*analysis.Report, error) {
+	in := analysis.Input{Debug: b.Prog.Debug, Schema: b.Schema}
+	for i := 0; i < Runs; i++ {
+		in.Normal = append(in.Normal, profileNoVars(b, i, false))
+		in.Buggy = append(in.Buggy, profileNoVars(b, i, true))
+	}
+	p := analysis.DefaultParams()
+	return analysis.Analyze(in, p)
+}
+
+// profileNoVars profiles one run with an empty monitoring schema.
+func profileNoVars(b *bugs.Built, run int, buggy bool) *sampler.Profile {
+	prog := b.NormalProg
+	cfg := b.W.NormalConfig(run)
+	if buggy {
+		prog = b.Prog
+		cfg = b.W.BuggyConfig(run)
+	}
+	res := sampler.ProfileRun(prog, nil, cfg, sampler.Options{Interval: bugs.DefaultInterval})
+	return sampler.MergeProfiles(res.Profiles)
+}
+
+// FalsePositiveRatio computes the paper's §6.1 metric for one diagnosis:
+// the number of top-5 functions ranked above the root cause that are
+// *unrelated* to the performance issue, divided by five. Related functions
+// are the root cause itself plus its call-graph ancestors and descendants
+// (the paper counts callers/callees of the root cause as helpful, e.g.
+// dummy_connection for HTTPD-54852, and genuinely-costly-either-way or
+// side-effect functions as the false positives).
+func FalsePositiveRatio(rep *analysis.Report, b *bugs.Built) float64 {
+	related := relatedFunctions(b.Prog.CallGraph, b.W.RootFunc)
+	rootRank := rep.Rank(b.W.RootFunc)
+	if rootRank == 0 || rootRank > 5 {
+		return 1
+	}
+	unrelated := 0
+	for _, fr := range rep.Funcs {
+		if fr.Rank >= rootRank {
+			break
+		}
+		if !related[fr.Name] {
+			unrelated++
+		}
+	}
+	return float64(unrelated) / 5
+}
+
+// relatedFunctions returns the call-graph neighborhood of root: root, every
+// transitive caller, and every transitive callee.
+func relatedFunctions(callGraph map[string][]string, root string) map[string]bool {
+	related := map[string]bool{root: true}
+	// Descendants.
+	var down func(fn string)
+	down = func(fn string) {
+		for _, callee := range callGraph[fn] {
+			if !related[callee] {
+				related[callee] = true
+				down(callee)
+			}
+		}
+	}
+	down(root)
+	// Ancestors: invert the graph.
+	parents := map[string][]string{}
+	for caller, callees := range callGraph {
+		for _, callee := range callees {
+			parents[callee] = append(parents[callee], caller)
+		}
+	}
+	var up func(fn string)
+	up = func(fn string) {
+		for _, caller := range parents[fn] {
+			if !related[caller] {
+				related[caller] = true
+				up(caller)
+			}
+		}
+	}
+	up(root)
+	return related
+}
+
+// Table3 diagnoses every resolved workload and renders the table.
+func Table3() (string, []Table3Row, error) {
+	var rows []Table3Row
+	for _, w := range bugs.All() {
+		row, err := DiagnoseWorkload(w)
+		if err != nil {
+			return "", nil, fmt.Errorf("%s: %w", w.ID, err)
+		}
+		rows = append(rows, row)
+	}
+	return RenderTable3(rows), rows, nil
+}

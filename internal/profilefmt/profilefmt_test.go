@@ -1,0 +1,179 @@
+package profilefmt_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vprof/internal/profilefmt"
+	"vprof/internal/sampler"
+)
+
+func sampleProfile() *sampler.Profile {
+	return &sampler.Profile{
+		Pid:        3,
+		File:       "prog.vp",
+		Interval:   97,
+		TotalTicks: 123456,
+		NumAlarms:  1272,
+		Hist:       []int64{0, 5, 0, 0, 9, 1, 0, 0, 0, 2},
+		Samples: []sampler.Sample{
+			{Layout: 0, VarNode: 0, PC: 4, StackDepth: 0, Value: 42, Tick: 97, Link: -1},
+			{Layout: 1, VarNode: 2, PC: 5, StackDepth: 1, Value: -7, Ptr: true, Tick: 194, Link: -1},
+			{Layout: 0, VarNode: 0, PC: 4, StackDepth: 0, Value: 43, Tick: 291, Link: 0},
+		},
+		Layout: []sampler.LayoutEntry{
+			{Func: "scan", Name: "available_mem"},
+			{Func: "#global", Name: "buf_ptr", IsPointer: true},
+		},
+	}
+}
+
+func TestRoundTripInMemory(t *testing.T) {
+	p := sampleProfile()
+	var hb, vb, lb bytes.Buffer
+	if err := profilefmt.EncodeHist(&hb, p); err != nil {
+		t.Fatal(err)
+	}
+	if err := profilefmt.EncodeSamples(&vb, p); err != nil {
+		t.Fatal(err)
+	}
+	if err := profilefmt.EncodeLayout(&lb, p); err != nil {
+		t.Fatal(err)
+	}
+	q, err := profilefmt.DecodeHist(&hb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := profilefmt.DecodeSamples(&vb, q); err != nil {
+		t.Fatal(err)
+	}
+	if err := profilefmt.DecodeLayout(&lb, q); err != nil {
+		t.Fatal(err)
+	}
+	assertEqualProfiles(t, p, q)
+}
+
+func assertEqualProfiles(t *testing.T, p, q *sampler.Profile) {
+	t.Helper()
+	if q.Pid != p.Pid || q.File != p.File || q.Interval != p.Interval ||
+		q.TotalTicks != p.TotalTicks || q.NumAlarms != p.NumAlarms {
+		t.Fatalf("header mismatch: %+v vs %+v", q, p)
+	}
+	if len(q.Hist) != len(p.Hist) {
+		t.Fatalf("hist length %d vs %d", len(q.Hist), len(p.Hist))
+	}
+	for i := range p.Hist {
+		if q.Hist[i] != p.Hist[i] {
+			t.Fatalf("hist[%d] = %d, want %d", i, q.Hist[i], p.Hist[i])
+		}
+	}
+	if len(q.Samples) != len(p.Samples) {
+		t.Fatalf("samples %d vs %d", len(q.Samples), len(p.Samples))
+	}
+	for i := range p.Samples {
+		if q.Samples[i] != p.Samples[i] {
+			t.Fatalf("sample %d: %+v vs %+v", i, q.Samples[i], p.Samples[i])
+		}
+	}
+	if len(q.Layout) != len(p.Layout) {
+		t.Fatalf("layout %d vs %d", len(q.Layout), len(p.Layout))
+	}
+	for i := range p.Layout {
+		if q.Layout[i] != p.Layout[i] {
+			t.Fatalf("layout %d: %+v vs %+v", i, q.Layout[i], p.Layout[i])
+		}
+	}
+}
+
+func TestWriteReadDir(t *testing.T) {
+	dir := t.TempDir()
+	p1 := sampleProfile()
+	p2 := sampleProfile()
+	p2.Pid = 1
+	p2.Samples = p2.Samples[:1]
+	if err := profilefmt.WriteDir(dir, p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := profilefmt.WriteDir(dir, p2); err != nil {
+		t.Fatal(err)
+	}
+	profiles, err := profilefmt.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profiles) != 2 {
+		t.Fatalf("read %d profiles, want 2", len(profiles))
+	}
+	// pid order.
+	if profiles[0].Pid != 1 || profiles[1].Pid != 3 {
+		t.Fatalf("pids = %d, %d", profiles[0].Pid, profiles[1].Pid)
+	}
+	assertEqualProfiles(t, p2, profiles[0])
+	assertEqualProfiles(t, p1, profiles[1])
+}
+
+func TestBadMagic(t *testing.T) {
+	p := sampleProfile()
+	var hb bytes.Buffer
+	if err := profilefmt.EncodeHist(&hb, p); err != nil {
+		t.Fatal(err)
+	}
+	// Samples decoder must reject a histogram stream.
+	if err := profilefmt.DecodeSamples(&hb, p); err == nil {
+		t.Fatal("expected magic mismatch error")
+	} else if !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestTruncatedStream(t *testing.T) {
+	p := sampleProfile()
+	var vb bytes.Buffer
+	if err := profilefmt.EncodeSamples(&vb, p); err != nil {
+		t.Fatal(err)
+	}
+	raw := vb.Bytes()
+	trunc := bytes.NewReader(raw[:len(raw)-5])
+	q := &sampler.Profile{}
+	if err := profilefmt.DecodeSamples(trunc, q); err == nil {
+		t.Fatal("expected error on truncated stream")
+	}
+}
+
+func TestEncodedSize(t *testing.T) {
+	p := sampleProfile()
+	n, err := profilefmt.EncodedSize(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hb, vb, lb bytes.Buffer
+	profilefmt.EncodeHist(&hb, p)
+	profilefmt.EncodeSamples(&vb, p)
+	profilefmt.EncodeLayout(&lb, p)
+	want := int64(hb.Len() + vb.Len() + lb.Len())
+	if n != want {
+		t.Fatalf("EncodedSize = %d, want %d", n, want)
+	}
+}
+
+func TestReadDirMissingArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	p := sampleProfile()
+	if err := profilefmt.WriteDir(dir, p); err != nil {
+		t.Fatal(err)
+	}
+	// Remove one artifact: ReadDir must fail cleanly.
+	if err := removeFile(dir, "layout.3.out"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := profilefmt.ReadDir(dir); err == nil {
+		t.Fatal("expected error with missing layout file")
+	}
+}
+
+func removeFile(dir, name string) error {
+	return os.Remove(filepath.Join(dir, name))
+}

@@ -1,0 +1,84 @@
+package schema
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Parse reads a schema back from its textual format (the inverse of Format),
+// one entry per line:
+//
+//	file_path, function, line, variable, type, tags
+//
+// Blank lines and lines starting with '#' are ignored.
+func Parse(r io.Reader) (*Schema, error) {
+	s := &Schema{}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		e, err := parseEntry(line)
+		if err != nil {
+			return nil, fmt.Errorf("schema line %d: %w", lineNo, err)
+		}
+		s.Entries = append(s.Entries, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func parseEntry(line string) (Entry, error) {
+	parts := strings.Split(line, ",")
+	if len(parts) != 6 {
+		return Entry{}, fmt.Errorf("want 6 fields, got %d", len(parts))
+	}
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	lineNum, err := strconv.Atoi(parts[2])
+	if err != nil {
+		return Entry{}, fmt.Errorf("bad line number %q", parts[2])
+	}
+	tags, err := ParseTags(parts[5])
+	if err != nil {
+		return Entry{}, err
+	}
+	return Entry{
+		FilePath: parts[0],
+		Function: parts[1],
+		Line:     lineNum,
+		Variable: parts[3],
+		Type:     parts[4],
+		Tags:     tags,
+	}, nil
+}
+
+// ParseTags parses the "loop|cond|args" tag syntax ("None" or "" = no tags).
+func ParseTags(s string) (Tag, error) {
+	if s == "" || strings.EqualFold(s, "none") {
+		return TagNone, nil
+	}
+	var t Tag
+	for _, part := range strings.Split(s, "|") {
+		switch strings.TrimSpace(part) {
+		case "loop":
+			t |= TagLoop
+		case "cond":
+			t |= TagCond
+		case "args":
+			t |= TagArgs
+		default:
+			return 0, fmt.Errorf("unknown tag %q", part)
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,317 @@
+// Package schema implements vProf's schema generator (paper §3.1): the
+// static analysis — an LLVM pass in the paper, an AST pass here — that
+// decides which program variables to monitor during profiling, and the
+// binary static analysis (paper §3.2) that translates the schema into
+// runtime variable metadata using debug information.
+//
+// The selection rules are the paper's:
+//
+//   - every global variable (cheap to monitor, reachable from any context);
+//   - loop induction variables (assigned inside a loop or its post clause
+//     and referenced in the loop condition);
+//   - every variable appearing in a branch/loop conditional expression;
+//   - every variable used as a call argument, and every formal parameter.
+//
+// Each monitored variable becomes one Entry:
+//
+//	file_path, function, line, variable, type, tags
+package schema
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vprof/internal/compiler"
+	"vprof/internal/debuginfo"
+	"vprof/internal/lang"
+)
+
+// Tag is a bitmask describing how a monitored variable is used.
+type Tag uint8
+
+// Tags, matching the paper's loop / cond / args markers.
+const (
+	TagNone Tag = 0
+	TagLoop Tag = 1 << iota
+	TagCond
+	TagArgs
+)
+
+// Has reports whether all bits of q are set.
+func (t Tag) Has(q Tag) bool { return t&q == q }
+
+// String renders tags in the paper's "loop|cond|args" form, or "None".
+func (t Tag) String() string {
+	if t == TagNone {
+		return "None"
+	}
+	var parts []string
+	if t.Has(TagLoop) {
+		parts = append(parts, "loop")
+	}
+	if t.Has(TagCond) {
+		parts = append(parts, "cond")
+	}
+	if t.Has(TagArgs) {
+		parts = append(parts, "args")
+	}
+	return strings.Join(parts, "|")
+}
+
+// Entry is one schema line: a variable to monitor.
+type Entry struct {
+	FilePath string
+	Function string // declaring function, or debuginfo.GlobalScope
+	Line     int    // definition line
+	Variable string
+	Type     string // "int" or "ptr"
+	Tags     Tag
+}
+
+// Key identifies the variable (function scope + name).
+func (e Entry) Key() string { return e.Function + "\x00" + e.Variable }
+
+// String renders the entry in the paper's schema format.
+func (e Entry) String() string {
+	return fmt.Sprintf("%s, %s, %d, %s, %s, %s",
+		e.FilePath, e.Function, e.Line, e.Variable, e.Type, e.Tags)
+}
+
+// Schema is the ordered list of variables selected for monitoring.
+type Schema struct {
+	Entries []Entry
+}
+
+// Lookup returns the entry for a variable, or nil. fn is the declaring
+// function or debuginfo.GlobalScope.
+func (s *Schema) Lookup(fn, name string) *Entry {
+	for i := range s.Entries {
+		if s.Entries[i].Function == fn && s.Entries[i].Variable == name {
+			return &s.Entries[i]
+		}
+	}
+	return nil
+}
+
+// Options controls schema generation.
+type Options struct {
+	// FuncFilter, when non-nil, restricts monitored locals to functions
+	// for which it returns true — the paper's per-component restriction
+	// ("limit the variables to monitor to specific components"). Globals
+	// are always included.
+	FuncFilter func(name string) bool
+	// IncludeGlobals defaults to true; set SkipGlobals to drop them.
+	SkipGlobals bool
+}
+
+// Generate runs the static analysis over a parsed file and returns the
+// schema of variables to monitor.
+func Generate(f *lang.File, opts Options) *Schema {
+	ptrs := compiler.InferPointers(f)
+	g := &generator{
+		file:    f,
+		ptrs:    ptrs,
+		globals: map[string]*lang.VarDecl{},
+		found:   map[string]*Entry{},
+	}
+	for _, gd := range f.Globals() {
+		g.globals[gd.Name] = gd
+	}
+
+	if !opts.SkipGlobals {
+		for _, gd := range f.Globals() {
+			g.ensure(debuginfo.GlobalScope, gd.Name, gd.Pos.Line)
+		}
+	}
+	for _, fn := range f.Funcs() {
+		if opts.FuncFilter != nil && !opts.FuncFilter(fn.Name) {
+			// Still collect tag information for globals referenced
+			// inside filtered-out functions? The paper extracts
+			// variables only from the chosen component's files; we
+			// mirror that by skipping the function entirely.
+			continue
+		}
+		g.analyzeFunc(fn)
+	}
+
+	s := &Schema{Entries: make([]Entry, 0, len(g.found))}
+	for _, e := range g.found {
+		s.Entries = append(s.Entries, *e)
+	}
+	sort.Slice(s.Entries, func(i, j int) bool {
+		a, b := s.Entries[i], s.Entries[j]
+		if a.Function != b.Function {
+			return a.Function < b.Function
+		}
+		return a.Variable < b.Variable
+	})
+	return s
+}
+
+type generator struct {
+	file    *lang.File
+	ptrs    map[string]bool
+	globals map[string]*lang.VarDecl
+	found   map[string]*Entry
+}
+
+// ensure records a monitored variable, returning its entry.
+func (g *generator) ensure(fn, name string, line int) *Entry {
+	key := fn + "\x00" + name
+	if e, ok := g.found[key]; ok {
+		return e
+	}
+	typ := "int"
+	if g.ptrs[key] {
+		typ = "ptr"
+	}
+	e := &Entry{
+		FilePath: g.file.Path,
+		Function: fn,
+		Line:     line,
+		Variable: name,
+		Type:     typ,
+		Tags:     TagNone,
+	}
+	g.found[key] = e
+	return e
+}
+
+// funcScope resolves an identifier used in fn to its declaring scope and
+// definition line.
+func (g *generator) resolve(fn *lang.FuncDecl, name string) (scope string, line int, ok bool) {
+	for _, p := range fn.Params {
+		if p.Name == name {
+			return fn.Name, p.Pos.Line, true
+		}
+	}
+	var declLine int
+	declared := false
+	lang.Walk(fn.Body, func(n lang.Node) bool {
+		if d, ok := n.(*lang.DeclStmt); ok && d.Decl.Name == name && !declared {
+			declared = true
+			declLine = d.Decl.Pos.Line
+		}
+		return !declared
+	})
+	if declared {
+		return fn.Name, declLine, true
+	}
+	if gd, ok := g.globals[name]; ok {
+		return debuginfo.GlobalScope, gd.Pos.Line, true
+	}
+	return "", 0, false
+}
+
+// tagIdent adds tags to the (possibly new) entry for an identifier used in fn.
+func (g *generator) tagIdent(fn *lang.FuncDecl, name string, tags Tag) {
+	scope, line, ok := g.resolve(fn, name)
+	if !ok {
+		return
+	}
+	if scope == debuginfo.GlobalScope {
+		if _, monitored := g.found[scope+"\x00"+name]; !monitored {
+			// Globals excluded via SkipGlobals stay excluded; tags
+			// only annotate entries that exist.
+			return
+		}
+	}
+	g.ensure(scope, name, line).Tags |= tags
+}
+
+// identsIn collects the identifier names appearing in an expression.
+func identsIn(e lang.Expr) []string {
+	var out []string
+	lang.Walk(e, func(n lang.Node) bool {
+		if id, ok := n.(*lang.Ident); ok {
+			out = append(out, id.Name)
+		}
+		return true
+	})
+	return out
+}
+
+func (g *generator) analyzeFunc(fn *lang.FuncDecl) {
+	// Formal parameters are monitored with the args tag (the paper's
+	// Figure 3 shows checkpoint_lsn, a parameter, tagged args).
+	for _, p := range fn.Params {
+		g.ensure(fn.Name, p.Name, p.Pos.Line).Tags |= TagArgs
+	}
+
+	lang.Walk(fn.Body, func(n lang.Node) bool {
+		switch x := n.(type) {
+		case *lang.IfStmt:
+			for _, name := range identsIn(x.Cond) {
+				g.tagIdent(fn, name, TagCond)
+			}
+		case *lang.WhileStmt:
+			for _, name := range identsIn(x.Cond) {
+				g.tagIdent(fn, name, TagCond)
+			}
+			g.tagInduction(fn, x.Cond, x.Body, nil)
+		case *lang.ForStmt:
+			if x.Cond != nil {
+				for _, name := range identsIn(x.Cond) {
+					g.tagIdent(fn, name, TagCond)
+				}
+			}
+			g.tagInduction(fn, x.Cond, x.Body, x.Post)
+		case *lang.CallExpr:
+			for _, a := range x.Args {
+				for _, name := range identsIn(a) {
+					g.tagIdent(fn, name, TagArgs)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// tagInduction marks loop induction variables: assigned in the loop body or
+// post clause and referenced in the loop condition.
+func (g *generator) tagInduction(fn *lang.FuncDecl, cond lang.Expr, body *lang.BlockStmt, post lang.Stmt) {
+	assigned := map[string]bool{}
+	collectAssigned := func(n lang.Node) bool {
+		if a, ok := n.(*lang.AssignStmt); ok {
+			assigned[a.Name] = true
+		}
+		return true
+	}
+	lang.Walk(body, collectAssigned)
+	if post != nil {
+		lang.Walk(post, collectAssigned)
+	}
+	if cond == nil {
+		return
+	}
+	for _, name := range identsIn(cond) {
+		if assigned[name] {
+			g.tagIdent(fn, name, TagLoop)
+		}
+	}
+}
+
+// Translate performs the paper's binary static analysis step: it searches
+// the debug information for the runtime locations of every schema variable
+// and returns the variable metadata (one or more VarLoc entries per
+// variable). Variables with no debug locations are silently dropped, exactly
+// as vProf treats DWARF-incomplete variables as inaccessible.
+func Translate(s *Schema, info *debuginfo.Info) []debuginfo.VarLoc {
+	var out []debuginfo.VarLoc
+	for _, e := range s.Entries {
+		out = append(out, info.VarEntries(e.Function, e.Variable)...)
+	}
+	return out
+}
+
+// Format renders the whole schema in the paper's textual format, one entry
+// per line.
+func Format(s *Schema) string {
+	var b strings.Builder
+	for _, e := range s.Entries {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

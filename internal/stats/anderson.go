@@ -1,0 +1,201 @@
+// Package stats implements the statistics that vProf's post-profiling
+// analysis relies on (paper §5.1): the k-sample Anderson-Darling test used
+// to decide whether value-sample distributions from normal and buggy
+// executions differ, and the Hellinger distance used to quantify how much
+// they differ. It also provides the histogram, delta and run-length helpers
+// the variable-discounter builds its three anomaly dimensions from.
+//
+// Everything is implemented from scratch on the standard library; the
+// Anderson-Darling implementation follows Scholz & Stephens (1987), "K-Sample
+// Anderson-Darling Tests", using the midrank (tie-aware) statistic and the
+// same critical-value interpolation SciPy's anderson_ksamp uses — the paper's
+// analysis was written in Python on top of SciPy.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrDegenerate is returned by ADKSample when the test is undefined: fewer
+// than two samples, an empty sample, or all pooled observations equal.
+var ErrDegenerate = errors.New("stats: anderson-darling test undefined for input")
+
+// ADResult is the outcome of a k-sample Anderson-Darling test.
+type ADResult struct {
+	// A2akN is the tie-adjusted rank statistic.
+	A2akN float64
+	// Stat is the standardized statistic (A2akN - (k-1)) / sigma.
+	Stat float64
+	// P is the approximate significance level at which the null
+	// hypothesis (all samples drawn from a common distribution) can be
+	// rejected. It is clamped to [0.001, 0.25] outside the interpolation
+	// range, as in SciPy.
+	P float64
+}
+
+// ADKSample runs the k-sample Anderson-Darling test on the given samples.
+func ADKSample(samples ...[]float64) (ADResult, error) {
+	k := len(samples)
+	if k < 2 {
+		return ADResult{}, ErrDegenerate
+	}
+	n := make([]int, k)
+	var pooled []float64
+	for i, s := range samples {
+		if len(s) == 0 {
+			return ADResult{}, ErrDegenerate
+		}
+		n[i] = len(s)
+		pooled = append(pooled, s...)
+	}
+	N := len(pooled)
+	if N < 4 {
+		return ADResult{}, ErrDegenerate
+	}
+	sort.Float64s(pooled)
+	if pooled[0] == pooled[N-1] {
+		return ADResult{}, ErrDegenerate
+	}
+
+	// Distinct pooled values and their multiplicities.
+	zstar := make([]float64, 1, N)
+	zstar[0] = pooled[0]
+	for _, v := range pooled[1:] {
+		if v != zstar[len(zstar)-1] {
+			zstar = append(zstar, v)
+		}
+	}
+	L := len(zstar)
+
+	searchLeft := func(s []float64, v float64) int {
+		return sort.SearchFloat64s(s, v)
+	}
+	searchRight := func(s []float64, v float64) int {
+		return sort.Search(len(s), func(i int) bool { return s[i] > v })
+	}
+
+	lj := make([]float64, L) // multiplicity of zstar[j] in pooled
+	bj := make([]float64, L) // midrank position
+	for j, v := range zstar {
+		l := searchLeft(pooled, v)
+		r := searchRight(pooled, v)
+		lj[j] = float64(r - l)
+		bj[j] = float64(l) + lj[j]/2
+	}
+
+	fN := float64(N)
+	var a2akN float64
+	for i := 0; i < k; i++ {
+		s := append([]float64(nil), samples[i]...)
+		sort.Float64s(s)
+		var inner float64
+		for j, v := range zstar {
+			right := float64(searchRight(s, v))
+			fij := right - float64(searchLeft(s, v))
+			mij := right - fij/2
+			denom := bj[j]*(fN-bj[j]) - fN*lj[j]/4
+			if denom <= 0 {
+				continue
+			}
+			num := fN*mij - bj[j]*float64(n[i])
+			inner += lj[j] / fN * num * num / denom
+		}
+		a2akN += inner / float64(n[i])
+	}
+	a2akN *= (fN - 1) / fN
+
+	// Variance of the statistic under the null (Scholz & Stephens eq. 7).
+	var H float64
+	for _, ni := range n {
+		H += 1 / float64(ni)
+	}
+	var h float64
+	for i := 1; i < N; i++ {
+		h += 1 / float64(i)
+	}
+	var g float64
+	for i := 1; i <= N-2; i++ {
+		for j := i + 1; j <= N-1; j++ {
+			g += 1 / (float64(N-i) * float64(j))
+		}
+	}
+	fk := float64(k)
+	a := (4*g-6)*(fk-1) + (10-6*g)*H
+	b := (2*g-4)*fk*fk + 8*h*fk + (2*g-14*h-4)*H - 8*h + 4*g - 6
+	c := (6*h+2*g-2)*fk*fk + (4*h-4*g+6)*fk + (2*h-6)*H + 4*h
+	d := (2*h+6)*fk*fk - 4*h*fk
+	sigmaSq := (a*fN*fN*fN + b*fN*fN + c*fN + d) /
+		((fN - 1) * (fN - 2) * (fN - 3))
+	if sigmaSq <= 0 {
+		return ADResult{}, ErrDegenerate
+	}
+	m := fk - 1
+	stat := (a2akN - m) / math.Sqrt(sigmaSq)
+
+	return ADResult{A2akN: a2akN, Stat: stat, P: adPValue(stat, m)}, nil
+}
+
+// Interpolation tables from Scholz & Stephens (1987), Table 2, as used by
+// SciPy: critical values at the listed significance levels are approximated
+// by b0 + b1/sqrt(m) + b2/m, then log(sig) is fit quadratically in the
+// critical value and evaluated at the observed statistic.
+var (
+	adSig = []float64{0.25, 0.10, 0.05, 0.025, 0.01, 0.005, 0.001}
+	adB0  = []float64{0.675, 1.281, 1.645, 1.960, 2.326, 2.573, 3.085}
+	adB1  = []float64{-0.245, 0.250, 0.678, 1.149, 1.822, 2.364, 3.615}
+	adB2  = []float64{-0.105, -0.305, -0.362, -0.391, -0.396, -0.345, -0.154}
+)
+
+func adPValue(stat, m float64) float64 {
+	crit := make([]float64, len(adSig))
+	logSig := make([]float64, len(adSig))
+	for i := range adSig {
+		crit[i] = adB0[i] + adB1[i]/math.Sqrt(m) + adB2[i]/m
+		logSig[i] = math.Log(adSig[i])
+	}
+	c0, c1, c2 := quadFit(crit, logSig)
+	p := math.Exp(c0 + c1*stat + c2*stat*stat)
+	// Clamp outside the table range, as SciPy does.
+	if stat < crit[0] {
+		return 0.25
+	}
+	if stat > crit[len(crit)-1] {
+		return 0.001
+	}
+	if p > 0.25 {
+		p = 0.25
+	}
+	if p < 0.001 {
+		p = 0.001
+	}
+	return p
+}
+
+// quadFit fits y ~= c0 + c1*x + c2*x^2 by least squares.
+func quadFit(x, y []float64) (c0, c1, c2 float64) {
+	var s0, s1, s2, s3, s4 float64
+	var t0, t1, t2 float64
+	for i := range x {
+		xi, yi := x[i], y[i]
+		x2 := xi * xi
+		s0++
+		s1 += xi
+		s2 += x2
+		s3 += x2 * xi
+		s4 += x2 * x2
+		t0 += yi
+		t1 += xi * yi
+		t2 += x2 * yi
+	}
+	// Solve the 3x3 normal equations with Cramer's rule.
+	det := s0*(s2*s4-s3*s3) - s1*(s1*s4-s2*s3) + s2*(s1*s3-s2*s2)
+	if det == 0 {
+		return 0, 0, 0
+	}
+	c0 = (t0*(s2*s4-s3*s3) - s1*(t1*s4-t2*s3) + s2*(t1*s3-t2*s2)) / det
+	c1 = (s0*(t1*s4-t2*s3) - t0*(s1*s4-s2*s3) + s2*(s1*t2-s2*t1)) / det
+	c2 = (s0*(s2*t2-s3*t1) - s1*(s1*t2-s2*t1) + t0*(s1*s3-s2*s2)) / det
+	return c0, c1, c2
+}

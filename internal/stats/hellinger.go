@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// DefaultHellingerBins is the bin count used when two samples have too many
+// distinct values to compare value-by-value.
+const DefaultHellingerBins = 32
+
+// Hellinger returns the Hellinger distance between the empirical
+// distributions of two samples, in [0, 1]. 0 means identical distributions,
+// 1 means disjoint support.
+//
+// The samples are discretized onto a common set of bins: exact values when
+// the combined number of distinct values is small, equal-width bins over the
+// combined range otherwise. An empty sample is treated as disjoint from a
+// non-empty one (distance 1); two empty samples have distance 0.
+func Hellinger(a, b []float64) float64 {
+	return HellingerBins(a, b, DefaultHellingerBins)
+}
+
+// HellingerBins is Hellinger with an explicit bin budget (minimum 2).
+func HellingerBins(a, b []float64, bins int) float64 {
+	switch {
+	case len(a) == 0 && len(b) == 0:
+		return 0
+	case len(a) == 0 || len(b) == 0:
+		return 1
+	}
+	if bins < 2 {
+		bins = 2
+	}
+
+	distinct := distinctValues(a, b)
+	var pa, pb []float64
+	if len(distinct) <= bins {
+		pa = exactPMF(a, distinct)
+		pb = exactPMF(b, distinct)
+	} else {
+		lo, hi := combinedRange(a, b)
+		pa = binnedPMF(a, lo, hi, bins)
+		pb = binnedPMF(b, lo, hi, bins)
+	}
+
+	// H^2 = 1 - sum sqrt(p_i * q_i)  (Bhattacharyya coefficient).
+	var bc float64
+	for i := range pa {
+		bc += math.Sqrt(pa[i] * pb[i])
+	}
+	if bc > 1 {
+		bc = 1
+	}
+	return math.Sqrt(1 - bc)
+}
+
+func distinctValues(a, b []float64) []float64 {
+	all := make([]float64, 0, len(a)+len(b))
+	all = append(all, a...)
+	all = append(all, b...)
+	sort.Float64s(all)
+	out := all[:0]
+	for i, v := range all {
+		if i == 0 || v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func exactPMF(s, distinct []float64) []float64 {
+	p := make([]float64, len(distinct))
+	for _, v := range s {
+		i := sort.SearchFloat64s(distinct, v)
+		p[i]++
+	}
+	for i := range p {
+		p[i] /= float64(len(s))
+	}
+	return p
+}
+
+func combinedRange(a, b []float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, s := range [][]float64{a, b} {
+		for _, v := range s {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	return lo, hi
+}
+
+func binnedPMF(s []float64, lo, hi float64, bins int) []float64 {
+	p := make([]float64, bins)
+	width := (hi - lo) / float64(bins)
+	if width <= 0 {
+		p[0] = 1
+		return p
+	}
+	for _, v := range s {
+		i := int((v - lo) / width)
+		if i >= bins {
+			i = bins - 1
+		}
+		if i < 0 {
+			i = 0
+		}
+		p[i]++
+	}
+	for i := range p {
+		p[i] /= float64(len(s))
+	}
+	return p
+}

@@ -1,0 +1,597 @@
+// Package vm executes compiled programs (package compiler) under a
+// deterministic tick-based cost model, standing in for the native CPU
+// execution that the vProf paper profiles.
+//
+// Every instruction consumes one tick; the work(n) builtin consumes n more.
+// A configurable alarm fires every AlarmInterval ticks, invoking a callback
+// with the VM paused at its current PC — the analogue of glibc's profil()
+// SIGPROF delivery that both gprof and vProf build on. The callback may
+// inspect the full call stack and read frame slots ("registers") and globals
+// ("memory"), which is exactly what the sampler package does.
+//
+// Determinism: given the same program, inputs, seed and alarm phase, a run
+// is bit-for-bit reproducible.
+package vm
+
+import (
+	"errors"
+	"fmt"
+
+	"vprof/internal/compiler"
+	"vprof/internal/lang"
+)
+
+// Value is a runtime value: a 64-bit integer, optionally tagged as a pointer
+// (the result of alloc()).
+type Value struct {
+	I   int64
+	Ptr bool
+}
+
+// ErrTicksExceeded is returned by Run when the configured tick budget is
+// exhausted. The analogue of stopping a hung reproduction run with a signal:
+// profiling data gathered so far remains valid.
+var ErrTicksExceeded = errors.New("vm: tick budget exceeded")
+
+// RuntimeError is a trap raised by program execution (e.g. division by zero).
+type RuntimeError struct {
+	PC   int
+	Line int
+	Msg  string
+}
+
+func (e *RuntimeError) Error() string {
+	return fmt.Sprintf("vm: runtime error at pc=%d line=%d: %s", e.PC, e.Line, e.Msg)
+}
+
+// DefaultMaxTicks bounds a run when Config.MaxTicks is zero.
+const DefaultMaxTicks = 200_000_000
+
+// Config controls one VM execution.
+type Config struct {
+	// Inputs are the workload parameters returned by input(k).
+	Inputs []int64
+	// Seed seeds the deterministic PRNG behind rand(n). A zero seed is
+	// replaced by 1.
+	Seed uint64
+	// MaxTicks bounds execution; DefaultMaxTicks when zero.
+	MaxTicks int64
+	// AlarmInterval fires OnAlarm every this many ticks; 0 disables.
+	AlarmInterval int64
+	// AlarmPhase delays the first alarm by this many ticks, modeling the
+	// arbitrary phase of a periodic timer relative to program start.
+	AlarmPhase int64
+	// OnAlarm is invoked at each alarm with the VM paused.
+	OnAlarm func(*VM)
+	// CostScale, when non-nil, rescales the tick cost charged at each PC.
+	// COZ-style causal profiling uses it to apply a virtual speedup to
+	// one basic block.
+	CostScale func(pc int, cost int64) int64
+	// OnBranch, when non-nil, observes every conditional branch outcome
+	// (statistical debugging's branch predicates).
+	OnBranch func(pc int, taken bool)
+	// OnReturn, when non-nil, observes every function return value
+	// (statistical debugging's return predicates).
+	OnReturn func(funcIndex int, value Value)
+	// WallAlarmInterval fires OnWallAlarm every this many *wall* ticks
+	// (CPU ticks plus off-CPU blocked time from the block(n) builtin);
+	// 0 disables. This is the off-CPU profiling hook: unlike the
+	// CPU-time alarm, it keeps firing while the program is blocked.
+	WallAlarmInterval int64
+	// OnWallAlarm is invoked at each wall alarm; blocked reports whether
+	// the program was off-CPU (inside block(n)) at that instant.
+	OnWallAlarm func(vm *VM, blocked bool)
+	// MaxWallTicks bounds wall-clock time (0 = no bound beyond MaxTicks).
+	MaxWallTicks int64
+	// CountCalls enables per-edge call counting (gprof's mcount).
+	CountCalls bool
+}
+
+// ChildRequest records a spawn() call: a process to run after the parent,
+// with a snapshot of the parent's globals (fork semantics).
+type ChildRequest struct {
+	FuncIndex int
+	Args      []Value
+	Globals   []Value
+}
+
+type frame struct {
+	funcIndex int
+	retPC     int // PC of the OpCall instruction in the caller
+	slots     []Value
+	stack     []Value
+}
+
+// VM is a single simulated process executing one program.
+type VM struct {
+	prog    *compiler.Program
+	cfg     Config
+	globals []Value
+	frames  []frame
+	pc      int
+	ticks   int64 // CPU ticks
+	blocked int64 // off-CPU ticks accumulated by block(n)
+	next    int64 // next CPU alarm tick (valid when interval > 0)
+	nextW   int64 // next wall alarm tick (valid when wall interval > 0)
+	rng     uint64
+	nextPtr int64
+	halted  bool
+	result  Value
+
+	// Children collects spawn() requests in order.
+	Children []ChildRequest
+	// Outputs collects out(v) values, for tests and examples.
+	Outputs []int64
+	// BranchTaken counts taken conditional branches per function index
+	// (the signal perf-PT style control-flow profiling consumes).
+	BranchTaken []int64
+	// CallEdges counts calls per (caller, callee) function-index pair —
+	// the data gprof's mcount instrumentation collects for its call
+	// graph. Populated only when Config.CountCalls is set.
+	CallEdges map[[2]int32]int64
+	// InstrCount is the number of instructions executed.
+	InstrCount int64
+}
+
+// New creates a VM for prog with the given configuration, ready to Run from
+// the program entry point.
+func New(prog *compiler.Program, cfg Config) *VM {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.MaxTicks <= 0 {
+		cfg.MaxTicks = DefaultMaxTicks
+	}
+	vm := &VM{
+		prog:        prog,
+		cfg:         cfg,
+		globals:     make([]Value, prog.NumGlobals()),
+		rng:         cfg.Seed,
+		BranchTaken: make([]int64, len(prog.Funcs)),
+	}
+	vm.next = cfg.AlarmPhase
+	if vm.next <= 0 {
+		vm.next = cfg.AlarmInterval
+	}
+	vm.nextW = cfg.AlarmPhase
+	if vm.nextW <= 0 {
+		vm.nextW = cfg.WallAlarmInterval
+	}
+	return vm
+}
+
+// Prog returns the program being executed.
+func (vm *VM) Prog() *compiler.Program { return vm.prog }
+
+// Ticks returns the simulated CPU time consumed so far.
+func (vm *VM) Ticks() int64 { return vm.ticks }
+
+// BlockedTicks returns the off-CPU time accumulated by block(n).
+func (vm *VM) BlockedTicks() int64 { return vm.blocked }
+
+// WallTicks returns elapsed wall-clock time: CPU plus blocked time.
+func (vm *VM) WallTicks() int64 { return vm.ticks + vm.blocked }
+
+// PC returns the current program counter.
+func (vm *VM) PC() int { return vm.pc }
+
+// Depth returns the current call-stack depth.
+func (vm *VM) Depth() int { return len(vm.frames) }
+
+// Result returns the value of the final return (used by RunFunc callers).
+func (vm *VM) Result() Value { return vm.result }
+
+// Global reads global variable i.
+func (vm *VM) Global(i int) Value { return vm.globals[i] }
+
+// Globals returns a copy of the current global memory.
+func (vm *VM) Globals() []Value {
+	out := make([]Value, len(vm.globals))
+	copy(out, vm.globals)
+	return out
+}
+
+// FrameView is a read-only view of one stack frame, as seen by the profiler
+// when virtually unwinding the stack.
+type FrameView struct {
+	// FuncIndex identifies the frame's function.
+	FuncIndex int
+	// RetPC is the PC of the call instruction in the *caller* (the
+	// "caller PC" at which unwinding resumes). It is -1 for the root
+	// frame.
+	RetPC int
+	vm    *VM
+	idx   int
+}
+
+// Slot reads the frame's i-th slot ("register"). Out-of-range reads return
+// the zero Value, mirroring a profiler reading a garbage register.
+func (f FrameView) Slot(i int) Value {
+	s := f.vm.frames[f.idx].slots
+	if i < 0 || i >= len(s) {
+		return Value{}
+	}
+	return s[i]
+}
+
+// Frame returns a view of the frame depth levels below the top (0 = current
+// frame). ok is false when depth exceeds the stack.
+func (vm *VM) Frame(depth int) (FrameView, bool) {
+	idx := len(vm.frames) - 1 - depth
+	if idx < 0 {
+		return FrameView{}, false
+	}
+	fr := vm.frames[idx]
+	return FrameView{FuncIndex: fr.funcIndex, RetPC: fr.retPC, vm: vm, idx: idx}, true
+}
+
+// Run executes the program from its entry point (__init, which runs global
+// initializers and calls main). It returns nil on normal halt,
+// ErrTicksExceeded if the budget ran out, or a *RuntimeError on a trap.
+func (vm *VM) Run() error {
+	initIdx := len(vm.prog.Funcs) - 1 // __init is emitted last
+	vm.frames = append(vm.frames[:0], frame{funcIndex: initIdx, retPC: -1})
+	vm.pc = vm.prog.EntryPC
+	vm.halted = false
+	return vm.loop()
+}
+
+// RunFunc executes a single function as a fresh process (used for spawn
+// children): globals are initialized from the given snapshot, the function
+// is invoked with args, and execution ends when it returns.
+func (vm *VM) RunFunc(funcIndex int, args []Value, globals []Value) error {
+	fn := vm.prog.Funcs[funcIndex]
+	if len(args) != fn.NumParams {
+		return fmt.Errorf("vm: RunFunc %s: %d args, want %d", fn.Name, len(args), fn.NumParams)
+	}
+	copy(vm.globals, globals)
+	fr := frame{funcIndex: funcIndex, retPC: -1, slots: make([]Value, fn.NumSlots)}
+	copy(fr.slots, args)
+	vm.frames = append(vm.frames[:0], fr)
+	vm.pc = fn.Entry
+	vm.halted = false
+	return vm.loop()
+}
+
+// charge consumes n ticks, firing alarms at every interval crossing with the
+// VM paused at its current PC. A configured CostScale (virtual speedup)
+// rescales the charge first.
+func (vm *VM) charge(n int64) {
+	if vm.cfg.CostScale != nil {
+		n = vm.cfg.CostScale(vm.pc, n)
+		if n < 0 {
+			n = 0
+		}
+	}
+	cpuAlarms := vm.cfg.AlarmInterval > 0 && vm.cfg.OnAlarm != nil
+	wallAlarms := vm.cfg.WallAlarmInterval > 0 && vm.cfg.OnWallAlarm != nil
+	if !cpuAlarms && !wallAlarms {
+		vm.ticks += n
+		return
+	}
+	for n > 0 {
+		step := n
+		if cpuAlarms {
+			if d := vm.next - vm.ticks; d < step {
+				step = d
+			}
+		}
+		if wallAlarms {
+			if d := vm.nextW - vm.WallTicks(); d < step {
+				step = d
+			}
+		}
+		vm.ticks += step
+		n -= step
+		if cpuAlarms && vm.ticks == vm.next {
+			vm.cfg.OnAlarm(vm)
+			vm.next += vm.cfg.AlarmInterval
+		}
+		if wallAlarms && vm.WallTicks() == vm.nextW {
+			vm.cfg.OnWallAlarm(vm, false)
+			vm.nextW += vm.cfg.WallAlarmInterval
+		}
+	}
+}
+
+// chargeBlocked consumes n wall ticks with the program off-CPU (inside
+// block(n)): the CPU-time alarm does not advance — a SIGPROF CPU profiler
+// never fires while the process sleeps — but wall alarms do.
+func (vm *VM) chargeBlocked(n int64) {
+	if vm.cfg.WallAlarmInterval <= 0 || vm.cfg.OnWallAlarm == nil {
+		vm.blocked += n
+		return
+	}
+	for n > 0 {
+		step := vm.nextW - vm.WallTicks()
+		if step > n {
+			vm.blocked += n
+			return
+		}
+		vm.blocked += step
+		n -= step
+		vm.cfg.OnWallAlarm(vm, true)
+		vm.nextW += vm.cfg.WallAlarmInterval
+	}
+}
+
+func (vm *VM) top() *frame { return &vm.frames[len(vm.frames)-1] }
+
+func (vm *VM) push(v Value) {
+	f := vm.top()
+	f.stack = append(f.stack, v)
+}
+
+func (vm *VM) pop() Value {
+	f := vm.top()
+	v := f.stack[len(f.stack)-1]
+	f.stack = f.stack[:len(f.stack)-1]
+	return v
+}
+
+func (vm *VM) trap(msg string) error {
+	line := 0
+	if vm.pc >= 0 && vm.pc < len(vm.prog.Instrs) {
+		line = int(vm.prog.Instrs[vm.pc].Line)
+	}
+	return &RuntimeError{PC: vm.pc, Line: line, Msg: msg}
+}
+
+func boolVal(b bool) Value {
+	if b {
+		return Value{I: 1}
+	}
+	return Value{I: 0}
+}
+
+func (vm *VM) loop() error {
+	prog := vm.prog
+	for !vm.halted {
+		if vm.ticks >= vm.cfg.MaxTicks {
+			return ErrTicksExceeded
+		}
+		if vm.cfg.MaxWallTicks > 0 && vm.WallTicks() >= vm.cfg.MaxWallTicks {
+			return ErrTicksExceeded
+		}
+		ins := prog.Instrs[vm.pc]
+		vm.InstrCount++
+		vm.charge(1)
+		switch ins.Op {
+		case compiler.OpConst:
+			vm.push(Value{I: prog.Consts[ins.A]})
+			vm.pc++
+		case compiler.OpLoadG:
+			vm.push(vm.globals[ins.A])
+			vm.pc++
+		case compiler.OpStoreG:
+			vm.globals[ins.A] = vm.pop()
+			vm.pc++
+		case compiler.OpLoadL:
+			vm.push(vm.top().slots[ins.A])
+			vm.pc++
+		case compiler.OpStoreL:
+			vm.top().slots[ins.A] = vm.pop()
+			vm.pc++
+		case compiler.OpBin:
+			y := vm.pop()
+			x := vm.pop()
+			v, err := vm.binop(ins.A, x, y)
+			if err != nil {
+				return err
+			}
+			vm.push(v)
+			vm.pc++
+		case compiler.OpUn:
+			x := vm.pop()
+			if ins.A == 0 { // UnaryNot
+				vm.push(boolVal(x.I == 0 && !x.Ptr))
+			} else { // UnaryNeg
+				vm.push(Value{I: -x.I})
+			}
+			vm.pc++
+		case compiler.OpJump:
+			vm.pc = int(ins.A)
+		case compiler.OpJZ:
+			v := vm.pop()
+			taken := v.I == 0 && !v.Ptr
+			if vm.cfg.OnBranch != nil {
+				vm.cfg.OnBranch(vm.pc, taken)
+			}
+			if taken {
+				vm.BranchTaken[vm.top().funcIndex]++
+				vm.pc = int(ins.A)
+			} else {
+				vm.pc++
+			}
+		case compiler.OpJNZ:
+			v := vm.pop()
+			taken := v.I != 0 || v.Ptr
+			if vm.cfg.OnBranch != nil {
+				vm.cfg.OnBranch(vm.pc, taken)
+			}
+			if taken {
+				vm.BranchTaken[vm.top().funcIndex]++
+				vm.pc = int(ins.A)
+			} else {
+				vm.pc++
+			}
+		case compiler.OpCall:
+			// A call is a taken control transfer (Intel-PT-style branch
+			// accounting attributes it to the caller).
+			vm.BranchTaken[vm.top().funcIndex]++
+			if vm.cfg.CountCalls {
+				if vm.CallEdges == nil {
+					vm.CallEdges = map[[2]int32]int64{}
+				}
+				vm.CallEdges[[2]int32{int32(vm.top().funcIndex), ins.A}]++
+			}
+			// Call overhead is charged before the callee frame exists,
+			// so an alarm here still observes the caller's registers at
+			// the call PC.
+			vm.charge(1)
+			fn := prog.Funcs[ins.A]
+			fr := frame{
+				funcIndex: int(ins.A),
+				retPC:     vm.pc,
+				slots:     make([]Value, fn.NumSlots),
+			}
+			argc := int(ins.B)
+			for i := argc - 1; i >= 0; i-- {
+				fr.slots[i] = vm.pop()
+			}
+			vm.frames = append(vm.frames, fr)
+			vm.pc = fn.Entry
+		case compiler.OpCallB:
+			if err := vm.builtin(compiler.Builtin(ins.A), int(ins.B)); err != nil {
+				return err
+			}
+			vm.pc++
+		case compiler.OpRet:
+			v := vm.pop()
+			ret := vm.top().retPC
+			// The return transfer is attributed to the returning
+			// function.
+			vm.BranchTaken[vm.top().funcIndex]++
+			if vm.cfg.OnReturn != nil {
+				vm.cfg.OnReturn(vm.top().funcIndex, v)
+			}
+			vm.frames = vm.frames[:len(vm.frames)-1]
+			if len(vm.frames) == 0 {
+				vm.result = v
+				vm.halted = true
+				break
+			}
+			vm.push(v)
+			vm.pc = ret + 1
+		case compiler.OpPop:
+			vm.pop()
+			vm.pc++
+		case compiler.OpHalt:
+			vm.halted = true
+		default:
+			return vm.trap(fmt.Sprintf("illegal opcode %v", ins.Op))
+		}
+	}
+	return nil
+}
+
+func (vm *VM) binop(op int32, x, y Value) (Value, error) {
+	switch lang.BinaryOp(op) {
+	case lang.BinAdd:
+		return Value{I: x.I + y.I}, nil
+	case lang.BinSub:
+		return Value{I: x.I - y.I}, nil
+	case lang.BinMul:
+		return Value{I: x.I * y.I}, nil
+	case lang.BinDiv:
+		if y.I == 0 {
+			return Value{}, vm.trap("division by zero")
+		}
+		return Value{I: x.I / y.I}, nil
+	case lang.BinMod:
+		if y.I == 0 {
+			return Value{}, vm.trap("modulo by zero")
+		}
+		return Value{I: x.I % y.I}, nil
+	case lang.BinEq:
+		return boolVal(x.I == y.I && x.Ptr == y.Ptr), nil
+	case lang.BinNeq:
+		return boolVal(x.I != y.I || x.Ptr != y.Ptr), nil
+	case lang.BinLt:
+		return boolVal(x.I < y.I), nil
+	case lang.BinLe:
+		return boolVal(x.I <= y.I), nil
+	case lang.BinGt:
+		return boolVal(x.I > y.I), nil
+	case lang.BinGe:
+		return boolVal(x.I >= y.I), nil
+	}
+	return Value{}, vm.trap(fmt.Sprintf("illegal binary op %d", op))
+}
+
+func (vm *VM) builtin(b compiler.Builtin, argc int) error {
+	switch b {
+	case compiler.BWork:
+		n := vm.pop().I
+		if n < 0 {
+			n = 0
+		}
+		vm.charge(n)
+		vm.push(Value{I: n})
+	case compiler.BAlloc:
+		vm.nextPtr += 16
+		vm.push(Value{I: 1<<40 + vm.nextPtr, Ptr: true})
+	case compiler.BInput:
+		k := vm.pop().I
+		var v int64
+		if k >= 0 && k < int64(len(vm.cfg.Inputs)) {
+			v = vm.cfg.Inputs[k]
+		}
+		vm.push(Value{I: v})
+	case compiler.BRand:
+		n := vm.pop().I
+		if n <= 0 {
+			vm.push(Value{I: 0})
+			break
+		}
+		vm.push(Value{I: int64(vm.xorshift() % uint64(n))})
+	case compiler.BNow:
+		vm.push(Value{I: vm.WallTicks()})
+	case compiler.BSpawn:
+		args := make([]Value, argc)
+		for i := argc - 1; i >= 0; i-- {
+			args[i] = vm.pop()
+		}
+		req := ChildRequest{
+			FuncIndex: int(args[0].I),
+			Args:      args[1:],
+			Globals:   vm.Globals(),
+		}
+		vm.Children = append(vm.Children, req)
+		vm.push(Value{I: int64(len(vm.Children))}) // child pid-like handle
+	case compiler.BOut:
+		v := vm.pop()
+		vm.Outputs = append(vm.Outputs, v.I)
+		vm.push(v)
+	case compiler.BAbs:
+		v := vm.pop().I
+		if v < 0 {
+			v = -v
+		}
+		vm.push(Value{I: v})
+	case compiler.BMin:
+		y := vm.pop().I
+		x := vm.pop().I
+		if y < x {
+			x = y
+		}
+		vm.push(Value{I: x})
+	case compiler.BMax:
+		y := vm.pop().I
+		x := vm.pop().I
+		if y > x {
+			x = y
+		}
+		vm.push(Value{I: x})
+	case compiler.BBlock:
+		n := vm.pop().I
+		if n < 0 {
+			n = 0
+		}
+		vm.chargeBlocked(n)
+		vm.push(Value{I: n})
+	default:
+		return vm.trap(fmt.Sprintf("illegal builtin %d", int(b)))
+	}
+	return nil
+}
+
+// xorshift advances the deterministic PRNG (xorshift64*).
+func (vm *VM) xorshift() uint64 {
+	x := vm.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	vm.rng = x
+	return x * 0x2545F4914F6CDD1D
+}

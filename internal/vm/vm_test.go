@@ -1,0 +1,209 @@
+package vm_test
+
+import (
+	"testing"
+
+	"vprof/internal/compiler"
+	"vprof/internal/lang"
+	"vprof/internal/vm"
+)
+
+func compile(t *testing.T, src string) *compiler.Program {
+	t.Helper()
+	f, err := lang.Parse("t.vp", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := compiler.Compile(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCostScaleSpeedsBlocks(t *testing.T) {
+	p := compile(t, `
+func hot() { work(1000); return 0; }
+func main() { hot(); hot(); }`)
+	base := vm.New(p, vm.Config{})
+	if err := base.Run(); err != nil {
+		t.Fatal(err)
+	}
+	hot := p.FuncNamed("hot")
+	scaled := vm.New(p, vm.Config{CostScale: func(pc int, cost int64) int64 {
+		if pc >= hot.Entry && pc < hot.End {
+			return cost / 2
+		}
+		return cost
+	}})
+	if err := scaled.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if scaled.Ticks() >= base.Ticks() {
+		t.Fatalf("scaled %d >= base %d", scaled.Ticks(), base.Ticks())
+	}
+	// Roughly half the hot time should disappear.
+	if scaled.Ticks() > base.Ticks()*3/4 {
+		t.Errorf("speedup too small: %d vs %d", scaled.Ticks(), base.Ticks())
+	}
+	// Negative scale results clamp to zero rather than rewinding time.
+	neg := vm.New(p, vm.Config{CostScale: func(int, int64) int64 { return -5 }})
+	if err := neg.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if neg.Ticks() != 0 {
+		t.Errorf("negative scaling produced %d ticks", neg.Ticks())
+	}
+}
+
+func TestOnBranchObservesOutcomes(t *testing.T) {
+	p := compile(t, `
+func main() {
+	var taken = 0;
+	for (var i = 0; i < 10; i++) {
+		if (i % 2 == 0) { taken++; }
+	}
+	out(taken);
+}`)
+	var taken, total int
+	m := vm.New(p, vm.Config{OnBranch: func(pc int, t bool) {
+		total++
+		if t {
+			taken++
+		}
+	}})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if total == 0 || taken == 0 || taken == total {
+		t.Errorf("branch observation: taken=%d total=%d", taken, total)
+	}
+}
+
+func TestOnReturnObservesValues(t *testing.T) {
+	p := compile(t, `
+func f(x) { return x * 2; }
+func main() { f(3); f(5); }`)
+	var got []int64
+	fIdx := p.FuncNamed("f").Index
+	m := vm.New(p, vm.Config{OnReturn: func(fi int, v vm.Value) {
+		if fi == fIdx {
+			got = append(got, v.I)
+		}
+	}})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 6 || got[1] != 10 {
+		t.Errorf("returns = %v", got)
+	}
+}
+
+func TestRunProcessesNestedSpawn(t *testing.T) {
+	p := compile(t, `
+func grandchild(n) { out(n); }
+func child(n) {
+	out(n);
+	spawn("grandchild", n + 1);
+}
+func main() {
+	spawn("child", 10);
+	spawn("child", 20);
+}`)
+	procs := vm.RunProcesses(p, func(int) vm.Config { return vm.Config{} })
+	if len(procs) != 5 {
+		t.Fatalf("%d processes, want 5 (root, 2 children, 2 grandchildren)", len(procs))
+	}
+	// BFS order: children before grandchildren.
+	if procs[1].VM.Outputs[0] != 10 || procs[2].VM.Outputs[0] != 20 {
+		t.Errorf("children outputs: %v %v", procs[1].VM.Outputs, procs[2].VM.Outputs)
+	}
+	if procs[3].VM.Outputs[0] != 11 || procs[4].VM.Outputs[0] != 21 {
+		t.Errorf("grandchildren outputs: %v %v", procs[3].VM.Outputs, procs[4].VM.Outputs)
+	}
+	if procs[3].ParentPid != 2 || procs[4].ParentPid != 3 {
+		t.Errorf("grandchild parents: %d %d", procs[3].ParentPid, procs[4].ParentPid)
+	}
+}
+
+func TestRunFuncArityMismatch(t *testing.T) {
+	p := compile(t, `
+func f(a, b) { return a + b; }
+func main() { f(1, 2); }`)
+	m := vm.New(p, vm.Config{})
+	if err := m.RunFunc(p.FuncNamed("f").Index, []vm.Value{{I: 1}}, m.Globals()); err == nil {
+		t.Fatal("expected arity error")
+	}
+}
+
+func TestResultValue(t *testing.T) {
+	p := compile(t, `
+func f() { return 42; }
+func main() { f(); }`)
+	m := vm.New(p, vm.Config{})
+	if err := m.RunFunc(p.FuncNamed("f").Index, nil, m.Globals()); err != nil {
+		t.Fatal(err)
+	}
+	if m.Result().I != 42 {
+		t.Errorf("result = %v", m.Result())
+	}
+}
+
+func TestFrameOutOfRange(t *testing.T) {
+	p := compile(t, `func main() { work(100); }`)
+	checked := false
+	m := vm.New(p, vm.Config{AlarmInterval: 10, OnAlarm: func(v *vm.VM) {
+		if _, ok := v.Frame(v.Depth()); ok {
+			// Depth() frames exist at indices 0..Depth()-1.
+			panicIfReached := true
+			_ = panicIfReached
+		}
+		if _, ok := v.Frame(99); ok {
+			checked = true
+		}
+	}})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if checked {
+		t.Error("Frame(99) reported ok")
+	}
+}
+
+func TestSlotOutOfRangeReturnsZero(t *testing.T) {
+	p := compile(t, `func main() { work(50); }`)
+	sawZero := false
+	m := vm.New(p, vm.Config{AlarmInterval: 7, OnAlarm: func(v *vm.VM) {
+		fv, ok := v.Frame(0)
+		if !ok {
+			return
+		}
+		if got := fv.Slot(500); got == (vm.Value{}) {
+			sawZero = true
+		}
+		if got := fv.Slot(-1); got != (vm.Value{}) {
+			sawZero = false
+		}
+	}})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !sawZero {
+		t.Error("out-of-range slot read did not return zero Value")
+	}
+}
+
+func TestGlobalsSnapshotIsolated(t *testing.T) {
+	p := compile(t, `
+var g = 1;
+func main() { g = 7; }`)
+	m := vm.New(p, vm.Config{})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Globals()
+	snap[0] = vm.Value{I: 99}
+	if m.Global(0).I != 7 {
+		t.Error("Globals() returned aliased memory")
+	}
+}

@@ -1,0 +1,266 @@
+// Package vprof is a from-scratch Go reproduction of "Effective Performance
+// Issue Diagnosis with Value-Assisted Cost Profiling" (EuroSys 2023): a
+// gprof-style PC-sampling profiler that additionally records the values of
+// performance-relevant program variables at every sampling alarm, plus the
+// post-profiling analysis that compares a normal and a buggy execution to
+// re-rank functions so the true root cause surfaces.
+//
+// Because native binaries cannot be instrumented from an offline pure-Go
+// library, profiled applications are written in a small C-like language and
+// executed on a deterministic tick-cost virtual machine (see DESIGN.md for
+// the substitution map). The profiler itself — schema generation, variable
+// metadata, PCToVarTable/VariableArray/SampleArray, virtual stack unwinding,
+// Anderson-Darling + Hellinger discounting, bug-pattern classification — is
+// implemented faithfully to the paper.
+//
+// Typical use:
+//
+//	prog, _ := vprof.Compile("app.vp", source)
+//	sch := prog.GenerateSchema(vprof.SchemaOptions{})
+//	normal := prog.Profile(vprof.RunSpec{Inputs: []int64{10}}, sch)
+//	buggy := prog.Profile(vprof.RunSpec{Inputs: []int64{900}}, sch)
+//	report, _ := vprof.Analyze(prog, sch, []*vprof.Profile{normal}, []*vprof.Profile{buggy}, vprof.DefaultParams())
+//	fmt.Print(report.Render(10))
+package vprof
+
+import (
+	"fmt"
+	"strings"
+
+	"vprof/internal/analysis"
+	"vprof/internal/compiler"
+	"vprof/internal/debuginfo"
+	"vprof/internal/lang"
+	"vprof/internal/sampler"
+	"vprof/internal/schema"
+	"vprof/internal/vm"
+)
+
+// Re-exported result types: the analysis report is the library's primary
+// output.
+type (
+	// Report is a calibrated function ranking with bug-pattern
+	// annotations.
+	Report = analysis.Report
+	// FuncReport is one ranked function.
+	FuncReport = analysis.FuncReport
+	// VariableReport is the discounter's verdict on one variable.
+	VariableReport = analysis.VariableReport
+	// Params are the analysis tunables (DefaultDiscount etc.).
+	Params = analysis.Params
+	// Pattern is an inferred bug pattern.
+	Pattern = analysis.Pattern
+	// Schema lists the variables selected for monitoring.
+	Schema = schema.Schema
+	// Profile is a recorded execution profile (PC histogram + value
+	// samples + layout log).
+	Profile = sampler.Profile
+)
+
+// Bug patterns (paper §5.2).
+const (
+	PatternNC                = analysis.PatternNC
+	PatternWrongConstraint   = analysis.PatternWrongConstraint
+	PatternMissingConstraint = analysis.PatternMissingConstraint
+	PatternScalability       = analysis.PatternScalability
+)
+
+// DefaultParams returns the paper's default analysis parameters
+// (DefaultDiscount 0.8, ValidDiscount 0.1, Anderson-Darling p 0.05).
+func DefaultParams() Params { return analysis.DefaultParams() }
+
+// Program is a compiled target program with debug information.
+type Program struct {
+	ast      *lang.File
+	compiled *compiler.Program
+}
+
+// Compile parses and compiles a target-program source file.
+func Compile(path, source string) (*Program, error) {
+	f, err := lang.Parse(path, source)
+	if err != nil {
+		return nil, err
+	}
+	p, err := compiler.Compile(f)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{ast: f, compiled: p}, nil
+}
+
+// Functions returns the names of the program's functions, in program order
+// (excluding synthetic entry code).
+func (p *Program) Functions() []string {
+	var out []string
+	for _, f := range p.compiled.Funcs {
+		if !f.Synthetic {
+			out = append(out, f.Name)
+		}
+	}
+	return out
+}
+
+// TextSize returns the number of instructions in the compiled text section.
+func (p *Program) TextSize() int { return len(p.compiled.Instrs) }
+
+// SchemaOptions controls schema generation (paper §3.1).
+type SchemaOptions struct {
+	// Functions, when non-empty, restricts monitored locals to these
+	// functions (the paper's per-component restriction). Globals are
+	// always monitored.
+	Functions []string
+	// SkipGlobals drops global variables from the schema.
+	SkipGlobals bool
+}
+
+// GenerateSchema runs the static analysis that selects variables to monitor:
+// all globals, loop induction variables, conditional-expression variables,
+// and call arguments.
+func (p *Program) GenerateSchema(opts SchemaOptions) *Schema {
+	var filter func(string) bool
+	if len(opts.Functions) > 0 {
+		set := map[string]bool{}
+		for _, f := range opts.Functions {
+			set[f] = true
+		}
+		filter = func(name string) bool { return set[name] }
+	}
+	return schema.Generate(p.ast, schema.Options{FuncFilter: filter, SkipGlobals: opts.SkipGlobals})
+}
+
+// RunSpec parameterizes one execution of the target program.
+type RunSpec struct {
+	// Inputs are the workload parameters read by the program's input(k)
+	// builtin.
+	Inputs []int64
+	// Seed drives the program's rand(n) builtin (default 1).
+	Seed uint64
+	// MaxTicks bounds the execution (hung programs are cut off; the
+	// profile remains valid). 0 uses a large default.
+	MaxTicks int64
+	// AlarmPhase offsets the first sampling alarm, so repeated profiling
+	// runs observe different instants.
+	AlarmPhase int64
+	// Interval is the sampling period in ticks (default 97).
+	Interval int64
+	// OffCPU profiles blocked (off-CPU) time instead of CPU time: alarms
+	// fire on the wall clock and only instants spent inside the target's
+	// block(n) builtin are recorded. This is the paper's §7 future-work
+	// direction; the same value-assisted calibration applies.
+	OffCPU bool
+	// MaxWallTicks bounds wall-clock time for block()-heavy programs.
+	MaxWallTicks int64
+}
+
+func (s RunSpec) vmConfig() vm.Config {
+	return vm.Config{
+		Inputs:       s.Inputs,
+		Seed:         s.Seed,
+		MaxTicks:     s.MaxTicks,
+		MaxWallTicks: s.MaxWallTicks,
+		AlarmPhase:   s.AlarmPhase,
+	}
+}
+
+func (s RunSpec) interval() int64 {
+	if s.Interval > 0 {
+		return s.Interval
+	}
+	return sampler.DefaultInterval
+}
+
+// Run executes the program (and any spawned child processes) without
+// profiling and returns the out() builtin's log and total simulated ticks.
+func (p *Program) Run(spec RunSpec) (outputs []int64, ticks int64, err error) {
+	procs := vm.RunProcesses(p.compiled, func(int) vm.Config { return spec.vmConfig() })
+	for _, proc := range procs {
+		outputs = append(outputs, proc.VM.Outputs...)
+		ticks += proc.VM.Ticks()
+		if proc.Err != nil && err == nil {
+			err = proc.Err
+		}
+	}
+	return outputs, ticks, err
+}
+
+// Profile executes the program under the value-assisted profiler, monitoring
+// the schema's variables, and returns the merged multi-process profile.
+func (p *Program) Profile(spec RunSpec, sch *Schema) *Profile {
+	meta := schema.Translate(sch, p.compiled.Debug)
+	res := sampler.ProfileRun(p.compiled, meta, spec.vmConfig(),
+		sampler.Options{Interval: spec.interval(), OffCPU: spec.OffCPU})
+	return sampler.MergeProfiles(res.Profiles)
+}
+
+// Disassemble renders the compiled text section with function and
+// basic-block boundaries, source lines, and per-PC instructions.
+func (p *Program) Disassemble() string {
+	var b strings.Builder
+	d := p.compiled.Debug
+	for i := range d.Funcs {
+		fn := &d.Funcs[i]
+		kind := ""
+		if fn.Library {
+			kind = " [library]"
+		}
+		fmt.Fprintf(&b, "func %s [%d, %d)%s\n", fn.Name, fn.Entry, fn.End, kind)
+		for bi := range fn.Blocks {
+			blk := &fn.Blocks[bi]
+			fmt.Fprintf(&b, "  %s (line %d):\n", blk.Label, blk.Line)
+			for pc := blk.Start; pc < blk.End; pc++ {
+				fmt.Fprintf(&b, "    %5d  %-20s ; line %d\n", pc, p.compiled.Instrs[pc].String(), d.LineAt(pc))
+			}
+		}
+	}
+	return b.String()
+}
+
+// Metadata returns the variable metadata (the paper's binary-static-analysis
+// output) for a schema against this program's debug information.
+func (p *Program) Metadata(sch *Schema) []debuginfo.VarLoc {
+	return schema.Translate(sch, p.compiled.Debug)
+}
+
+// Debug exposes the program's DWARF-like debug information (function and
+// basic-block ranges, line table, variable locations).
+func (p *Program) Debug() *debuginfo.Info { return p.compiled.Debug }
+
+// Analyze runs the post-profiling analysis over profiles of normal and buggy
+// executions of prog. Profiles must have been produced with the same schema.
+// The first profile of each side feeds the variable-discounter; all profiles
+// feed the hist-discounter.
+func Analyze(prog *Program, sch *Schema, normal, buggy []*Profile, params Params) (*Report, error) {
+	return analysis.Analyze(analysis.Input{
+		Debug:  prog.compiled.Debug,
+		Schema: sch,
+		Normal: normal,
+		Buggy:  buggy,
+	}, params)
+}
+
+// Diagnose is the one-call workflow of the paper's Figure 2: profile the
+// program `runs` times under each spec (normal and buggy), analyze, and
+// return the calibrated report.
+func Diagnose(prog *Program, sch *Schema, normalSpec, buggySpec RunSpec, runs int, params Params) (*Report, error) {
+	if runs <= 0 {
+		runs = 5
+	}
+	var normal, buggy []*Profile
+	for i := 0; i < runs; i++ {
+		n := normalSpec
+		b := buggySpec
+		n.AlarmPhase += int64(7 * i)
+		b.AlarmPhase += int64(7 * i)
+		n.Seed += uint64(i * 1000003)
+		b.Seed += uint64(i * 1000003)
+		normal = append(normal, prog.Profile(n, sch))
+		buggy = append(buggy, prog.Profile(b, sch))
+	}
+	return Analyze(prog, sch, normal, buggy, params)
+}
+
+// FormatSchema renders a schema in the paper's textual format.
+func FormatSchema(sch *Schema) string { return schema.Format(sch) }
+
+// Version identifies the library release.
+const Version = "1.0.0"

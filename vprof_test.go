@@ -1,0 +1,157 @@
+package vprof_test
+
+import (
+	"strings"
+	"testing"
+
+	vprof "vprof"
+)
+
+const facadeSrc = `
+var pool_pages;
+
+func costly_apply() {
+	work(450);
+	return 0;
+}
+
+func scan_batch(available_mem, batch) {
+	work(150);
+	if (available_mem <= 0) {
+		return false;
+	}
+	if (batch >= 40) {
+		return true;
+	}
+	return false;
+}
+
+func recover_log(ckpt) {
+	var available_mem = pool_pages - (pool_pages / 3) * 3;
+	var batch = ckpt;
+	while (!scan_batch(available_mem, batch)) {
+		costly_apply();
+		batch = batch + 1;
+		if (batch > 40) {
+			batch = 0;
+		}
+	}
+	return batch;
+}
+
+func main() {
+	pool_pages = input(0);
+	recover_log(0);
+}
+`
+
+func compileFacade(t *testing.T) *vprof.Program {
+	t.Helper()
+	prog, err := vprof.Compile("facade.vp", facadeSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func TestCompileAndRun(t *testing.T) {
+	prog := compileFacade(t)
+	if len(prog.Functions()) != 4 {
+		t.Errorf("functions = %v", prog.Functions())
+	}
+	if prog.TextSize() == 0 {
+		t.Error("empty text section")
+	}
+	_, ticks, err := prog.Run(vprof.RunSpec{Inputs: []int64{40}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ticks == 0 {
+		t.Error("no simulated time consumed")
+	}
+}
+
+func TestCompileError(t *testing.T) {
+	if _, err := vprof.Compile("bad.vp", "func main() { undeclared(); }"); err == nil {
+		t.Fatal("expected compile error")
+	}
+	if _, err := vprof.Compile("bad.vp", "not a program"); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestSchemaGeneration(t *testing.T) {
+	prog := compileFacade(t)
+	sch := prog.GenerateSchema(vprof.SchemaOptions{})
+	if sch.Lookup("#global", "pool_pages") == nil {
+		t.Error("global not monitored")
+	}
+	if sch.Lookup("recover_log", "available_mem") == nil {
+		t.Error("conditional variable not monitored")
+	}
+	text := vprof.FormatSchema(sch)
+	if !strings.Contains(text, "available_mem") {
+		t.Errorf("schema format missing variable:\n%s", text)
+	}
+	// Component restriction.
+	restricted := prog.GenerateSchema(vprof.SchemaOptions{Functions: []string{"scan_batch"}})
+	if restricted.Lookup("recover_log", "available_mem") != nil {
+		t.Error("component filter ignored")
+	}
+}
+
+func TestProfileAndMetadata(t *testing.T) {
+	prog := compileFacade(t)
+	sch := prog.GenerateSchema(vprof.SchemaOptions{})
+	if len(prog.Metadata(sch)) == 0 {
+		t.Fatal("no variable metadata")
+	}
+	p := prog.Profile(vprof.RunSpec{Inputs: []int64{40}}, sch)
+	if p.NumAlarms == 0 || len(p.Samples) == 0 {
+		t.Fatalf("profile empty: %d alarms, %d samples", p.NumAlarms, len(p.Samples))
+	}
+}
+
+func TestDiagnoseEndToEnd(t *testing.T) {
+	prog := compileFacade(t)
+	sch := prog.GenerateSchema(vprof.SchemaOptions{})
+	report, err := vprof.Diagnose(prog, sch,
+		vprof.RunSpec{Inputs: []int64{40}, MaxTicks: 200000},
+		vprof.RunSpec{Inputs: []int64{90}, MaxTicks: 200000},
+		3, vprof.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rank := report.Rank("recover_log")
+	if rank == 0 || rank > 2 {
+		t.Errorf("root cause rank = %d\n%s", rank, report.Render(0))
+	}
+	fr := report.Func("recover_log")
+	if fr.Pattern != vprof.PatternWrongConstraint {
+		t.Errorf("pattern = %v, want WrongConstraint", fr.Pattern)
+	}
+	if !strings.Contains(report.Render(3), "recover_log") {
+		t.Error("render missing root cause")
+	}
+}
+
+func TestDebugInfoAccess(t *testing.T) {
+	prog := compileFacade(t)
+	d := prog.Debug()
+	if d.FuncNamed("recover_log") == nil {
+		t.Fatal("debug info lacks function")
+	}
+	if len(d.FuncNamed("recover_log").Blocks) < 3 {
+		t.Error("too few basic blocks")
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	prog := compileFacade(t)
+	text := prog.Disassemble()
+	for _, want := range []string{"func recover_log", "bb0", "call", "jz", "; line"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("disassembly missing %q", want)
+		}
+	}
+}
