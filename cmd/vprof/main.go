@@ -31,6 +31,8 @@ func main() {
 	switch os.Args[1] {
 	case "schema":
 		err = cmdSchema(os.Args[2:])
+	case "lint":
+		err = cmdLint(os.Args[2:])
 	case "run":
 		err = cmdRun(os.Args[2:])
 	case "profile":
@@ -56,7 +58,9 @@ func main() {
 
 func usage() {
 	fmt.Fprint(os.Stderr, `usage:
-  vprof schema <prog.vp> [-funcs f1,f2] [-no-globals]
+  vprof schema <prog.vp> [-funcs f1,f2] [-no-globals] [-score] [-verify]
+                         [-min-score x] [-max-entries n]
+  vprof lint <prog.vp>
   vprof run <prog.vp> [-inputs a,b,...] [-seed n] [-max-ticks n]
   vprof profile <prog.vp> [-inputs ...] [-out dir] [-interval n]
   vprof disasm <prog.vp>
@@ -122,6 +126,10 @@ func cmdSchema(args []string) error {
 	fs := flag.NewFlagSet("schema", flag.ExitOnError)
 	funcs := fs.String("funcs", "", "comma-separated component functions to monitor")
 	noGlobals := fs.Bool("no-globals", false, "do not monitor globals")
+	score := fs.Bool("score", false, "append the performance-relevance score to every entry")
+	verify := fs.Bool("verify", false, "report per-variable debug-location coverage (gaps, dropped entries)")
+	minScore := fs.Float64("min-score", 0, "drop entries scoring below this bound")
+	maxEntries := fs.Int("max-entries", 0, "keep only the N highest-scoring entries (0 = all)")
 	fs.Parse(args)
 	file, err := fileArg(file, fs, "schema")
 	if err != nil {
@@ -131,9 +139,42 @@ func cmdSchema(args []string) error {
 	if err != nil {
 		return err
 	}
-	sch := prog.GenerateSchema(schemaOpts(*funcs, *noGlobals))
-	fmt.Print(vprof.FormatSchema(sch))
-	fmt.Printf("# %d variables; %d metadata entries\n", len(sch.Entries), len(prog.Metadata(sch)))
+	opts := schemaOpts(*funcs, *noGlobals)
+	opts.MinScore = *minScore
+	opts.MaxEntries = *maxEntries
+	sch := prog.GenerateSchema(opts)
+	if *score {
+		fmt.Print(vprof.FormatSchemaScored(sch))
+	} else {
+		fmt.Print(vprof.FormatSchema(sch))
+	}
+	fmt.Printf("# %d variables; %d metadata entries", len(sch.Entries), len(prog.Metadata(sch)))
+	if sch.Pruned > 0 {
+		fmt.Printf("; %d pruned by score", sch.Pruned)
+	}
+	fmt.Println()
+	if *verify {
+		fmt.Print(prog.VerifySchema(sch).Render())
+	}
+	return nil
+}
+
+// cmdLint runs the IR-level static checks: unreachable code, exit-less
+// loops, constant/dead monitored variables, and debug-location coverage
+// problems (the paper's DWARF-gap phenomenon, §3.2).
+func cmdLint(args []string) error {
+	file, args := splitFileArg(args)
+	fs := flag.NewFlagSet("lint", flag.ExitOnError)
+	fs.Parse(args)
+	file, err := fileArg(file, fs, "lint")
+	if err != nil {
+		return err
+	}
+	prog, err := compileFile(file)
+	if err != nil {
+		return err
+	}
+	fmt.Print(prog.Lint().Render())
 	return nil
 }
 

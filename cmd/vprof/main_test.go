@@ -2,8 +2,32 @@ package main
 
 import (
 	"flag"
+	"io"
+	"os"
+	"strings"
 	"testing"
 )
+
+// captureStdout runs fn with os.Stdout redirected and returns what it wrote.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	errCh := make(chan error, 1)
+	go func() { errCh <- fn() }()
+	ferr := <-errCh
+	w.Close()
+	out, _ := io.ReadAll(r)
+	if ferr != nil {
+		t.Fatalf("command failed: %v", ferr)
+	}
+	return string(out)
+}
 
 func TestParseInputs(t *testing.T) {
 	got, err := parseInputs(" 1, 2 ,30")
@@ -90,5 +114,70 @@ func TestSubcommandsEndToEnd(t *testing.T) {
 	}
 	if err := cmdDiagnose([]string{prog, "-normal", "40", "-buggy", "90", "-runs", "2", "-max-ticks", "200000"}); err != nil {
 		t.Fatalf("diagnose: %v", err)
+	}
+}
+
+// TestSchemaScoreAndVerify drives the new schema flags against the spill
+// workload, whose frame layout forces both DWARF failure modes.
+func TestSchemaScoreAndVerify(t *testing.T) {
+	prog := "../../testdata/spill.vp"
+	scored := captureStdout(t, func() error {
+		return cmdSchema([]string{prog, "-score"})
+	})
+	// Scored lines carry 7 comma-separated fields.
+	firstLine := strings.SplitN(scored, "\n", 2)[0]
+	if got := len(strings.Split(firstLine, ",")); got != 7 {
+		t.Errorf("scored line has %d fields, want 7: %q", got, firstLine)
+	}
+	// Deterministic output.
+	if again := captureStdout(t, func() error {
+		return cmdSchema([]string{prog, "-score"})
+	}); again != scored {
+		t.Error("schema -score output not deterministic")
+	}
+
+	verify := captureStdout(t, func() error {
+		return cmdSchema([]string{prog, "-verify"})
+	})
+	if !strings.Contains(verify, "schema/DWARF coverage:") {
+		t.Fatalf("-verify printed no coverage report:\n%s", verify)
+	}
+	if !strings.Contains(verify, "NO location info") {
+		t.Errorf("-verify missed the stack-spill variable:\n%s", verify)
+	}
+	if !strings.Contains(verify, "gaps at") {
+		t.Errorf("-verify missed the caller-saved location gaps:\n%s", verify)
+	}
+
+	pruned := captureStdout(t, func() error {
+		return cmdSchema([]string{prog, "-score", "-max-entries", "3"})
+	})
+	if !strings.Contains(pruned, "pruned by score") {
+		t.Errorf("pruning stats missing:\n%s", pruned)
+	}
+	lines := 0
+	for _, l := range strings.Split(pruned, "\n") {
+		if l != "" && !strings.HasPrefix(l, "#") {
+			lines++
+		}
+	}
+	if lines != 3 {
+		t.Errorf("-max-entries 3 printed %d entries:\n%s", lines, pruned)
+	}
+}
+
+func TestLintCommand(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return cmdLint([]string{"../../testdata/spill.vp"})
+	})
+	if !strings.Contains(out, "lint:") {
+		t.Fatalf("lint output:\n%s", out)
+	}
+	// The spill workload has no-location and location-gap findings.
+	if !strings.Contains(out, "no-location") || !strings.Contains(out, "location-gap") {
+		t.Errorf("lint missed coverage findings:\n%s", out)
+	}
+	if err := cmdLint(nil); err == nil {
+		t.Error("lint without a file accepted")
 	}
 }

@@ -132,7 +132,7 @@ func (w *Workload) Build() (*Built, error) {
 		return nil, err
 	}
 	b := &Built{W: w, Prog: prog, NormalProg: prog, BuggySource: buggySrc, NormalSource: buggySrc}
-	b.Schema = schema.Generate(f, schema.Options{})
+	b.Schema = schema.GenerateIR(f, prog, schema.Options{})
 	b.Meta = schema.Translate(b.Schema, prog.Debug)
 	b.NormalSch, b.NormalMeta = b.Schema, b.Meta
 	if w.NormalSource != "" {
@@ -146,7 +146,7 @@ func (w *Workload) Build() (*Built, error) {
 		}
 		b.NormalProg = nprog
 		b.NormalSource = normalSrc
-		b.NormalSch = schema.Generate(nf, schema.Options{})
+		b.NormalSch = schema.GenerateIR(nf, nprog, schema.Options{})
 		b.NormalMeta = schema.Translate(b.NormalSch, nprog.Debug)
 	}
 	return b, nil

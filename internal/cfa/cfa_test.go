@@ -1,0 +1,220 @@
+package cfa_test
+
+import (
+	"reflect"
+	"testing"
+
+	"vprof/internal/cfa"
+)
+
+// diamond:   0 -> 1, 2 ; 1 -> 3 ; 2 -> 3
+func diamond() *cfa.Graph {
+	return cfa.NewGraph(0, [][]int{{1, 2}, {3}, {3}, nil})
+}
+
+// nestedLoops: 0 -> 1 (outer header) -> 2 (inner header) -> 3 -> {2, 4}
+// 4 -> {1, 5}; 5 exit.
+func nestedLoops() *cfa.Graph {
+	return cfa.NewGraph(0, [][]int{{1}, {2}, {3}, {2, 4}, {1, 5}, nil})
+}
+
+// unreachable: 0 -> 1 -> 3; 2 -> 3 but 2 is never reached.
+func unreachable() *cfa.Graph {
+	return cfa.NewGraph(0, [][]int{{1}, {3}, {3}, nil})
+}
+
+func TestDominatorsDiamond(t *testing.T) {
+	g := diamond()
+	d := cfa.Dominators(g)
+	if got := d.Idom[3]; got != 0 {
+		t.Errorf("idom(3) = %d, want 0 (merge point dominated by branch, not arms)", got)
+	}
+	if d.Idom[1] != 0 || d.Idom[2] != 0 {
+		t.Errorf("idom(1,2) = %d,%d, want 0,0", d.Idom[1], d.Idom[2])
+	}
+	for _, b := range []int{0, 1, 2, 3} {
+		if !d.Dominates(0, b) {
+			t.Errorf("entry must dominate %d", b)
+		}
+		if !d.Dominates(b, b) {
+			t.Errorf("Dominates not reflexive for %d", b)
+		}
+	}
+	if d.Dominates(1, 3) || d.Dominates(2, 3) {
+		t.Error("an arm of the diamond must not dominate the merge")
+	}
+	if d.StrictlyDominates(3, 3) {
+		t.Error("StrictlyDominates must be irreflexive")
+	}
+	if d.ImmediateDominator(0) != -1 {
+		t.Error("entry has no immediate dominator")
+	}
+}
+
+func TestDominatorsUnreachable(t *testing.T) {
+	g := unreachable()
+	d := cfa.Dominators(g)
+	if d.Idom[2] != -1 {
+		t.Errorf("unreachable block idom = %d, want -1", d.Idom[2])
+	}
+	if d.Dominates(2, 3) || d.Dominates(0, 2) {
+		t.Error("unreachable block must not participate in dominance")
+	}
+	// 3 has preds {1, 2}; the unreachable pred must be ignored: 1 idoms 3.
+	if d.Idom[3] != 1 {
+		t.Errorf("idom(3) = %d, want 1 (unreachable predecessor ignored)", d.Idom[3])
+	}
+	reach := g.Reachable()
+	if reach[2] || !reach[0] || !reach[1] || !reach[3] {
+		t.Errorf("Reachable = %v", reach)
+	}
+}
+
+func TestReversePostorder(t *testing.T) {
+	g := diamond()
+	rpo := g.ReversePostorder()
+	if len(rpo) != 4 || rpo[0] != 0 || rpo[3] != 3 {
+		t.Errorf("rpo = %v, want entry first and merge last", rpo)
+	}
+	if got := unreachable().ReversePostorder(); len(got) != 3 {
+		t.Errorf("rpo with unreachable block = %v, want 3 blocks", got)
+	}
+}
+
+func TestLoopsNested(t *testing.T) {
+	g := nestedLoops()
+	d := cfa.Dominators(g)
+	loops := cfa.Loops(g, d)
+	if len(loops) != 2 {
+		t.Fatalf("found %d loops, want 2", len(loops))
+	}
+	outer, inner := loops[0], loops[1]
+	if outer.Header != 1 || inner.Header != 2 {
+		t.Fatalf("headers = %d,%d, want 1,2", outer.Header, inner.Header)
+	}
+	if !reflect.DeepEqual(outer.Blocks, []int{1, 2, 3, 4}) {
+		t.Errorf("outer blocks = %v", outer.Blocks)
+	}
+	if !reflect.DeepEqual(inner.Blocks, []int{2, 3}) {
+		t.Errorf("inner blocks = %v", inner.Blocks)
+	}
+	if outer.Depth != 1 || inner.Depth != 2 {
+		t.Errorf("depths = %d,%d, want 1,2", outer.Depth, inner.Depth)
+	}
+	if inner.Parent != outer || outer.Parent != nil {
+		t.Error("nesting parents wrong")
+	}
+	if !reflect.DeepEqual(inner.Latches, []int{3}) || !reflect.DeepEqual(outer.Latches, []int{4}) {
+		t.Errorf("latches = %v / %v", inner.Latches, outer.Latches)
+	}
+	if !reflect.DeepEqual(inner.Exits, []int{3}) || !reflect.DeepEqual(outer.Exits, []int{4}) {
+		t.Errorf("exits = %v / %v", inner.Exits, outer.Exits)
+	}
+	depths := cfa.BlockDepths(g, loops)
+	if !reflect.DeepEqual(depths, []int{0, 1, 2, 2, 1, 0}) {
+		t.Errorf("block depths = %v", depths)
+	}
+}
+
+func TestLoopsNoneInDiamond(t *testing.T) {
+	g := diamond()
+	if loops := cfa.Loops(g, cfa.Dominators(g)); len(loops) != 0 {
+		t.Errorf("diamond has %d loops, want 0", len(loops))
+	}
+}
+
+// Self-loop: 0 -> 1 -> {1, 2}.
+func TestLoopsSelfLoop(t *testing.T) {
+	g := cfa.NewGraph(0, [][]int{{1}, {1, 2}, nil})
+	loops := cfa.Loops(g, cfa.Dominators(g))
+	if len(loops) != 1 {
+		t.Fatalf("loops = %d, want 1", len(loops))
+	}
+	l := loops[0]
+	if l.Header != 1 || !reflect.DeepEqual(l.Blocks, []int{1}) || !reflect.DeepEqual(l.Latches, []int{1}) {
+		t.Errorf("self loop = %+v", l)
+	}
+}
+
+func TestReachingDefsDiamond(t *testing.T) {
+	g := diamond()
+	// Var 0 defined in block 0 (def 0) and redefined in block 1 (def 1);
+	// var 1 defined only in block 2 (def 2).
+	defs := []cfa.Def{{Block: 0, Var: 0}, {Block: 1, Var: 0}, {Block: 2, Var: 1}}
+	in, out := cfa.ReachingDefs(g, defs)
+	// Merge block: def 0 survives via block 2's path, def 1 via block 1,
+	// def 2 via block 2.
+	for i := 0; i < 3; i++ {
+		if !in[3].Has(i) {
+			t.Errorf("def %d does not reach merge entry", i)
+		}
+	}
+	// Block 1 kills def 0: its out contains def 1, not def 0.
+	if out[1].Has(0) || !out[1].Has(1) {
+		t.Errorf("block 1 out = {0:%v 1:%v}, want def 0 killed", out[1].Has(0), out[1].Has(1))
+	}
+	// Entry of block 1 sees only def 0.
+	if !in[1].Has(0) || in[1].Has(1) || in[1].Has(2) {
+		t.Errorf("block 1 in wrong")
+	}
+}
+
+func TestReachingDefsIntraBlockKill(t *testing.T) {
+	// Two defs of the same var in one block: only the later escapes.
+	g := cfa.NewGraph(0, [][]int{{1}, nil})
+	defs := []cfa.Def{{Block: 0, Var: 0}, {Block: 0, Var: 0}}
+	_, out := cfa.ReachingDefs(g, defs)
+	if out[0].Has(0) || !out[0].Has(1) {
+		t.Errorf("intra-block kill broken: out = %v,%v", out[0].Has(0), out[0].Has(1))
+	}
+}
+
+func TestLivenessLoop(t *testing.T) {
+	// 0 -> 1 -> {1, 2}: var 0 defined in 0, used in 1; var 1 defined in 1
+	// never used.
+	g := cfa.NewGraph(0, [][]int{{1}, {1, 2}, nil})
+	nv := 2
+	use := []cfa.BitSet{cfa.NewBitSet(nv), cfa.NewBitSet(nv), cfa.NewBitSet(nv)}
+	def := []cfa.BitSet{cfa.NewBitSet(nv), cfa.NewBitSet(nv), cfa.NewBitSet(nv)}
+	def[0].Set(0)
+	use[1].Set(0)
+	def[1].Set(1)
+	liveIn, liveOut := cfa.Liveness(g, use, def, nv)
+	if !liveOut[0].Has(0) {
+		t.Error("var 0 must be live out of its defining block")
+	}
+	if !liveIn[1].Has(0) || !liveOut[1].Has(0) {
+		t.Error("loop-carried variable must be live around the loop")
+	}
+	if liveIn[0].Has(0) {
+		t.Error("var 0 not live before its definition")
+	}
+	for b := 0; b < 3; b++ {
+		if liveIn[b].Has(1) || liveOut[b].Has(1) {
+			t.Errorf("dead var live at block %d", b)
+		}
+	}
+}
+
+func TestBitSetOps(t *testing.T) {
+	b := cfa.NewBitSet(130)
+	b.Set(0)
+	b.Set(129)
+	if !b.Has(0) || !b.Has(129) || b.Has(64) {
+		t.Error("Set/Has broken")
+	}
+	if b.Count() != 2 {
+		t.Errorf("Count = %d", b.Count())
+	}
+	c := b.Clone()
+	c.Clear(129)
+	if !b.Has(129) || c.Has(129) {
+		t.Error("Clone/Clear broken")
+	}
+	if changed := c.OrWith(b); !changed || !c.Has(129) {
+		t.Error("OrWith broken")
+	}
+	if changed := c.OrWith(b); changed {
+		t.Error("OrWith reported change on no-op")
+	}
+}

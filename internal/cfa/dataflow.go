@@ -1,0 +1,141 @@
+package cfa
+
+// BitSet is a fixed-capacity bit vector used by the dataflow analyses.
+type BitSet []uint64
+
+// NewBitSet returns a bit set able to hold n bits.
+func NewBitSet(n int) BitSet { return make(BitSet, (n+63)/64) }
+
+// Set sets bit i.
+func (b BitSet) Set(i int) { b[i/64] |= 1 << (uint(i) % 64) }
+
+// Clear clears bit i.
+func (b BitSet) Clear(i int) { b[i/64] &^= 1 << (uint(i) % 64) }
+
+// Has reports whether bit i is set.
+func (b BitSet) Has(i int) bool { return b[i/64]&(1<<(uint(i)%64)) != 0 }
+
+// Clone returns a copy of the set.
+func (b BitSet) Clone() BitSet { return append(BitSet(nil), b...) }
+
+// OrWith sets b |= c and reports whether b changed.
+func (b BitSet) OrWith(c BitSet) bool {
+	changed := false
+	for i := range b {
+		if n := b[i] | c[i]; n != b[i] {
+			b[i] = n
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Count returns the number of set bits.
+func (b BitSet) Count() int {
+	n := 0
+	for _, w := range b {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// Def is one definition site for reaching-definitions analysis: a write to
+// variable Var inside block Block. Definitions must be listed in program
+// order within each block (later defs of a variable kill earlier ones).
+type Def struct {
+	Block int
+	Var   int
+}
+
+// ReachingDefs computes, per block, which definition sites (indices into
+// defs) reach the block's entry (in) and exit (out) — the classic forward
+// may-analysis: out[b] = gen[b] ∪ (in[b] − kill[b]), in[b] = ∪ out[preds].
+func ReachingDefs(g *Graph, defs []Def) (in, out []BitSet) {
+	n := g.NumBlocks()
+	nd := len(defs)
+	// defsOf groups definition indices by variable for kill sets.
+	defsOf := map[int][]int{}
+	for i, d := range defs {
+		defsOf[d.Var] = append(defsOf[d.Var], i)
+	}
+	gen := make([]BitSet, n)
+	kill := make([]BitSet, n)
+	for b := 0; b < n; b++ {
+		gen[b], kill[b] = NewBitSet(nd), NewBitSet(nd)
+	}
+	// Walk defs in program order: a def kills every other def of its
+	// variable and replaces any earlier gen in the same block.
+	for i, d := range defs {
+		for _, j := range defsOf[d.Var] {
+			if j != i {
+				kill[d.Block].Set(j)
+				gen[d.Block].Clear(j)
+			}
+		}
+		gen[d.Block].Set(i)
+		kill[d.Block].Clear(i)
+	}
+
+	in = make([]BitSet, n)
+	out = make([]BitSet, n)
+	for b := 0; b < n; b++ {
+		in[b], out[b] = NewBitSet(nd), NewBitSet(nd)
+	}
+	rpo := g.ReversePostorder()
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo {
+			for _, p := range g.Preds[b] {
+				if in[b].OrWith(out[p]) {
+					changed = true
+				}
+			}
+			// out = gen ∪ (in − kill)
+			for w := range out[b] {
+				n := gen[b][w] | (in[b][w] &^ kill[b][w])
+				if n != out[b][w] {
+					out[b][w] = n
+					changed = true
+				}
+			}
+		}
+	}
+	return in, out
+}
+
+// Liveness computes per-block live-in/live-out variable sets by backward
+// iteration: liveIn[b] = use[b] ∪ (liveOut[b] − def[b]), liveOut[b] =
+// ∪ liveIn[succs]. use[b] must hold the variables read in b before any
+// write in b; def[b] the variables written in b. nvars is the variable
+// universe size.
+func Liveness(g *Graph, use, def []BitSet, nvars int) (liveIn, liveOut []BitSet) {
+	n := g.NumBlocks()
+	liveIn = make([]BitSet, n)
+	liveOut = make([]BitSet, n)
+	for b := 0; b < n; b++ {
+		liveIn[b], liveOut[b] = NewBitSet(nvars), NewBitSet(nvars)
+	}
+	rpo := g.ReversePostorder()
+	for changed := true; changed; {
+		changed = false
+		// Postorder (reverse of rpo) converges fastest for backward flow.
+		for i := len(rpo) - 1; i >= 0; i-- {
+			b := rpo[i]
+			for _, s := range g.Succs[b] {
+				if liveOut[b].OrWith(liveIn[s]) {
+					changed = true
+				}
+			}
+			for w := range liveIn[b] {
+				n := use[b][w] | (liveOut[b][w] &^ def[b][w])
+				if n != liveIn[b][w] {
+					liveIn[b][w] = n
+					changed = true
+				}
+			}
+		}
+	}
+	return liveIn, liveOut
+}

@@ -1,0 +1,129 @@
+package cfa
+
+// DomTree is the dominator tree of a Graph. Unreachable blocks have no
+// dominator information (Idom -1, dominated by nothing, dominating nothing).
+type DomTree struct {
+	// Idom is the immediate dominator per block; the entry maps to itself
+	// and unreachable blocks map to -1.
+	Idom []int
+
+	g *Graph
+	// Pre/post numbering of a DFS over the dominator tree, giving O(1)
+	// Dominates queries.
+	pre, post []int
+}
+
+// Dominators computes the dominator tree with the iterative
+// Cooper–Harvey–Kennedy algorithm ("A Simple, Fast Dominance Algorithm"):
+// reverse-postorder sweeps intersecting predecessor dominators until a
+// fixed point.
+func Dominators(g *Graph) *DomTree {
+	n := g.NumBlocks()
+	d := &DomTree{Idom: make([]int, n), g: g}
+	for i := range d.Idom {
+		d.Idom[i] = -1
+	}
+	if n == 0 {
+		return d
+	}
+	rpo := g.ReversePostorder()
+	order := make([]int, n) // block -> rpo index; -1 unreachable
+	for i := range order {
+		order[i] = -1
+	}
+	for i, b := range rpo {
+		order[b] = i
+	}
+	d.Idom[g.Entry] = g.Entry
+
+	intersect := func(a, b int) int {
+		for a != b {
+			for order[a] > order[b] {
+				a = d.Idom[a]
+			}
+			for order[b] > order[a] {
+				b = d.Idom[b]
+			}
+		}
+		return a
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo {
+			if b == g.Entry {
+				continue
+			}
+			newIdom := -1
+			for _, p := range g.Preds[b] {
+				if order[p] < 0 || d.Idom[p] < 0 {
+					continue // unreachable or not yet processed
+				}
+				if newIdom < 0 {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if newIdom >= 0 && d.Idom[b] != newIdom {
+				d.Idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	d.number()
+	return d
+}
+
+// number assigns DFS pre/post intervals over the dominator tree.
+func (d *DomTree) number() {
+	n := len(d.Idom)
+	children := make([][]int, n)
+	for b, id := range d.Idom {
+		if id >= 0 && b != d.g.Entry {
+			children[id] = append(children[id], b)
+		}
+	}
+	d.pre = make([]int, n)
+	d.post = make([]int, n)
+	for i := range d.pre {
+		d.pre[i], d.post[i] = -1, -1
+	}
+	clock := 0
+	var dfs func(b int)
+	dfs = func(b int) {
+		d.pre[b] = clock
+		clock++
+		for _, c := range children[b] {
+			dfs(c)
+		}
+		d.post[b] = clock
+		clock++
+	}
+	if n > 0 && d.Idom[d.g.Entry] == d.g.Entry {
+		dfs(d.g.Entry)
+	}
+}
+
+// Dominates reports whether a dominates b (reflexively). Unreachable
+// blocks dominate nothing and are dominated by nothing.
+func (d *DomTree) Dominates(a, b int) bool {
+	if d.pre[a] < 0 || d.pre[b] < 0 {
+		return false
+	}
+	return d.pre[a] <= d.pre[b] && d.post[b] <= d.post[a]
+}
+
+// StrictlyDominates reports whether a dominates b and a != b.
+func (d *DomTree) StrictlyDominates(a, b int) bool {
+	return a != b && d.Dominates(a, b)
+}
+
+// ImmediateDominator returns b's immediate dominator, or -1 for the entry
+// and for unreachable blocks.
+func (d *DomTree) ImmediateDominator(b int) int {
+	if b == d.g.Entry || d.Idom[b] < 0 {
+		return -1
+	}
+	return d.Idom[b]
+}

@@ -1,0 +1,267 @@
+package cfa
+
+import (
+	"sort"
+
+	"vprof/internal/compiler"
+	"vprof/internal/debuginfo"
+)
+
+// FuncAnalysis bundles the control- and data-flow analyses of one compiled
+// function. Variables are identified by dense ids: ids [0, NumSlots) are
+// the function's frame slots (parameters and locals), ids NumSlots+gi are
+// the program's globals.
+type FuncAnalysis struct {
+	Prog   *compiler.Program
+	Fn     *compiler.FuncInfo
+	Blocks []debuginfo.BlockRange
+	Graph  *Graph
+	Dom    *DomTree
+	Loops  []*Loop
+	// Depths holds the loop-nesting depth per block (0 outside loops).
+	Depths []int
+}
+
+// AnalyzeFunc builds the CFG of fn and runs the dominator and loop
+// analyses. It returns nil for functions without blocks.
+func AnalyzeFunc(prog *compiler.Program, fn *compiler.FuncInfo) *FuncAnalysis {
+	blocks, succs := prog.BlockSuccessors(fn)
+	if len(blocks) == 0 {
+		return nil
+	}
+	g := NewGraph(0, succs)
+	d := Dominators(g)
+	loops := Loops(g, d)
+	return &FuncAnalysis{
+		Prog:   prog,
+		Fn:     fn,
+		Blocks: blocks,
+		Graph:  g,
+		Dom:    d,
+		Loops:  loops,
+		Depths: BlockDepths(g, loops),
+	}
+}
+
+// NumVars returns the size of the variable universe (slots + globals).
+func (a *FuncAnalysis) NumVars() int { return a.Fn.NumSlots + a.Prog.NumGlobals() }
+
+// GlobalVar returns the variable id of global index gi.
+func (a *FuncAnalysis) GlobalVar(gi int) int { return a.Fn.NumSlots + gi }
+
+// VarName returns the source name of a variable id and whether it names a
+// global. Unnamed slots return "".
+func (a *FuncAnalysis) VarName(id int) (name string, global bool) {
+	if id < a.Fn.NumSlots {
+		if id < len(a.Fn.SlotNames) {
+			return a.Fn.SlotNames[id], false
+		}
+		return "", false
+	}
+	return a.Prog.GlobalNames[id-a.Fn.NumSlots], true
+}
+
+// BlockOf returns the index of the block containing pc, or -1.
+func (a *FuncAnalysis) BlockOf(pc int) int {
+	for i := range a.Blocks {
+		if pc >= a.Blocks[i].Start && pc < a.Blocks[i].End {
+			return i
+		}
+	}
+	return -1
+}
+
+// varAt maps a load/store instruction to its variable id, or -1.
+func (a *FuncAnalysis) varAt(ins compiler.Instr) int {
+	switch ins.Op {
+	case compiler.OpLoadL, compiler.OpStoreL:
+		return int(ins.A)
+	case compiler.OpLoadG, compiler.OpStoreG:
+		return a.GlobalVar(int(ins.A))
+	}
+	return -1
+}
+
+// UseDef extracts the per-block use (read before any write in the block)
+// and def (written) sets feeding Liveness.
+func (a *FuncAnalysis) UseDef() (use, def []BitSet) {
+	n := len(a.Blocks)
+	nv := a.NumVars()
+	use = make([]BitSet, n)
+	def = make([]BitSet, n)
+	for b := 0; b < n; b++ {
+		use[b], def[b] = NewBitSet(nv), NewBitSet(nv)
+		for pc := a.Blocks[b].Start; pc < a.Blocks[b].End; pc++ {
+			ins := a.Prog.Instrs[pc]
+			v := a.varAt(ins)
+			if v < 0 {
+				continue
+			}
+			switch ins.Op {
+			case compiler.OpLoadL, compiler.OpLoadG:
+				if !def[b].Has(v) {
+					use[b].Set(v)
+				}
+			case compiler.OpStoreL, compiler.OpStoreG:
+				def[b].Set(v)
+			}
+		}
+	}
+	return use, def
+}
+
+// DefSite is one store instruction: a definition of Var at PC in Block.
+// Const marks stores whose operand is a literal constant (the preceding
+// instruction pushes OpConst), with Value the constant stored.
+type DefSite struct {
+	PC    int
+	Block int
+	Var   int
+	Const bool
+	Value int64
+}
+
+// DefSites lists the function's definition sites in program (PC) order,
+// ready for ReachingDefs.
+func (a *FuncAnalysis) DefSites() []DefSite {
+	var out []DefSite
+	for b := range a.Blocks {
+		for pc := a.Blocks[b].Start; pc < a.Blocks[b].End; pc++ {
+			ins := a.Prog.Instrs[pc]
+			if ins.Op != compiler.OpStoreL && ins.Op != compiler.OpStoreG {
+				continue
+			}
+			d := DefSite{PC: pc, Block: b, Var: a.varAt(ins)}
+			if pc > a.Blocks[b].Start {
+				if prev := a.Prog.Instrs[pc-1]; prev.Op == compiler.OpConst {
+					d.Const = true
+					d.Value = a.Prog.Consts[prev.A]
+				}
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// ReachingDefs runs reaching definitions over the function's def sites.
+func (a *FuncAnalysis) ReachingDefs() (sites []DefSite, in, out []BitSet) {
+	sites = a.DefSites()
+	defs := make([]Def, len(sites))
+	for i, s := range sites {
+		defs[i] = Def{Block: s.Block, Var: s.Var}
+	}
+	in, out = ReachingDefs(a.Graph, defs)
+	return sites, in, out
+}
+
+// Liveness runs live-variable analysis over the function's blocks.
+func (a *FuncAnalysis) Liveness() (liveIn, liveOut []BitSet) {
+	use, def := a.UseDef()
+	return Liveness(a.Graph, use, def, a.NumVars())
+}
+
+// InductionVar is a loop induction variable in the paper's sense: assigned
+// inside the loop and read by the loop's exit condition.
+type InductionVar struct {
+	Var  int
+	Loop *Loop
+}
+
+// InductionVars detects induction variables per natural loop on the IR.
+//
+// The structured compiler emits a loop's condition first (the back edge
+// targets the condition's first block) and its conditional exit jump last,
+// so the condition region is the PC-interval of loop blocks from the header
+// through the loop's conditional exiting block — short-circuit sub-blocks
+// included. A variable read in that region and written anywhere in the loop
+// is an induction variable. Loops with no conditional exit dominated by the
+// header (for(;;) with breaks, or no exit at all) have no condition and
+// yield none, matching the source-level definition.
+func (a *FuncAnalysis) InductionVars() []InductionVar {
+	var out []InductionVar
+	for _, l := range a.Loops {
+		exit := a.condExit(l)
+		if exit < 0 {
+			continue
+		}
+		read := map[int]bool{}
+		for _, b := range l.Blocks {
+			if b < l.Header || b > exit {
+				continue
+			}
+			// Only loads past the block's last store feed the condition:
+			// when an if-break shares its block with preceding body
+			// statements, their operand loads must not count as
+			// condition reads.
+			from := a.Blocks[b].Start
+			for pc := a.Blocks[b].Start; pc < a.Blocks[b].End; pc++ {
+				op := a.Prog.Instrs[pc].Op
+				if op == compiler.OpStoreL || op == compiler.OpStoreG {
+					from = pc + 1
+				}
+			}
+			for pc := from; pc < a.Blocks[b].End; pc++ {
+				ins := a.Prog.Instrs[pc]
+				if ins.Op == compiler.OpLoadL || ins.Op == compiler.OpLoadG {
+					read[a.varAt(ins)] = true
+				}
+			}
+		}
+		written := map[int]bool{}
+		for _, b := range l.Blocks {
+			for pc := a.Blocks[b].Start; pc < a.Blocks[b].End; pc++ {
+				ins := a.Prog.Instrs[pc]
+				if ins.Op == compiler.OpStoreL || ins.Op == compiler.OpStoreG {
+					written[a.varAt(ins)] = true
+				}
+			}
+		}
+		var vars []int
+		for v := range read {
+			if written[v] {
+				vars = append(vars, v)
+			}
+		}
+		sort.Ints(vars)
+		for _, v := range vars {
+			out = append(out, InductionVar{Var: v, Loop: l})
+		}
+	}
+	return out
+}
+
+// condExit returns the index of l's conditional exiting block dominated by
+// the header — the block evaluating the loop condition's final test — or -1
+// when the loop has none.
+func (a *FuncAnalysis) condExit(l *Loop) int {
+	for _, b := range l.Exits {
+		last := a.Prog.Instrs[a.Blocks[b].End-1]
+		if last.Op != compiler.OpJZ && last.Op != compiler.OpJNZ {
+			continue
+		}
+		if a.Dom.Dominates(l.Header, b) {
+			return b
+		}
+	}
+	return -1
+}
+
+// MaxAccessDepth returns the maximum loop-nesting depth over the blocks
+// where variable id is loaded or stored (0 when only accessed outside
+// loops or never accessed).
+func (a *FuncAnalysis) MaxAccessDepth(id int) int {
+	max := 0
+	for b := range a.Blocks {
+		if a.Depths[b] <= max {
+			continue
+		}
+		for pc := a.Blocks[b].Start; pc < a.Blocks[b].End; pc++ {
+			if a.varAt(a.Prog.Instrs[pc]) == id {
+				max = a.Depths[b]
+				break
+			}
+		}
+	}
+	return max
+}

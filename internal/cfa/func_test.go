@@ -1,0 +1,240 @@
+package cfa_test
+
+import (
+	"testing"
+
+	"vprof/internal/cfa"
+	"vprof/internal/compiler"
+	"vprof/internal/lang"
+)
+
+func analyze(t *testing.T, src, fn string) *cfa.FuncAnalysis {
+	t.Helper()
+	f, err := lang.Parse("t.vp", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := compiler.Compile(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := cfa.AnalyzeFunc(p, p.FuncNamed(fn))
+	if a == nil {
+		t.Fatalf("no analysis for %s", fn)
+	}
+	return a
+}
+
+// names maps induction-variable results to source names.
+func inductionNames(a *cfa.FuncAnalysis) map[string]int {
+	out := map[string]int{}
+	for _, iv := range a.InductionVars() {
+		name, _ := a.VarName(iv.Var)
+		if d := iv.Loop.Depth; d > out[name] {
+			out[name] = d
+		}
+	}
+	return out
+}
+
+func TestInductionForLoop(t *testing.T) {
+	a := analyze(t, `
+func main() {
+	var n = input(0);
+	for (var i = 0; i < n; i++) {
+		work(1);
+	}
+}`, "main")
+	iv := inductionNames(a)
+	if iv["i"] != 1 {
+		t.Errorf("induction vars = %v, want i at depth 1", iv)
+	}
+	if _, ok := iv["n"]; ok {
+		t.Error("loop bound n wrongly detected as induction variable")
+	}
+}
+
+func TestInductionNestedLoops(t *testing.T) {
+	a := analyze(t, `
+func main() {
+	var n = input(0);
+	for (var i = 0; i < n; i++) {
+		for (var j = 0; j < i; j++) {
+			work(1);
+		}
+	}
+}`, "main")
+	iv := inductionNames(a)
+	if iv["i"] != 1 || iv["j"] != 2 {
+		t.Errorf("induction vars = %v, want i@1 j@2", iv)
+	}
+	if len(a.Loops) != 2 {
+		t.Fatalf("loops = %d, want 2", len(a.Loops))
+	}
+}
+
+func TestInductionWhileShortCircuit(t *testing.T) {
+	// Both operands of the && condition must count as condition reads,
+	// even though short-circuiting splits them across basic blocks.
+	a := analyze(t, `
+func main() {
+	var a = input(0);
+	var b = input(1);
+	while (a > 0 && b > 0) {
+		a = a - 1;
+		b = b - 2;
+	}
+}`, "main")
+	iv := inductionNames(a)
+	if iv["a"] != 1 || iv["b"] != 1 {
+		t.Errorf("induction vars = %v, want a and b", iv)
+	}
+}
+
+func TestInductionGlobal(t *testing.T) {
+	a := analyze(t, `
+var cursor;
+func main() {
+	var n = input(0);
+	while (cursor < n) {
+		cursor = cursor + 1;
+	}
+}`, "main")
+	iv := inductionNames(a)
+	if _, ok := iv["cursor"]; !ok {
+		t.Errorf("global induction variable missed: %v", iv)
+	}
+}
+
+func TestInductionInfiniteLoopWithBreak(t *testing.T) {
+	// for(;;) with an if-break is IR-identical to a while loop: the break
+	// condition is the loop's conditional exit, so its variable IS an
+	// induction variable here — a strict improvement over the AST
+	// heuristic, which sees no loop condition.
+	a := analyze(t, `
+func main() {
+	var x = input(0);
+	for (;;) {
+		x = x - 1;
+		if (x < 0) { break; }
+	}
+}`, "main")
+	if iv := inductionNames(a); iv["x"] != 1 {
+		t.Errorf("induction vars = %v, want x at depth 1", iv)
+	}
+	if len(a.Loops) != 1 {
+		t.Fatalf("loops = %d, want 1", len(a.Loops))
+	}
+}
+
+func TestInductionPureInfiniteLoop(t *testing.T) {
+	// A loop with no exit at all has no condition and no induction vars.
+	a := analyze(t, `
+func main() {
+	var x = 0;
+	for (;;) {
+		x = x + 1;
+		work(1);
+	}
+}`, "main")
+	if iv := inductionNames(a); len(iv) != 0 {
+		t.Errorf("exit-less loop produced induction vars %v", iv)
+	}
+}
+
+func TestMaxAccessDepth(t *testing.T) {
+	a := analyze(t, `
+func main() {
+	var n = input(0);
+	var total = 0;
+	for (var i = 0; i < n; i++) {
+		for (var j = 0; j < i; j++) {
+			total = total + 1;
+		}
+	}
+	out(total);
+}`, "main")
+	find := func(name string) int {
+		for slot, n := range a.Fn.SlotNames {
+			if n == name {
+				return slot
+			}
+		}
+		t.Fatalf("no slot for %s", name)
+		return -1
+	}
+	if d := a.MaxAccessDepth(find("total")); d != 2 {
+		t.Errorf("total depth = %d, want 2", d)
+	}
+	if d := a.MaxAccessDepth(find("i")); d != 2 {
+		// i is read in the inner loop's condition (j < i): depth 2.
+		t.Errorf("i depth = %d, want 2", d)
+	}
+	if d := a.MaxAccessDepth(find("n")); d != 1 {
+		t.Errorf("n depth = %d, want 1", d)
+	}
+}
+
+func TestFuncLiveness(t *testing.T) {
+	a := analyze(t, `
+func main() {
+	var n = input(0);
+	var acc = 0;
+	while (n > 0) {
+		acc = acc + n;
+		n = n - 1;
+	}
+	out(acc);
+}`, "main")
+	liveIn, _ := a.Liveness()
+	// At the loop header (block containing the condition), both n and acc
+	// are live.
+	slot := func(name string) int {
+		for s, sn := range a.Fn.SlotNames {
+			if sn == name {
+				return s
+			}
+		}
+		return -1
+	}
+	header := -1
+	for _, l := range a.Loops {
+		header = l.Header
+	}
+	if header < 0 {
+		t.Fatal("no loop found")
+	}
+	if !liveIn[header].Has(slot("n")) || !liveIn[header].Has(slot("acc")) {
+		t.Error("loop-carried variables not live at header")
+	}
+}
+
+func TestFuncReachingDefsConst(t *testing.T) {
+	a := analyze(t, `
+func main() {
+	var k = 7;
+	var x = input(0);
+	x = x + k;
+	out(x);
+}`, "main")
+	sites, _, out := a.ReachingDefs()
+	// k has exactly one def, a constant 7; x has two defs, non-const.
+	kConst, xDefs := 0, 0
+	for _, s := range sites {
+		name, _ := a.VarName(s.Var)
+		switch name {
+		case "k":
+			if s.Const && s.Value == 7 {
+				kConst++
+			}
+		case "x":
+			xDefs++
+		}
+	}
+	if kConst != 1 || xDefs != 2 {
+		t.Errorf("kConst=%d xDefs=%d, want 1 and 2", kConst, xDefs)
+	}
+	if len(out) != len(a.Blocks) {
+		t.Errorf("out sets = %d, want one per block", len(out))
+	}
+}

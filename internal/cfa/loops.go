@@ -1,0 +1,116 @@
+package cfa
+
+import "sort"
+
+// Loop is a natural loop: the blocks reachable backwards from a back edge's
+// source without leaving the header's dominance region. Multiple back edges
+// to the same header are merged into one loop.
+type Loop struct {
+	Header  int
+	Blocks  []int // sorted ascending; includes Header
+	Latches []int // back-edge sources, sorted
+	Exits   []int // member blocks with an edge leaving the loop, sorted
+	// Parent is the innermost enclosing loop, nil for top-level loops.
+	Parent *Loop
+	// Depth is the nesting depth: 1 for top-level loops, 2 for loops
+	// nested inside one loop, and so on.
+	Depth int
+
+	member map[int]bool
+}
+
+// Contains reports whether block b belongs to the loop.
+func (l *Loop) Contains(b int) bool { return l.member[b] }
+
+// Loops detects the natural loops of g using the dominator tree: every edge
+// u->h where h dominates u is a back edge, and the loop body is found by a
+// reverse flood fill from u stopping at h. The result is sorted by header
+// index, with Parent/Depth describing the nesting forest.
+func Loops(g *Graph, d *DomTree) []*Loop {
+	byHeader := map[int]*Loop{}
+	for u := 0; u < g.NumBlocks(); u++ {
+		for _, h := range g.Succs[u] {
+			if !d.Dominates(h, u) {
+				continue // not a back edge (includes unreachable u)
+			}
+			l := byHeader[h]
+			if l == nil {
+				l = &Loop{Header: h, member: map[int]bool{h: true}}
+				byHeader[h] = l
+			}
+			l.Latches = append(l.Latches, u)
+			// Reverse flood fill from the latch.
+			stack := []int{u}
+			for len(stack) > 0 {
+				b := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if l.member[b] {
+					continue
+				}
+				l.member[b] = true
+				for _, p := range g.Preds[b] {
+					if !l.member[p] {
+						stack = append(stack, p)
+					}
+				}
+			}
+		}
+	}
+
+	loops := make([]*Loop, 0, len(byHeader))
+	for _, l := range byHeader {
+		for b := range l.member {
+			l.Blocks = append(l.Blocks, b)
+		}
+		sort.Ints(l.Blocks)
+		sort.Ints(l.Latches)
+		for _, b := range l.Blocks {
+			exits := false
+			for _, s := range g.Succs[b] {
+				if !l.member[s] {
+					exits = true
+				}
+			}
+			if exits {
+				l.Exits = append(l.Exits, b)
+			}
+		}
+		loops = append(loops, l)
+	}
+	sort.Slice(loops, func(i, j int) bool { return loops[i].Header < loops[j].Header })
+
+	// Nesting: the parent of a loop is the smallest other loop containing
+	// its header. Processing by ascending size makes depths well-defined.
+	bySize := append([]*Loop(nil), loops...)
+	sort.SliceStable(bySize, func(i, j int) bool { return len(bySize[i].Blocks) < len(bySize[j].Blocks) })
+	for i, l := range bySize {
+		for _, outer := range bySize[i+1:] {
+			if outer != l && outer.Contains(l.Header) {
+				l.Parent = outer
+				break
+			}
+		}
+	}
+	for _, l := range loops {
+		depth := 1
+		for p := l.Parent; p != nil; p = p.Parent {
+			depth++
+		}
+		l.Depth = depth
+	}
+	return loops
+}
+
+// BlockDepths returns, for every block of g, the nesting depth of the
+// innermost loop containing it (0 for blocks outside all loops).
+func BlockDepths(g *Graph, loops []*Loop) []int {
+	depth := make([]int, g.NumBlocks())
+	for _, l := range loops {
+		for _, b := range l.Blocks {
+			if l.Depth > depth[b] {
+				depth[b] = l.Depth
+			}
+		}
+	}
+	return depth
+}

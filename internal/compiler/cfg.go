@@ -1,0 +1,53 @@
+package compiler
+
+import "vprof/internal/debuginfo"
+
+// BlockSuccessors returns f's basic blocks (as recorded in the debug
+// information) together with, for each block, the indices of its successor
+// blocks within f. This is the raw material for control-flow analyses
+// (package cfa): a block's successors are derived from its terminator —
+// jump targets, the fall-through block after a conditional jump, nothing
+// after a return or halt. Control transfers leaving the function's PC range
+// produce no edge.
+func (p *Program) BlockSuccessors(f *FuncInfo) ([]debuginfo.BlockRange, [][]int) {
+	fr := p.Debug.FuncNamed(f.Name)
+	if fr == nil || len(fr.Blocks) == 0 {
+		return nil, nil
+	}
+	blocks := fr.Blocks
+	// Block index by start PC for terminator-target resolution.
+	blockAt := func(pc int) int {
+		for i := range blocks {
+			if pc >= blocks[i].Start && pc < blocks[i].End {
+				return i
+			}
+		}
+		return -1
+	}
+	succs := make([][]int, len(blocks))
+	for i := range blocks {
+		last := p.Instrs[blocks[i].End-1]
+		add := func(pc int) {
+			if t := blockAt(pc); t >= 0 {
+				for _, s := range succs[i] {
+					if s == t {
+						return
+					}
+				}
+				succs[i] = append(succs[i], t)
+			}
+		}
+		switch last.Op {
+		case OpJump:
+			add(int(last.A))
+		case OpJZ, OpJNZ:
+			add(blocks[i].End) // fall through
+			add(int(last.A))
+		case OpRet, OpHalt:
+			// no successors
+		default:
+			add(blocks[i].End)
+		}
+	}
+	return blocks, succs
+}

@@ -1,0 +1,87 @@
+package compiler_test
+
+import (
+	"testing"
+
+	"vprof/internal/compiler"
+)
+
+func TestBlockSuccessorsIf(t *testing.T) {
+	p := compileSrc(t, `
+func f(x) {
+	if (x > 0) {
+		work(1);
+	} else {
+		work(2);
+	}
+	return x;
+}
+func main() { f(1); }
+`)
+	fn := p.FuncNamed("f")
+	blocks, succs := p.BlockSuccessors(fn)
+	if len(blocks) != len(succs) {
+		t.Fatalf("blocks %d != succs %d", len(blocks), len(succs))
+	}
+	// The condition block must have two successors (then, else).
+	if len(succs[0]) != 2 {
+		t.Fatalf("cond block successors = %v, want 2", succs[0])
+	}
+	// Every successor index must be valid, and a block ending in ret has none.
+	for i, ss := range succs {
+		for _, s := range ss {
+			if s < 0 || s >= len(blocks) {
+				t.Fatalf("block %d: bad successor %d", i, s)
+			}
+		}
+		last := p.Instrs[blocks[i].End-1]
+		if last.Op == compiler.OpRet && len(ss) != 0 {
+			t.Errorf("ret block %d has successors %v", i, ss)
+		}
+	}
+}
+
+func TestBlockSuccessorsLoop(t *testing.T) {
+	p := compileSrc(t, `
+func main() {
+	var n = input(0);
+	for (var i = 0; i < n; i++) {
+		work(1);
+	}
+}
+`)
+	fn := p.FuncNamed("main")
+	blocks, succs := p.BlockSuccessors(fn)
+	// There must be a back edge: some block with a successor whose start PC
+	// is <= its own start PC.
+	back := false
+	for i, ss := range succs {
+		for _, s := range ss {
+			if blocks[s].Start <= blocks[i].Start {
+				back = true
+			}
+		}
+	}
+	if !back {
+		t.Error("loop produced no back edge")
+	}
+}
+
+func TestSlotLinesRecorded(t *testing.T) {
+	p := compileSrc(t, `
+func f(a) {
+	var b = 1;
+	return a + b;
+}
+func main() { f(1); }
+`)
+	fn := p.FuncNamed("f")
+	if len(fn.SlotLines) != len(fn.SlotNames) {
+		t.Fatalf("SlotLines %d entries, SlotNames %d", len(fn.SlotLines), len(fn.SlotNames))
+	}
+	for slot, name := range fn.SlotNames {
+		if name != "" && fn.SlotLines[slot] <= 0 {
+			t.Errorf("slot %d (%s): line %d", slot, name, fn.SlotLines[slot])
+		}
+	}
+}

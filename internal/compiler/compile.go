@@ -263,6 +263,7 @@ func (fc *funcCompiler) compile() error {
 	fc.info.End = fc.here()
 	fc.info.NumSlots = fc.nextSlot
 	fc.info.SlotNames = fc.slotNames
+	fc.info.SlotLines = fc.slotLine
 	return nil
 }
 

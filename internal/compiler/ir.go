@@ -156,6 +156,7 @@ type FuncInfo struct {
 	NumParams int
 	NumSlots  int
 	SlotNames []string // slot -> source name ("" for temporaries; none used)
+	SlotLines []int    // slot -> declaration line (parallel to SlotNames)
 	// [Entry, End) PC range in the text section.
 	Entry, End int
 	Library    bool

@@ -182,6 +182,15 @@ func RenderTable4(cases []Table4Case) string {
 type Table5Row struct {
 	ID        string
 	Variables int
+	// Pruned counts schema entries dropped by relevance-score pruning
+	// (zero under the default options, which keep every entry).
+	Pruned int
+	// NoLoc counts schema entries with no debug-location info at all —
+	// the ones Translate silently drops from monitoring.
+	NoLoc int
+	// Gaps counts PC-range holes across the covered variables
+	// (caller-saved registers spilled around calls).
+	Gaps      int
 	InitMs    float64
 	PCTableKB float64
 	VarArrKB  float64
@@ -199,9 +208,13 @@ func Table5() ([]Table5Row, error) {
 			return nil, err
 		}
 		prof, res := b.ProfileBuggy(0)
+		cov := schema.Verify(b.Schema, b.Prog.Debug)
 		rows = append(rows, Table5Row{
 			ID:        w.ID,
 			Variables: len(b.Schema.Entries),
+			Pruned:    b.Schema.Pruned,
+			NoLoc:     cov.Dropped(),
+			Gaps:      cov.GapCount(),
 			InitMs:    float64(prof.InitDuration.Microseconds()) / 1000,
 			PCTableKB: float64(prof.PCTableBytes) / 1024,
 			VarArrKB:  float64(prof.VarArrayBytes) / 1024,
@@ -217,11 +230,11 @@ func Table5() ([]Table5Row, error) {
 func RenderTable5(rows []Table5Row) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Table 5. Memory overhead and execution time for profiling performance issues.\n\n")
-	fmt.Fprintf(&b, "%-4s %9s %10s %12s %12s %12s %12s %10s\n",
-		"ID", "Variables", "Init(ms)", "PCToVar(KB)", "VarArr(KB)", "Samples(KB)", "RunTicks", "Wall(ms)")
+	fmt.Fprintf(&b, "%-4s %9s %6s %5s %4s %10s %12s %12s %12s %12s %10s\n",
+		"ID", "Variables", "Pruned", "NoLoc", "Gaps", "Init(ms)", "PCToVar(KB)", "VarArr(KB)", "Samples(KB)", "RunTicks", "Wall(ms)")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-4s %9d %10.3f %12.1f %12.1f %12.1f %12d %10.2f\n",
-			r.ID, r.Variables, r.InitMs, r.PCTableKB, r.VarArrKB, r.SamplesKB, r.RunTicks, r.WallMs)
+		fmt.Fprintf(&b, "%-4s %9d %6d %5d %4d %10.3f %12.1f %12.1f %12.1f %12d %10.2f\n",
+			r.ID, r.Variables, r.Pruned, r.NoLoc, r.Gaps, r.InitMs, r.PCTableKB, r.VarArrKB, r.SamplesKB, r.RunTicks, r.WallMs)
 	}
 	return b.String()
 }

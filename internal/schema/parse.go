@@ -13,7 +13,8 @@ import (
 //
 //	file_path, function, line, variable, type, tags
 //
-// Blank lines and lines starting with '#' are ignored.
+// A 7th field, the relevance score (FormatScored output), is accepted and
+// preserved. Blank lines and lines starting with '#' are ignored.
 func Parse(r io.Reader) (*Schema, error) {
 	s := &Schema{}
 	sc := bufio.NewScanner(r)
@@ -38,8 +39,8 @@ func Parse(r io.Reader) (*Schema, error) {
 
 func parseEntry(line string) (Entry, error) {
 	parts := strings.Split(line, ",")
-	if len(parts) != 6 {
-		return Entry{}, fmt.Errorf("want 6 fields, got %d", len(parts))
+	if len(parts) != 6 && len(parts) != 7 {
+		return Entry{}, fmt.Errorf("want 6 or 7 fields, got %d", len(parts))
 	}
 	for i := range parts {
 		parts[i] = strings.TrimSpace(parts[i])
@@ -52,6 +53,13 @@ func parseEntry(line string) (Entry, error) {
 	if err != nil {
 		return Entry{}, err
 	}
+	var score float64
+	if len(parts) == 7 {
+		score, err = strconv.ParseFloat(parts[6], 64)
+		if err != nil {
+			return Entry{}, fmt.Errorf("bad score %q", parts[6])
+		}
+	}
 	return Entry{
 		FilePath: parts[0],
 		Function: parts[1],
@@ -59,6 +67,7 @@ func parseEntry(line string) (Entry, error) {
 		Variable: parts[3],
 		Type:     parts[4],
 		Tags:     tags,
+		Score:    score,
 	}, nil
 }
 

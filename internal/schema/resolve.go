@@ -1,0 +1,119 @@
+package schema
+
+import (
+	"vprof/internal/debuginfo"
+	"vprof/internal/lang"
+)
+
+// resolution records where an identifier occurrence was declared.
+type resolution struct {
+	scope string // declaring function name, or debuginfo.GlobalScope
+	line  int    // declaration line
+}
+
+// buildResolver resolves every identifier occurrence in fn against the
+// enclosing block scopes, mirroring the compiler's scoping rules exactly: a
+// declaration is visible from its statement to the end of its block, inner
+// declarations shadow outer ones and function parameters, a for clause
+// opens its own scope around the init variable, and names bound nowhere in
+// the function fall through to the globals. Results land in g.res.
+func (g *generator) buildResolver(fn *lang.FuncDecl) {
+	w := &scopeWalker{gen: g, fn: fn}
+	w.push()
+	for _, p := range fn.Params {
+		w.declare(p.Name, p.Pos.Line)
+	}
+	w.block(fn.Body)
+	w.pop()
+}
+
+type scopeWalker struct {
+	gen    *generator
+	fn     *lang.FuncDecl
+	scopes []map[string]int // name -> declaration line
+}
+
+func (w *scopeWalker) push() { w.scopes = append(w.scopes, map[string]int{}) }
+func (w *scopeWalker) pop()  { w.scopes = w.scopes[:len(w.scopes)-1] }
+
+func (w *scopeWalker) declare(name string, line int) {
+	w.scopes[len(w.scopes)-1][name] = line
+}
+
+func (w *scopeWalker) lookup(name string) (int, bool) {
+	for i := len(w.scopes) - 1; i >= 0; i-- {
+		if line, ok := w.scopes[i][name]; ok {
+			return line, true
+		}
+	}
+	return 0, false
+}
+
+func (w *scopeWalker) block(b *lang.BlockStmt) {
+	w.push()
+	for _, s := range b.Stmts {
+		w.stmt(s)
+	}
+	w.pop()
+}
+
+func (w *scopeWalker) stmt(s lang.Stmt) {
+	switch st := s.(type) {
+	case *lang.BlockStmt:
+		w.block(st)
+	case *lang.DeclStmt:
+		// The initializer is evaluated before the name becomes visible.
+		if st.Decl.Init != nil {
+			w.expr(st.Decl.Init)
+		}
+		w.declare(st.Decl.Name, st.Decl.Pos.Line)
+	case *lang.AssignStmt:
+		w.expr(st.Value)
+	case *lang.IfStmt:
+		w.expr(st.Cond)
+		w.block(st.Then)
+		if st.Else != nil {
+			w.stmt(st.Else)
+		}
+	case *lang.WhileStmt:
+		w.expr(st.Cond)
+		w.block(st.Body)
+	case *lang.ForStmt:
+		w.push() // for-clause scope (init variable)
+		if st.Init != nil {
+			w.stmt(st.Init)
+		}
+		if st.Cond != nil {
+			w.expr(st.Cond)
+		}
+		w.block(st.Body)
+		if st.Post != nil {
+			w.stmt(st.Post)
+		}
+		w.pop()
+	case *lang.ReturnStmt:
+		if st.Value != nil {
+			w.expr(st.Value)
+		}
+	case *lang.ExprStmt:
+		w.expr(st.X)
+	}
+}
+
+// expr records the resolution of every identifier in e under the current
+// scope stack. Unresolvable names (e.g. misspellings) are left unmapped and
+// never monitored.
+func (w *scopeWalker) expr(e lang.Expr) {
+	lang.Walk(e, func(n lang.Node) bool {
+		id, ok := n.(*lang.Ident)
+		if !ok {
+			return true
+		}
+		if line, ok := w.lookup(id.Name); ok {
+			w.gen.res[id] = resolution{scope: w.fn.Name, line: line}
+		} else if gd, ok := w.gen.globals[id.Name]; ok {
+			w.gen.res[id] = resolution{scope: debuginfo.GlobalScope, line: gd.Pos.Line}
+		}
+		return true
+	})
+}

@@ -1,25 +1,34 @@
 // Package schema implements vProf's schema generator (paper §3.1): the
-// static analysis — an LLVM pass in the paper, an AST pass here — that
-// decides which program variables to monitor during profiling, and the
-// binary static analysis (paper §3.2) that translates the schema into
-// runtime variable metadata using debug information.
+// static analysis — an LLVM pass in the paper, an IR-level control/data-flow
+// pass here (package cfa), with an AST fallback — that decides which program
+// variables to monitor during profiling, and the binary static analysis
+// (paper §3.2) that translates the schema into runtime variable metadata
+// using debug information.
 //
 // The selection rules are the paper's:
 //
 //   - every global variable (cheap to monitor, reachable from any context);
-//   - loop induction variables (assigned inside a loop or its post clause
-//     and referenced in the loop condition);
+//   - loop induction variables (assigned inside a loop and read by the
+//     loop's exit condition — detected on the compiled IR via dominator
+//     analysis and natural-loop detection);
 //   - every variable appearing in a branch/loop conditional expression;
 //   - every variable used as a call argument, and every formal parameter.
 //
 // Each monitored variable becomes one Entry:
 //
 //	file_path, function, line, variable, type, tags
+//
+// Entries additionally carry a performance-relevance Score (loop-nesting
+// depth weighting with constant-propagation and dead-variable pruning)
+// which Options.MinScore/MaxEntries use to cap schema size, and the
+// coverage verifier (verify.go) reports which entries the debug
+// information cannot actually locate at runtime.
 package schema
 
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"vprof/internal/compiler"
@@ -67,6 +76,11 @@ type Entry struct {
 	Variable string
 	Type     string // "int" or "ptr"
 	Tags     Tag
+	// Score is the performance-relevance score: the tag weight scaled by
+	// 1 + the variable's deepest loop-nesting access depth, or 0 for
+	// variables that never vary or are never read. Zero when generated
+	// without IR analysis beyond the plain tag weight.
+	Score float64
 }
 
 // Key identifies the variable (function scope + name).
@@ -78,18 +92,36 @@ func (e Entry) String() string {
 		e.FilePath, e.Function, e.Line, e.Variable, e.Type, e.Tags)
 }
 
+// ScoredString renders the entry with its relevance score as a 7th field.
+func (e Entry) ScoredString() string {
+	return e.String() + ", " + FormatScore(e.Score)
+}
+
+// FormatScore renders a relevance score in the canonical schema syntax.
+func FormatScore(s float64) string {
+	return strconv.FormatFloat(s, 'g', -1, 64)
+}
+
 // Schema is the ordered list of variables selected for monitoring.
 type Schema struct {
 	Entries []Entry
+	// Pruned counts entries removed by the MinScore/MaxEntries options.
+	Pruned int
+
+	index map[string]int // Key() -> Entries index, built lazily by Lookup
 }
 
 // Lookup returns the entry for a variable, or nil. fn is the declaring
 // function or debuginfo.GlobalScope.
 func (s *Schema) Lookup(fn, name string) *Entry {
-	for i := range s.Entries {
-		if s.Entries[i].Function == fn && s.Entries[i].Variable == name {
-			return &s.Entries[i]
+	if s.index == nil || len(s.index) != len(s.Entries) {
+		s.index = make(map[string]int, len(s.Entries))
+		for i := range s.Entries {
+			s.index[s.Entries[i].Key()] = i
 		}
+	}
+	if i, ok := s.index[fn+"\x00"+name]; ok {
+		return &s.Entries[i]
 	}
 	return nil
 }
@@ -103,17 +135,49 @@ type Options struct {
 	FuncFilter func(name string) bool
 	// IncludeGlobals defaults to true; set SkipGlobals to drop them.
 	SkipGlobals bool
+	// MinScore drops entries whose relevance score is below the bound
+	// (0 disables the filter).
+	MinScore float64
+	// MaxEntries caps the schema at the N highest-scoring entries
+	// (0 = unlimited). Ties break on function then variable name, so the
+	// result is deterministic.
+	MaxEntries int
+	// DisableIR forces the AST-only heuristic even when the program
+	// compiles; mainly for cross-checking the two analyses.
+	DisableIR bool
 }
 
 // Generate runs the static analysis over a parsed file and returns the
-// schema of variables to monitor.
+// schema of variables to monitor. When the file compiles, induction
+// detection and relevance scoring run on the IR (package cfa); otherwise
+// the AST heuristic is used and scores degrade to plain tag weights.
 func Generate(f *lang.File, opts Options) *Schema {
+	if !opts.DisableIR {
+		if p, err := compiler.Compile(f); err == nil {
+			return GenerateIR(f, p, opts)
+		}
+	}
+	return generate(f, nil, opts)
+}
+
+// GenerateIR is Generate for callers that already compiled the file; it
+// avoids a second compilation.
+func GenerateIR(f *lang.File, p *compiler.Program, opts Options) *Schema {
+	if opts.DisableIR {
+		p = nil
+	}
+	return generate(f, p, opts)
+}
+
+func generate(f *lang.File, prog *compiler.Program, opts Options) *Schema {
 	ptrs := compiler.InferPointers(f)
 	g := &generator{
 		file:    f,
+		prog:    prog,
 		ptrs:    ptrs,
 		globals: map[string]*lang.VarDecl{},
 		found:   map[string]*Entry{},
+		res:     map[*lang.Ident]resolution{},
 	}
 	for _, gd := range f.Globals() {
 		g.globals[gd.Name] = gd
@@ -132,28 +196,75 @@ func Generate(f *lang.File, opts Options) *Schema {
 			// mirror that by skipping the function entirely.
 			continue
 		}
+		g.buildResolver(fn)
 		g.analyzeFunc(fn)
+	}
+	if prog != nil {
+		g.applyIRInduction(opts)
 	}
 
 	s := &Schema{Entries: make([]Entry, 0, len(g.found))}
 	for _, e := range g.found {
 		s.Entries = append(s.Entries, *e)
 	}
-	sort.Slice(s.Entries, func(i, j int) bool {
-		a, b := s.Entries[i], s.Entries[j]
+	g.scoreEntries(s)
+	prune(s, opts)
+	sortEntries(s.Entries)
+	return s
+}
+
+// sortEntries establishes the canonical schema order: function, then name.
+func sortEntries(entries []Entry) {
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
 		if a.Function != b.Function {
 			return a.Function < b.Function
 		}
 		return a.Variable < b.Variable
 	})
-	return s
+}
+
+// prune applies the MinScore/MaxEntries caps. Selection sorts by descending
+// score with the canonical order as tie break, so output is deterministic.
+func prune(s *Schema, opts Options) {
+	before := len(s.Entries)
+	if opts.MinScore > 0 {
+		kept := s.Entries[:0]
+		for _, e := range s.Entries {
+			if e.Score >= opts.MinScore {
+				kept = append(kept, e)
+			}
+		}
+		s.Entries = kept
+	}
+	if opts.MaxEntries > 0 && len(s.Entries) > opts.MaxEntries {
+		sort.Slice(s.Entries, func(i, j int) bool {
+			a, b := s.Entries[i], s.Entries[j]
+			if a.Score != b.Score {
+				return a.Score > b.Score
+			}
+			if a.Function != b.Function {
+				return a.Function < b.Function
+			}
+			return a.Variable < b.Variable
+		})
+		s.Entries = s.Entries[:opts.MaxEntries]
+	}
+	s.Pruned = before - len(s.Entries)
 }
 
 type generator struct {
 	file    *lang.File
+	prog    *compiler.Program // nil when compiling failed or IR disabled
 	ptrs    map[string]bool
 	globals map[string]*lang.VarDecl
 	found   map[string]*Entry
+	// res maps every resolvable identifier occurrence to its declaration;
+	// identifiers are unique AST nodes, so one map spans all functions.
+	res map[*lang.Ident]resolution
+	// ir holds the per-function flow analyses and const/dead facts when a
+	// compiled program is available (irscore.go).
+	ir *irInfo
 }
 
 // ensure records a monitored variable, returning its entry.
@@ -178,54 +289,29 @@ func (g *generator) ensure(fn, name string, line int) *Entry {
 	return e
 }
 
-// funcScope resolves an identifier used in fn to its declaring scope and
-// definition line.
-func (g *generator) resolve(fn *lang.FuncDecl, name string) (scope string, line int, ok bool) {
-	for _, p := range fn.Params {
-		if p.Name == name {
-			return fn.Name, p.Pos.Line, true
-		}
-	}
-	var declLine int
-	declared := false
-	lang.Walk(fn.Body, func(n lang.Node) bool {
-		if d, ok := n.(*lang.DeclStmt); ok && d.Decl.Name == name && !declared {
-			declared = true
-			declLine = d.Decl.Pos.Line
-		}
-		return !declared
-	})
-	if declared {
-		return fn.Name, declLine, true
-	}
-	if gd, ok := g.globals[name]; ok {
-		return debuginfo.GlobalScope, gd.Pos.Line, true
-	}
-	return "", 0, false
-}
-
-// tagIdent adds tags to the (possibly new) entry for an identifier used in fn.
-func (g *generator) tagIdent(fn *lang.FuncDecl, name string, tags Tag) {
-	scope, line, ok := g.resolve(fn, name)
+// tagIdent adds tags to the (possibly new) entry for an identifier
+// occurrence, using the scope resolution built by buildResolver.
+func (g *generator) tagIdent(id *lang.Ident, tags Tag) {
+	r, ok := g.res[id]
 	if !ok {
 		return
 	}
-	if scope == debuginfo.GlobalScope {
-		if _, monitored := g.found[scope+"\x00"+name]; !monitored {
+	if r.scope == debuginfo.GlobalScope {
+		if _, monitored := g.found[r.scope+"\x00"+id.Name]; !monitored {
 			// Globals excluded via SkipGlobals stay excluded; tags
 			// only annotate entries that exist.
 			return
 		}
 	}
-	g.ensure(scope, name, line).Tags |= tags
+	g.ensure(r.scope, id.Name, r.line).Tags |= tags
 }
 
-// identsIn collects the identifier names appearing in an expression.
-func identsIn(e lang.Expr) []string {
-	var out []string
+// identsIn collects the identifier occurrences appearing in an expression.
+func identsIn(e lang.Expr) []*lang.Ident {
+	var out []*lang.Ident
 	lang.Walk(e, func(n lang.Node) bool {
 		if id, ok := n.(*lang.Ident); ok {
-			out = append(out, id.Name)
+			out = append(out, id)
 		}
 		return true
 	})
@@ -242,25 +328,29 @@ func (g *generator) analyzeFunc(fn *lang.FuncDecl) {
 	lang.Walk(fn.Body, func(n lang.Node) bool {
 		switch x := n.(type) {
 		case *lang.IfStmt:
-			for _, name := range identsIn(x.Cond) {
-				g.tagIdent(fn, name, TagCond)
+			for _, id := range identsIn(x.Cond) {
+				g.tagIdent(id, TagCond)
 			}
 		case *lang.WhileStmt:
-			for _, name := range identsIn(x.Cond) {
-				g.tagIdent(fn, name, TagCond)
+			for _, id := range identsIn(x.Cond) {
+				g.tagIdent(id, TagCond)
 			}
-			g.tagInduction(fn, x.Cond, x.Body, nil)
+			if g.prog == nil {
+				g.tagInduction(x.Cond, x.Body, nil)
+			}
 		case *lang.ForStmt:
 			if x.Cond != nil {
-				for _, name := range identsIn(x.Cond) {
-					g.tagIdent(fn, name, TagCond)
+				for _, id := range identsIn(x.Cond) {
+					g.tagIdent(id, TagCond)
 				}
 			}
-			g.tagInduction(fn, x.Cond, x.Body, x.Post)
+			if g.prog == nil {
+				g.tagInduction(x.Cond, x.Body, x.Post)
+			}
 		case *lang.CallExpr:
 			for _, a := range x.Args {
-				for _, name := range identsIn(a) {
-					g.tagIdent(fn, name, TagArgs)
+				for _, id := range identsIn(a) {
+					g.tagIdent(id, TagArgs)
 				}
 			}
 		}
@@ -268,9 +358,11 @@ func (g *generator) analyzeFunc(fn *lang.FuncDecl) {
 	})
 }
 
-// tagInduction marks loop induction variables: assigned in the loop body or
-// post clause and referenced in the loop condition.
-func (g *generator) tagInduction(fn *lang.FuncDecl, cond lang.Expr, body *lang.BlockStmt, post lang.Stmt) {
+// tagInduction is the AST fallback for loop induction variables (assigned in
+// the loop body or post clause and referenced in the loop condition), used
+// when no compiled IR is available. The IR path (irscore.go) replaces it
+// with dominator-based detection over natural loops.
+func (g *generator) tagInduction(cond lang.Expr, body *lang.BlockStmt, post lang.Stmt) {
 	assigned := map[string]bool{}
 	collectAssigned := func(n lang.Node) bool {
 		if a, ok := n.(*lang.AssignStmt); ok {
@@ -285,9 +377,9 @@ func (g *generator) tagInduction(fn *lang.FuncDecl, cond lang.Expr, body *lang.B
 	if cond == nil {
 		return
 	}
-	for _, name := range identsIn(cond) {
-		if assigned[name] {
-			g.tagIdent(fn, name, TagLoop)
+	for _, id := range identsIn(cond) {
+		if assigned[id.Name] {
+			g.tagIdent(id, TagLoop)
 		}
 	}
 }
@@ -296,7 +388,8 @@ func (g *generator) tagInduction(fn *lang.FuncDecl, cond lang.Expr, body *lang.B
 // the debug information for the runtime locations of every schema variable
 // and returns the variable metadata (one or more VarLoc entries per
 // variable). Variables with no debug locations are silently dropped, exactly
-// as vProf treats DWARF-incomplete variables as inaccessible.
+// as vProf treats DWARF-incomplete variables as inaccessible; use Verify to
+// report them instead.
 func Translate(s *Schema, info *debuginfo.Info) []debuginfo.VarLoc {
 	var out []debuginfo.VarLoc
 	for _, e := range s.Entries {
@@ -311,6 +404,17 @@ func Format(s *Schema) string {
 	var b strings.Builder
 	for _, e := range s.Entries {
 		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FormatScored renders the schema with the relevance score as a 7th field
+// on every line. Parse accepts both forms.
+func FormatScored(s *Schema) string {
+	var b strings.Builder
+	for _, e := range s.Entries {
+		b.WriteString(e.ScoredString())
 		b.WriteByte('\n')
 	}
 	return b.String()

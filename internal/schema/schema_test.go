@@ -248,7 +248,8 @@ func TestTagString(t *testing.T) {
 
 func TestSchemaRoundTrip(t *testing.T) {
 	s, _ := gen(t, recoverySrc, schema.Options{})
-	text := schema.Format(s)
+	// The scored 7-field form round-trips entries exactly.
+	text := schema.FormatScored(s)
 	parsed, err := schema.Parse(strings.NewReader("# header comment\n\n" + text))
 	if err != nil {
 		t.Fatal(err)
@@ -259,6 +260,18 @@ func TestSchemaRoundTrip(t *testing.T) {
 	for i := range s.Entries {
 		if parsed.Entries[i] != s.Entries[i] {
 			t.Fatalf("entry %d: %+v != %+v", i, parsed.Entries[i], s.Entries[i])
+		}
+	}
+	// The unscored 6-field form drops only the score.
+	parsed6, err := schema.Parse(strings.NewReader(schema.Format(s)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s.Entries {
+		e := s.Entries[i]
+		e.Score = 0
+		if parsed6.Entries[i] != e {
+			t.Fatalf("6-field entry %d: %+v != %+v", i, parsed6.Entries[i], e)
 		}
 	}
 }

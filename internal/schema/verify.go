@@ -1,0 +1,156 @@
+package schema
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vprof/internal/debuginfo"
+)
+
+// Gap is a PC range inside a variable's expected span with no debug
+// location: the paper's "not accessible" case, where a caller-saved
+// register is spilled across a call and DWARF does not describe the slot.
+type Gap struct {
+	PCStart, PCEnd int // half-open
+}
+
+// VarCoverage reports the debug-location coverage of one schema entry.
+type VarCoverage struct {
+	Entry Entry
+	// Locs is the number of location entries the debug info holds.
+	Locs int
+	// [SpanStart, SpanEnd) is the expected PC span: the union of the
+	// location entries, or the declaring function's range when there are
+	// none.
+	SpanStart, SpanEnd int
+	// Gaps lists the uncovered ranges inside the span (locals only;
+	// a global's per-function ranges are each complete by construction).
+	Gaps []Gap
+	// NoLocation marks variables with no location entries anywhere —
+	// exactly the entries Translate silently drops.
+	NoLocation bool
+}
+
+// Covered returns the fraction of the span PCs covered by locations.
+func (v *VarCoverage) Covered() float64 {
+	span := v.SpanEnd - v.SpanStart
+	if v.NoLocation || span <= 0 {
+		return 0
+	}
+	missing := 0
+	for _, g := range v.Gaps {
+		missing += g.PCEnd - g.PCStart
+	}
+	return float64(span-missing) / float64(span)
+}
+
+// CoverageReport is the schema/debuginfo coverage verification result: one
+// VarCoverage per schema entry, in schema order.
+type CoverageReport struct {
+	Vars []VarCoverage
+}
+
+// Dropped counts entries with no location information at all.
+func (r *CoverageReport) Dropped() int {
+	n := 0
+	for i := range r.Vars {
+		if r.Vars[i].NoLocation {
+			n++
+		}
+	}
+	return n
+}
+
+// GapCount sums the location gaps across all entries.
+func (r *CoverageReport) GapCount() int {
+	n := 0
+	for i := range r.Vars {
+		n += len(r.Vars[i].Gaps)
+	}
+	return n
+}
+
+// Verify cross-checks every schema entry against the debug information and
+// reports per-variable PC coverage: how many location entries exist, the PC
+// span they should cover, the gaps inside that span, and whether the
+// variable has no location at all (and would be silently dropped by
+// Translate).
+func Verify(s *Schema, info *debuginfo.Info) *CoverageReport {
+	r := &CoverageReport{Vars: make([]VarCoverage, 0, len(s.Entries))}
+	for _, e := range s.Entries {
+		v := VarCoverage{Entry: e}
+		locs := info.VarEntries(e.Function, e.Variable)
+		v.Locs = len(locs)
+		if len(locs) == 0 {
+			v.NoLocation = true
+			// Expected span: the declaring function's whole range.
+			// (A global with locations nowhere has no meaningful span.)
+			if fr := info.FuncNamed(e.Function); fr != nil {
+				v.SpanStart, v.SpanEnd = fr.Entry, fr.End
+			}
+			r.Vars = append(r.Vars, v)
+			continue
+		}
+		ranges := make([]Gap, len(locs))
+		for i, l := range locs {
+			ranges[i] = Gap{l.PCStart, l.PCEnd}
+		}
+		sort.Slice(ranges, func(i, j int) bool { return ranges[i].PCStart < ranges[j].PCStart })
+		v.SpanStart = ranges[0].PCStart
+		v.SpanEnd = ranges[0].PCEnd
+		for _, g := range ranges[1:] {
+			if g.PCEnd > v.SpanEnd {
+				v.SpanEnd = g.PCEnd
+			}
+		}
+		if e.Function != debuginfo.GlobalScope {
+			// Holes between merged ranges are genuine DWARF gaps. For
+			// globals the entries are per referencing function; the text
+			// between two functions is not a gap.
+			covered := ranges[0].PCEnd
+			for _, g := range ranges[1:] {
+				if g.PCStart > covered {
+					v.Gaps = append(v.Gaps, Gap{covered, g.PCStart})
+				}
+				if g.PCEnd > covered {
+					covered = g.PCEnd
+				}
+			}
+		}
+		r.Vars = append(r.Vars, v)
+	}
+	return r
+}
+
+// Render prints the report: a summary line, then one line per variable that
+// is not fully covered. Output is deterministic (schema order).
+func (r *CoverageReport) Render() string {
+	var b strings.Builder
+	full := 0
+	for i := range r.Vars {
+		if !r.Vars[i].NoLocation && len(r.Vars[i].Gaps) == 0 {
+			full++
+		}
+	}
+	gapped := len(r.Vars) - full - r.Dropped()
+	fmt.Fprintf(&b, "schema/DWARF coverage: %d variables, %d fully covered, %d with location gaps, %d without location info\n",
+		len(r.Vars), full, gapped, r.Dropped())
+	for i := range r.Vars {
+		v := &r.Vars[i]
+		switch {
+		case v.NoLocation:
+			fmt.Fprintf(&b, "  %s.%s: NO location info (expected pc 0x%x-0x%x); silently dropped by translation\n",
+				v.Entry.Function, v.Entry.Variable, v.SpanStart, v.SpanEnd)
+		case len(v.Gaps) > 0:
+			parts := make([]string, len(v.Gaps))
+			for j, g := range v.Gaps {
+				parts[j] = fmt.Sprintf("0x%x-0x%x", g.PCStart, g.PCEnd)
+			}
+			fmt.Fprintf(&b, "  %s.%s: %d location entries, %.0f%% of pc 0x%x-0x%x covered, gaps at %s\n",
+				v.Entry.Function, v.Entry.Variable, v.Locs, 100*v.Covered(),
+				v.SpanStart, v.SpanEnd, strings.Join(parts, ", "))
+		}
+	}
+	return b.String()
+}

@@ -52,6 +52,12 @@ type (
 	Pattern = analysis.Pattern
 	// Schema lists the variables selected for monitoring.
 	Schema = schema.Schema
+	// CoverageReport is the schema/debuginfo coverage verification result:
+	// per-variable location counts, PC spans, gaps, and dropped entries.
+	CoverageReport = schema.CoverageReport
+	// LintReport collects IR-level static diagnostics (unreachable code,
+	// exit-less loops, constant/dead monitored variables, DWARF gaps).
+	LintReport = schema.LintReport
 	// Profile is a recorded execution profile (PC histogram + value
 	// samples + layout log).
 	Profile = sampler.Profile
@@ -111,11 +117,19 @@ type SchemaOptions struct {
 	Functions []string
 	// SkipGlobals drops global variables from the schema.
 	SkipGlobals bool
+	// MinScore drops entries whose performance-relevance score is below
+	// the bound (0 disables the filter).
+	MinScore float64
+	// MaxEntries caps the schema at the N highest-scoring entries
+	// (0 = unlimited).
+	MaxEntries int
 }
 
 // GenerateSchema runs the static analysis that selects variables to monitor:
-// all globals, loop induction variables, conditional-expression variables,
-// and call arguments.
+// all globals, loop induction variables (detected on the compiled IR via
+// dominator/natural-loop analysis), conditional-expression variables, and
+// call arguments. Entries carry performance-relevance scores; MinScore and
+// MaxEntries prune on them.
 func (p *Program) GenerateSchema(opts SchemaOptions) *Schema {
 	var filter func(string) bool
 	if len(opts.Functions) > 0 {
@@ -125,7 +139,27 @@ func (p *Program) GenerateSchema(opts SchemaOptions) *Schema {
 		}
 		filter = func(name string) bool { return set[name] }
 	}
-	return schema.Generate(p.ast, schema.Options{FuncFilter: filter, SkipGlobals: opts.SkipGlobals})
+	return schema.GenerateIR(p.ast, p.compiled, schema.Options{
+		FuncFilter:  filter,
+		SkipGlobals: opts.SkipGlobals,
+		MinScore:    opts.MinScore,
+		MaxEntries:  opts.MaxEntries,
+	})
+}
+
+// VerifySchema cross-checks a schema against the program's debug
+// information, reporting per-variable PC coverage: location entries, gaps
+// (caller-saved registers spilled across calls), and variables with no
+// location at all — the entries Metadata/Translate silently drop.
+func (p *Program) VerifySchema(sch *Schema) *CoverageReport {
+	return schema.Verify(sch, p.compiled.Debug)
+}
+
+// Lint runs the IR-level static checks over the program and its default
+// schema: unreachable code, exit-less loops, constant and dead monitored
+// variables, and debug-location coverage problems.
+func (p *Program) Lint() *LintReport {
+	return schema.Lint(p.ast, p.compiled)
 }
 
 // RunSpec parameterizes one execution of the target program.
@@ -261,6 +295,10 @@ func Diagnose(prog *Program, sch *Schema, normalSpec, buggySpec RunSpec, runs in
 
 // FormatSchema renders a schema in the paper's textual format.
 func FormatSchema(sch *Schema) string { return schema.Format(sch) }
+
+// FormatSchemaScored renders a schema with the relevance score appended as
+// a 7th field on every line.
+func FormatSchemaScored(sch *Schema) string { return schema.FormatScored(sch) }
 
 // Version identifies the library release.
 const Version = "1.0.0"
