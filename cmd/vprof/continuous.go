@@ -1,0 +1,234 @@
+// Continuous-mode subcommands: a profile-store daemon (serve), a profiling
+// uploader (push), and a query front end (query). Together they turn the
+// one-shot profile/analyze workflow into a service: many clients push
+// normal and candidate runs concurrently, and diagnoses run server-side
+// against each workload's stored baseline corpus.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"path/filepath"
+	"strings"
+
+	vprof "vprof"
+	"vprof/internal/profilefmt"
+	"vprof/internal/sampler"
+	"vprof/internal/service"
+	"vprof/internal/store"
+)
+
+// buildResolver assembles the serve resolver: explicitly listed programs
+// shadow the built-in bug registry; with no programs the registry is the
+// default so `vprof serve` works out of the box.
+func buildResolver(progFiles []string, useBugs bool) (service.Resolver, error) {
+	var rs []service.Resolver
+	if len(progFiles) > 0 {
+		pr, err := service.NewProgramResolver(progFiles)
+		if err != nil {
+			return nil, err
+		}
+		rs = append(rs, pr)
+	}
+	if useBugs || len(progFiles) == 0 {
+		rs = append(rs, service.NewBugsResolver())
+	}
+	return service.NewMultiResolver(rs...), nil
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7070", "listen address")
+	storeDir := fs.String("store", "vprof-store", "profile store directory")
+	useBugs := fs.Bool("bugs", false, "also serve the built-in bug workloads (default when no programs are given)")
+	workers := fs.Int("workers", 4, "bounded ingest/diagnose worker pool size")
+	top := fs.Int("top", 10, "default report rows")
+	baselineCap := fs.Int("baseline-cap", 16, "rolling baseline corpus size per workload")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	st, err := store.Open(*storeDir, store.Options{BaselineCap: *baselineCap})
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	resolver, err := buildResolver(fs.Args(), *useBugs)
+	if err != nil {
+		return usageError{err}
+	}
+	srv, err := service.New(service.Config{Store: st, Resolver: resolver, Workers: *workers, Top: *top})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("vprof service listening on http://%s (store %s)\n", ln.Addr(), *storeDir)
+	return http.Serve(ln, srv.Handler())
+}
+
+func cmdPush(args []string) error {
+	file, args := splitFileArg(args)
+	fs := flag.NewFlagSet("push", flag.ContinueOnError)
+	server := fs.String("server", "http://127.0.0.1:7070", "service base URL")
+	workload := fs.String("workload", "", "workload name (default: program base name)")
+	label := fs.String("label", "", "normal (baseline) or candidate (suspected buggy)")
+	dir := fs.String("dir", "", "push existing artifacts from this directory instead of profiling")
+	run := fs.String("run", "", "run id (required with -dir; default 0..runs-1 when profiling)")
+	runs := fs.Int("runs", 1, "profiling runs to push")
+	inputs := fs.String("inputs", "", "comma-separated workload inputs")
+	seed := fs.Uint64("seed", 1, "PRNG seed of the first run")
+	maxTicks := fs.Int64("max-ticks", 0, "tick budget per run (0 = default)")
+	interval := fs.Int64("interval", sampler.DefaultInterval, "sampling interval in ticks")
+	funcs := fs.String("funcs", "", "comma-separated component functions to monitor")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	lb, err := store.ParseLabel(*label)
+	if err != nil {
+		return usageError{err}
+	}
+	client := service.NewClient(*server)
+
+	// Mode 1: push artifacts previously written by `vprof profile -out`.
+	if *dir != "" {
+		if *workload == "" || *run == "" {
+			return usageError{fmt.Errorf("push -dir needs -workload and -run")}
+		}
+		profiles, err := profilefmt.ReadDir(*dir)
+		if err != nil {
+			return err
+		}
+		if len(profiles) == 0 {
+			return fmt.Errorf("no profiles in %s", *dir)
+		}
+		res, err := client.Push(*workload, lb, *run, sampler.MergeProfiles(profiles))
+		if err != nil {
+			return err
+		}
+		printPush(res)
+		return nil
+	}
+
+	// Mode 2: profile the program locally and push each run.
+	if file == "" && fs.NArg() == 1 {
+		file = fs.Arg(0)
+	}
+	if file == "" {
+		return usageError{fmt.Errorf("push: need a program file or -dir")}
+	}
+	wl := *workload
+	if wl == "" {
+		wl = strings.TrimSuffix(filepath.Base(file), filepath.Ext(file))
+	}
+	prog, err := compileFile(file)
+	if err != nil {
+		return err
+	}
+	in, err := parseInputs(*inputs)
+	if err != nil {
+		return err
+	}
+	sch := prog.GenerateSchema(schemaOpts(*funcs, false))
+	for i := 0; i < *runs; i++ {
+		// Per-run phase/seed variation, as the offline Diagnose does.
+		spec := vprof.RunSpec{
+			Inputs:     in,
+			Seed:       *seed + uint64(i*1000003),
+			MaxTicks:   *maxTicks,
+			AlarmPhase: int64(7 * i),
+			Interval:   *interval,
+		}
+		id := fmt.Sprint(i)
+		if *run != "" {
+			id = *run
+			if *runs > 1 {
+				id = fmt.Sprintf("%s-%d", *run, i)
+			}
+		}
+		res, err := client.Push(wl, lb, id, prog.Profile(spec, sch))
+		if err != nil {
+			return err
+		}
+		printPush(res)
+	}
+	return nil
+}
+
+func printPush(res *service.PushResult) {
+	state := "stored"
+	if res.Dup {
+		state = "deduplicated"
+	}
+	fmt.Printf("%s %s/%s run %s as %s\n", state, res.Workload, res.Label, res.Run, res.ID[:12])
+}
+
+func cmdQuery(args []string) error {
+	if len(args) == 0 {
+		return usageError{fmt.Errorf("query: need a subcommand (workloads, diagnose, report, stats)")}
+	}
+	sub, args := args[0], args[1:]
+	fs := flag.NewFlagSet("query "+sub, flag.ContinueOnError)
+	server := fs.String("server", "http://127.0.0.1:7070", "service base URL")
+	workload := fs.String("workload", "", "workload to diagnose")
+	candidates := fs.String("candidates", "", "comma-separated candidate run ids (default: all)")
+	top := fs.Int("top", 10, "report rows")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	client := service.NewClient(*server)
+	switch sub {
+	case "workloads":
+		infos, err := client.Workloads()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-20s %8s %11s %10s\n", "workload", "normals", "candidates", "baselines")
+		for _, info := range infos {
+			fmt.Printf("%-20s %8d %11d %10d\n", info.Workload, info.Normals, info.Candidates, info.Baselines)
+		}
+		return nil
+	case "diagnose":
+		if *workload == "" {
+			return usageError{fmt.Errorf("query diagnose: -workload is required")}
+		}
+		req := service.DiagnoseRequest{Workload: *workload, Top: *top}
+		if *candidates != "" {
+			req.Candidates = strings.Split(*candidates, ",")
+		}
+		resp, err := client.Diagnose(req)
+		if err != nil {
+			return err
+		}
+		fmt.Println(resp.Summary())
+		fmt.Print(resp.Render)
+		return nil
+	case "report":
+		if fs.NArg() != 1 {
+			return usageError{fmt.Errorf("query report: need exactly one report id")}
+		}
+		resp, err := client.Report(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		fmt.Println(resp.Summary())
+		fmt.Print(resp.Render)
+		return nil
+	case "stats":
+		st, err := client.Stats()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("ingested %d (deduped %d, rejected %d) across %d workloads\n",
+			st.Ingested, st.Deduped, st.Rejected, st.Workloads)
+		fmt.Printf("diagnoses %d, memo cache hits %d\n", st.Diagnoses, st.DiagnoseCacheHits)
+		fmt.Printf("decode cache: %d hits, %d misses, %d resident\n",
+			st.DecodeCache.Hits, st.DecodeCache.Misses, st.DecodeCache.Entries)
+		fmt.Printf("worker pool: %d slots\n", st.Workers)
+		return nil
+	}
+	return usageError{fmt.Errorf("query: unknown subcommand %q", sub)}
+}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -23,37 +24,77 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 2 {
+	os.Exit(run(os.Args[1:]))
+}
+
+// commands is the subcommand dispatch table.
+var commands = map[string]func([]string) error{
+	"schema":   cmdSchema,
+	"lint":     cmdLint,
+	"run":      cmdRun,
+	"profile":  cmdProfile,
+	"disasm":   cmdDisasm,
+	"analyze":  cmdAnalyze,
+	"diagnose": cmdDiagnose,
+	"serve":    cmdServe,
+	"push":     cmdPush,
+	"query":    cmdQuery,
+}
+
+// usageError marks failures that are the caller's command line rather than
+// the tool's execution: they print the usage message and exit 2, like an
+// unknown flag does.
+type usageError struct{ err error }
+
+func (e usageError) Error() string { return e.err.Error() }
+func (e usageError) Unwrap() error { return e.err }
+
+// run dispatches one invocation and returns the process exit code: 0 on
+// success, 2 for command-line mistakes (unknown subcommand or flag, missing
+// arguments), 1 for execution failures.
+func run(args []string) int {
+	if len(args) == 0 {
 		usage()
-		os.Exit(2)
+		return 2
 	}
-	var err error
-	switch os.Args[1] {
-	case "schema":
-		err = cmdSchema(os.Args[2:])
-	case "lint":
-		err = cmdLint(os.Args[2:])
-	case "run":
-		err = cmdRun(os.Args[2:])
-	case "profile":
-		err = cmdProfile(os.Args[2:])
-	case "disasm":
-		err = cmdDisasm(os.Args[2:])
-	case "analyze":
-		err = cmdAnalyze(os.Args[2:])
-	case "diagnose":
-		err = cmdDiagnose(os.Args[2:])
+	switch args[0] {
 	case "help", "-h", "--help":
 		usage()
-	default:
-		fmt.Fprintf(os.Stderr, "vprof: unknown command %q\n", os.Args[1])
+		return 0
+	}
+	cmd, ok := commands[args[0]]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "vprof: unknown command %q\n", args[0])
 		usage()
-		os.Exit(2)
+		return 2
 	}
-	if err != nil {
+	if err := cmd(args[1:]); err != nil {
+		var ue usageError
+		if errors.As(err, &ue) {
+			fmt.Fprintf(os.Stderr, "vprof %s: %v\n", args[0], err)
+			usage()
+			return 2
+		}
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
 		fmt.Fprintf(os.Stderr, "vprof: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
+	return 0
+}
+
+// parseFlags parses a subcommand's flag set, classifying parse failures
+// (unknown flags, bad values) as usage errors. The flag package already
+// printed its own diagnostic and the subcommand's defaults.
+func parseFlags(fs *flag.FlagSet, args []string) error {
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return flag.ErrHelp
+		}
+		return usageError{err}
+	}
+	return nil
 }
 
 func usage() {
@@ -66,6 +107,10 @@ func usage() {
   vprof disasm <prog.vp>
   vprof analyze <prog.vp> -normal dir[,dir...] -buggy dir[,dir...] [-top n]
   vprof diagnose <prog.vp> -normal a,b -buggy a,b [-runs n] [-top n] [-funcs f1,f2]
+  vprof serve [-addr host:port] [-store dir] [-bugs] [-workers n] [prog.vp ...]
+  vprof push <prog.vp> -server url -label normal|candidate [-workload w]
+             [-inputs a,b] [-runs n] | push -server url -label l -dir artifacts
+  vprof query workloads|diagnose|report|stats -server url [args]
 `)
 }
 
@@ -86,7 +131,7 @@ func fileArg(pre string, fs *flag.FlagSet, cmd string) (string, error) {
 	case pre == "" && fs.NArg() == 1:
 		return fs.Arg(0), nil
 	}
-	return "", fmt.Errorf("%s: need exactly one program file", cmd)
+	return "", usageError{fmt.Errorf("%s: need exactly one program file", cmd)}
 }
 
 func compileFile(path string) (*vprof.Program, error) {
@@ -123,14 +168,16 @@ func schemaOpts(funcs string, noGlobals bool) vprof.SchemaOptions {
 
 func cmdSchema(args []string) error {
 	file, args := splitFileArg(args)
-	fs := flag.NewFlagSet("schema", flag.ExitOnError)
+	fs := flag.NewFlagSet("schema", flag.ContinueOnError)
 	funcs := fs.String("funcs", "", "comma-separated component functions to monitor")
 	noGlobals := fs.Bool("no-globals", false, "do not monitor globals")
 	score := fs.Bool("score", false, "append the performance-relevance score to every entry")
 	verify := fs.Bool("verify", false, "report per-variable debug-location coverage (gaps, dropped entries)")
 	minScore := fs.Float64("min-score", 0, "drop entries scoring below this bound")
 	maxEntries := fs.Int("max-entries", 0, "keep only the N highest-scoring entries (0 = all)")
-	fs.Parse(args)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
 	file, err := fileArg(file, fs, "schema")
 	if err != nil {
 		return err
@@ -164,8 +211,10 @@ func cmdSchema(args []string) error {
 // problems (the paper's DWARF-gap phenomenon, §3.2).
 func cmdLint(args []string) error {
 	file, args := splitFileArg(args)
-	fs := flag.NewFlagSet("lint", flag.ExitOnError)
-	fs.Parse(args)
+	fs := flag.NewFlagSet("lint", flag.ContinueOnError)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
 	file, err := fileArg(file, fs, "lint")
 	if err != nil {
 		return err
@@ -180,11 +229,13 @@ func cmdLint(args []string) error {
 
 func cmdRun(args []string) error {
 	file, args := splitFileArg(args)
-	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
 	inputs := fs.String("inputs", "", "comma-separated workload inputs")
 	seed := fs.Uint64("seed", 1, "PRNG seed")
 	maxTicks := fs.Int64("max-ticks", 0, "tick budget (0 = default)")
-	fs.Parse(args)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
 	file, err := fileArg(file, fs, "run")
 	if err != nil {
 		return err
@@ -207,14 +258,16 @@ func cmdRun(args []string) error {
 
 func cmdProfile(args []string) error {
 	file, args := splitFileArg(args)
-	fs := flag.NewFlagSet("profile", flag.ExitOnError)
+	fs := flag.NewFlagSet("profile", flag.ContinueOnError)
 	inputs := fs.String("inputs", "", "comma-separated workload inputs")
 	seed := fs.Uint64("seed", 1, "PRNG seed")
 	maxTicks := fs.Int64("max-ticks", 0, "tick budget (0 = default)")
 	interval := fs.Int64("interval", sampler.DefaultInterval, "sampling interval in ticks")
 	outDir := fs.String("out", "", "directory for gmon/gmon_var/layout artifacts")
 	funcs := fs.String("funcs", "", "comma-separated component functions to monitor")
-	fs.Parse(args)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
 	file, err := fileArg(file, fs, "profile")
 	if err != nil {
 		return err
@@ -245,8 +298,10 @@ func cmdProfile(args []string) error {
 // defined over.
 func cmdDisasm(args []string) error {
 	file, args := splitFileArg(args)
-	fs := flag.NewFlagSet("disasm", flag.ExitOnError)
-	fs.Parse(args)
+	fs := flag.NewFlagSet("disasm", flag.ContinueOnError)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
 	file, err := fileArg(file, fs, "disasm")
 	if err != nil {
 		return err
@@ -265,12 +320,14 @@ func cmdDisasm(args []string) error {
 // separate step).
 func cmdAnalyze(args []string) error {
 	file, args := splitFileArg(args)
-	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
 	normal := fs.String("normal", "", "comma-separated normal profile directories")
 	buggy := fs.String("buggy", "", "comma-separated buggy profile directories")
 	top := fs.Int("top", 10, "rows to print")
 	funcs := fs.String("funcs", "", "comma-separated component functions (must match the profiling schema)")
-	fs.Parse(args)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
 	file, err := fileArg(file, fs, "analyze")
 	if err != nil {
 		return err
@@ -316,7 +373,7 @@ func cmdAnalyze(args []string) error {
 
 func cmdDiagnose(args []string) error {
 	file, args := splitFileArg(args)
-	fs := flag.NewFlagSet("diagnose", flag.ExitOnError)
+	fs := flag.NewFlagSet("diagnose", flag.ContinueOnError)
 	normal := fs.String("normal", "", "inputs for the normal execution")
 	buggy := fs.String("buggy", "", "inputs for the buggy execution")
 	runs := fs.Int("runs", 5, "profiling runs per side")
@@ -324,7 +381,9 @@ func cmdDiagnose(args []string) error {
 	maxTicks := fs.Int64("max-ticks", 0, "tick budget per run")
 	funcs := fs.String("funcs", "", "comma-separated component functions to monitor")
 	root := fs.String("root", "", "known root cause (prints its rank)")
-	fs.Parse(args)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
 	file, err := fileArg(file, fs, "diagnose")
 	if err != nil {
 		return err

@@ -3,9 +3,13 @@ package main
 import (
 	"flag"
 	"io"
+	"net/http/httptest"
 	"os"
 	"strings"
 	"testing"
+
+	"vprof/internal/service"
+	"vprof/internal/store"
 )
 
 // captureStdout runs fn with os.Stdout redirected and returns what it wrote.
@@ -179,5 +183,128 @@ func TestLintCommand(t *testing.T) {
 	}
 	if err := cmdLint(nil); err == nil {
 		t.Error("lint without a file accepted")
+	}
+}
+
+// captureStderr silences run()'s usage spam during exit-code tests.
+func captureStderr(t *testing.T, fn func() int) int {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stderr
+	os.Stderr = w
+	defer func() { os.Stderr = old }()
+	code := fn()
+	w.Close()
+	io.Copy(io.Discard, r)
+	return code
+}
+
+// TestExitCodes pins the satellite fix: unknown subcommands and flags exit
+// non-zero with a usage message instead of falling through.
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		args []string
+		want int
+	}{
+		{nil, 2},                                // no subcommand
+		{[]string{"frobnicate"}, 2},             // unknown subcommand
+		{[]string{"run", "-no-such-flag"}, 2},   // unknown flag
+		{[]string{"run"}, 2},                    // missing program file
+		{[]string{"run", "a.vp", "b.vp"}, 2},    // too many program files
+		{[]string{"query"}, 2},                  // missing query subcommand
+		{[]string{"query", "wat"}, 2},           // unknown query subcommand
+		{[]string{"push", "-label", "x"}, 2},    // bad label
+		{[]string{"run", "no-such-file.vp"}, 1}, // execution failure
+		{[]string{"help"}, 0},
+		{[]string{"--help"}, 0},
+		{[]string{"run", "-h"}, 0}, // flag-level help is not an error
+	}
+	for _, tc := range cases {
+		got := captureStderr(t, func() int { return run(tc.args) })
+		if got != tc.want {
+			t.Errorf("run(%q) = %d, want %d", tc.args, got, tc.want)
+		}
+	}
+}
+
+// TestPushQueryEndToEnd drives the push and query subcommands against an
+// in-process service daemon serving the checked-in example program.
+func TestPushQueryEndToEnd(t *testing.T) {
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	resolver, err := buildResolver([]string{"../../testdata/recovery.vp"}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := service.New(service.Config{Store: st, Resolver: resolver})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	prog := "../../testdata/recovery.vp"
+	pushOut := captureStdout(t, func() error {
+		return cmdPush([]string{prog, "-server", hs.URL, "-label", "normal",
+			"-inputs", "40", "-runs", "2", "-max-ticks", "200000"})
+	})
+	if strings.Count(pushOut, "stored") != 2 {
+		t.Fatalf("push output:\n%s", pushOut)
+	}
+	captureStdout(t, func() error {
+		return cmdPush([]string{prog, "-server", hs.URL, "-label", "buggy",
+			"-inputs", "90", "-max-ticks", "200000"})
+	})
+	// Artifact-directory mode: profile to disk, then push the directory.
+	dir := t.TempDir()
+	if err := cmdProfile([]string{prog, "-inputs", "90", "-max-ticks", "200000", "-out", dir}); err != nil {
+		t.Fatal(err)
+	}
+	dirOut := captureStdout(t, func() error {
+		return cmdPush([]string{"-server", hs.URL, "-label", "candidate",
+			"-workload", "recovery", "-run", "disk", "-dir", dir})
+	})
+	if !strings.Contains(dirOut, "recovery/candidate run disk") {
+		t.Fatalf("dir push output:\n%s", dirOut)
+	}
+
+	wls := captureStdout(t, func() error {
+		return cmdQuery([]string{"workloads", "-server", hs.URL})
+	})
+	if !strings.Contains(wls, "recovery") {
+		t.Fatalf("workloads output:\n%s", wls)
+	}
+	diag := captureStdout(t, func() error {
+		return cmdQuery([]string{"diagnose", "-server", hs.URL, "-workload", "recovery", "-top", "5"})
+	})
+	if !strings.Contains(diag, "report r-") || !strings.Contains(diag, "2 candidates") {
+		t.Fatalf("diagnose output:\n%s", diag)
+	}
+	// Second diagnosis is memoized; stats show the hit.
+	diag2 := captureStdout(t, func() error {
+		return cmdQuery([]string{"diagnose", "-server", hs.URL, "-workload", "recovery", "-top", "5"})
+	})
+	if !strings.Contains(diag2, "(cached)") {
+		t.Fatalf("second diagnose not cached:\n%s", diag2)
+	}
+	stats := captureStdout(t, func() error {
+		return cmdQuery([]string{"stats", "-server", hs.URL})
+	})
+	if !strings.Contains(stats, "memo cache hits 1") {
+		t.Fatalf("stats output:\n%s", stats)
+	}
+	// Report id round trip.
+	id := strings.TrimSuffix(strings.Fields(diag)[1], ":")
+	rep := captureStdout(t, func() error {
+		return cmdQuery([]string{"report", "-server", hs.URL, id})
+	})
+	if !strings.Contains(rep, "workload recovery") {
+		t.Fatalf("report output:\n%s", rep)
 	}
 }

@@ -1,0 +1,158 @@
+package harness
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+
+	"vprof/internal/analysis"
+	"vprof/internal/bugs"
+	"vprof/internal/sampler"
+	"vprof/internal/service"
+	"vprof/internal/store"
+)
+
+// replayTop bounds diagnosis reports deep enough to cover every function of
+// every workload, so the service/offline comparison sees complete rankings.
+const replayTop = 200
+
+// ReplayRow is one workload's outcome of the continuous-mode replay: the
+// service diagnosis versus the offline Table 3 pipeline over the identical
+// profiles.
+type ReplayRow struct {
+	ID       string
+	RootFunc string
+	// OfflineRank/ServiceRank are the root cause's rank in each path
+	// (0 = not ranked).
+	OfflineRank, ServiceRank int
+	// RenderMatch is true when the service's rendered report equals the
+	// offline render byte for byte.
+	RenderMatch bool
+	// CachedSecond is true when re-diagnosing the unchanged workload was
+	// served from the memo cache.
+	CachedSecond bool
+	// Pushes/Dups count ingestion outcomes (Dups > 0 would mean the
+	// concurrent pushes collided, which the store must prevent).
+	Pushes, Dups int
+}
+
+// ReplayContinuous spawns the continuous-profiling service over a fresh
+// store in dir and replays each workload through the HTTP API end to end:
+// Runs normal + Runs candidate profiling runs pushed concurrently, a
+// diagnosis of the candidate set against the stored baseline corpus, a
+// second (memoized) diagnosis, and a byte-for-byte comparison against the
+// offline analysis of the very same profiles.
+func ReplayContinuous(dir string, workloads []*bugs.Workload) ([]ReplayRow, error) {
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+	srv, err := service.New(service.Config{
+		Store:    st,
+		Resolver: service.NewBugsResolver(),
+		Workers:  4,
+		Top:      replayTop,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	client := service.NewClient("http://" + ln.Addr().String())
+
+	var rows []ReplayRow
+	for _, w := range workloads {
+		row, err := replayWorkload(client, w)
+		if err != nil {
+			return rows, fmt.Errorf("%s: %w", w.ID, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func replayWorkload(client *service.Client, w *bugs.Workload) (ReplayRow, error) {
+	b, err := w.Build()
+	if err != nil {
+		return ReplayRow{}, err
+	}
+	row := ReplayRow{ID: w.ID, RootFunc: w.RootFunc}
+
+	// Profile and push all runs concurrently: 2*Runs clients hitting the
+	// ingestion endpoint at once, as continuous mode would see.
+	normal := make([]*sampler.Profile, Runs)
+	buggy := make([]*sampler.Profile, Runs)
+	results := make([]*service.PushResult, 2*Runs)
+	errs := make([]error, 2*Runs)
+	var wg sync.WaitGroup
+	for i := 0; i < Runs; i++ {
+		wg.Add(2)
+		go func(i int) {
+			defer wg.Done()
+			normal[i], _ = b.ProfileNormal(i)
+			results[i], errs[i] = client.Push(w.ID, store.LabelNormal, fmt.Sprint(i), normal[i])
+		}(i)
+		go func(i int) {
+			defer wg.Done()
+			buggy[i], _ = b.ProfileBuggy(i)
+			results[Runs+i], errs[Runs+i] = client.Push(w.ID, store.LabelCandidate, fmt.Sprint(i), buggy[i])
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return row, fmt.Errorf("push %d: %w", i, err)
+		}
+		row.Pushes++
+		if results[i].Dup {
+			row.Dups++
+		}
+	}
+
+	resp, err := client.Diagnose(service.DiagnoseRequest{Workload: w.ID, Top: replayTop})
+	if err != nil {
+		return row, err
+	}
+	again, err := client.Diagnose(service.DiagnoseRequest{Workload: w.ID, Top: replayTop})
+	if err != nil {
+		return row, err
+	}
+	row.CachedSecond = again.Cached && again.Render == resp.Render
+
+	// The offline Table 3 path over the identical profiles.
+	offline, err := analysis.Analyze(analysis.Input{
+		Debug:  b.Prog.Debug,
+		Schema: b.Schema,
+		Normal: normal,
+		Buggy:  buggy,
+	}, analysis.DefaultParams())
+	if err != nil {
+		return row, err
+	}
+	row.OfflineRank = offline.Rank(w.RootFunc)
+	row.ServiceRank = resp.RootRank(w.RootFunc)
+	row.RenderMatch = resp.Render == offline.Render(replayTop)
+	return row, nil
+}
+
+// RenderReplay formats replay rows for the experiment log.
+func RenderReplay(rows []ReplayRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Continuous-mode replay: service diagnosis vs offline pipeline.\n\n")
+	fmt.Fprintf(&sb, "%-4s %-30s %-9s %-9s %-6s %-7s\n",
+		"ID", "root cause", "offline", "service", "match", "cached")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-4s %-30s %-9s %-9s %-6v %-7v\n",
+			r.ID, r.RootFunc, RankString(r.OfflineRank), RankString(r.ServiceRank),
+			r.RenderMatch, r.CachedSecond)
+	}
+	return sb.String()
+}

@@ -12,6 +12,7 @@ package profilefmt
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -25,14 +26,33 @@ import (
 	"vprof/internal/sampler"
 )
 
-// Magic numbers identify the three artifact kinds.
+// Magic numbers identify the three artifact kinds plus the single-blob
+// bundle used for transport (store segments, HTTP ingestion).
 const (
 	MagicHist   = "VPRH"
 	MagicVar    = "VPRV"
 	MagicLayout = "VPRL"
+	MagicBundle = "VPRB"
 	// Version of the encoding.
 	Version = 1
 )
+
+// Decode limits. Untrusted input (the ingestion endpoint) must not be able
+// to make a decoder allocate unbounded memory or index out of range; every
+// count read off the wire is checked against these before use.
+const (
+	MaxHistLen    = 1 << 22
+	MaxSamples    = 1 << 26
+	MaxLayout     = 1 << 20
+	maxPreallocCP = 1 << 16 // cap on trusted-count preallocation
+)
+
+func prealloc(n int64) int64 {
+	if n > maxPreallocCP {
+		return maxPreallocCP
+	}
+	return n
+}
 
 type countingWriter struct {
 	w io.Writer
@@ -139,6 +159,9 @@ func DecodeHist(r io.Reader) (*sampler.Profile, error) {
 	if err := binary.Read(r, binary.LittleEndian, &hdr); err != nil {
 		return nil, err
 	}
+	if hdr[4] < 0 || hdr[4] > MaxHistLen {
+		return nil, fmt.Errorf("profilefmt: hist length %d out of range", hdr[4])
+	}
 	p := &sampler.Profile{
 		File:       file,
 		Pid:        int(hdr[0]),
@@ -150,6 +173,9 @@ func DecodeHist(r io.Reader) (*sampler.Profile, error) {
 	var nz int64
 	if err := binary.Read(r, binary.LittleEndian, &nz); err != nil {
 		return nil, err
+	}
+	if nz < 0 || nz > hdr[4] {
+		return nil, fmt.Errorf("profilefmt: nonzero-bucket count %d out of range", nz)
 	}
 	for i := int64(0); i < nz; i++ {
 		var pair [2]int64
@@ -194,10 +220,10 @@ func DecodeSamples(r io.Reader, p *sampler.Profile) error {
 	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
 		return err
 	}
-	if n < 0 || n > 1<<28 {
+	if n < 0 || n > MaxSamples {
 		return fmt.Errorf("profilefmt: sample count %d out of range", n)
 	}
-	p.Samples = make([]sampler.Sample, 0, n)
+	p.Samples = make([]sampler.Sample, 0, prealloc(n))
 	for i := int64(0); i < n; i++ {
 		var rec [8]int64
 		if err := binary.Read(r, binary.LittleEndian, &rec); err != nil {
@@ -252,10 +278,10 @@ func DecodeLayout(r io.Reader, p *sampler.Profile) error {
 	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
 		return err
 	}
-	if n < 0 || n > 1<<24 {
+	if n < 0 || n > MaxLayout {
 		return fmt.Errorf("profilefmt: layout count %d out of range", n)
 	}
-	p.Layout = make([]sampler.LayoutEntry, 0, n)
+	p.Layout = make([]sampler.LayoutEntry, 0, prealloc(n))
 	for i := int64(0); i < n; i++ {
 		fn, err := readString(r)
 		if err != nil {
@@ -270,6 +296,88 @@ func DecodeLayout(r io.Reader, p *sampler.Profile) error {
 			return err
 		}
 		p.Layout = append(p.Layout, sampler.LayoutEntry{Func: fn, Name: name, IsPointer: ptr != 0})
+	}
+	return nil
+}
+
+// EncodeProfile writes all three sections of a profile as one blob:
+// a bundle header followed by the hist, sample and layout sections. This is
+// the transport encoding used by the profile store and the ingestion API,
+// where a profile travels as a single opaque, content-addressable byte
+// string rather than three files.
+func EncodeProfile(w io.Writer, p *sampler.Profile) error {
+	if err := writeHeader(w, MagicBundle); err != nil {
+		return err
+	}
+	if err := EncodeHist(w, p); err != nil {
+		return err
+	}
+	if err := EncodeSamples(w, p); err != nil {
+		return err
+	}
+	return EncodeLayout(w, p)
+}
+
+// DecodeProfile reads a bundle written by EncodeProfile and validates the
+// cross-section invariants (sample indices in range), so a successfully
+// decoded profile is safe to hand to the analyzer.
+func DecodeProfile(r io.Reader) (*sampler.Profile, error) {
+	if err := readHeader(r, MagicBundle); err != nil {
+		return nil, err
+	}
+	p, err := DecodeHist(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := DecodeSamples(r, p); err != nil {
+		return nil, err
+	}
+	if err := DecodeLayout(r, p); err != nil {
+		return nil, err
+	}
+	if err := Validate(p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Marshal renders a profile as a single bundle blob (EncodeProfile to bytes).
+func Marshal(p *sampler.Profile) ([]byte, error) {
+	var b bytes.Buffer
+	if err := EncodeProfile(&b, p); err != nil {
+		return nil, err
+	}
+	return b.Bytes(), nil
+}
+
+// Unmarshal parses a bundle blob, rejecting trailing garbage.
+func Unmarshal(blob []byte) (*sampler.Profile, error) {
+	r := bytes.NewReader(blob)
+	p, err := DecodeProfile(r)
+	if err != nil {
+		return nil, err
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("profilefmt: %d trailing bytes after bundle", r.Len())
+	}
+	return p, nil
+}
+
+// Validate checks a decoded profile's internal consistency: every value
+// sample must reference an existing layout entry, and the hist/alarm counters
+// must be non-negative. Decoders run it before returning untrusted input.
+func Validate(p *sampler.Profile) error {
+	if p.Interval < 0 || p.TotalTicks < 0 || p.NumAlarms < 0 {
+		return fmt.Errorf("profilefmt: negative counters (interval %d, ticks %d, alarms %d)",
+			p.Interval, p.TotalTicks, p.NumAlarms)
+	}
+	for i, s := range p.Samples {
+		if s.Layout < 0 || int(s.Layout) >= len(p.Layout) {
+			return fmt.Errorf("profilefmt: sample %d references layout %d of %d", i, s.Layout, len(p.Layout))
+		}
+		if s.Link < -1 || int(s.Link) >= len(p.Samples) {
+			return fmt.Errorf("profilefmt: sample %d has link %d of %d", i, s.Link, len(p.Samples))
+		}
 	}
 	return nil
 }

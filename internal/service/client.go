@@ -1,0 +1,133 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+
+	"vprof/internal/profilefmt"
+	"vprof/internal/sampler"
+	"vprof/internal/store"
+)
+
+// Client talks to a running vprof service (vprof push / vprof query, and
+// the end-to-end harness).
+type Client struct {
+	Base string // server base URL, e.g. http://127.0.0.1:7070
+	HTTP *http.Client
+}
+
+// NewClient wraps a base URL with the default HTTP client.
+func NewClient(base string) *Client {
+	return &Client{Base: base, HTTP: http.DefaultClient}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// apiError decodes the service's {"error": ...} body.
+func apiError(resp *http.Response) error {
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return fmt.Errorf("service: %s (HTTP %d)", e.Error, resp.StatusCode)
+	}
+	return fmt.Errorf("service: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+}
+
+func (c *Client) getJSON(path string, out any) error {
+	resp, err := c.httpClient().Get(c.Base + path)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// PushBlob uploads one encoded profile bundle.
+func (c *Client) PushBlob(workload string, label store.Label, run string, blob []byte) (*PushResult, error) {
+	q := url.Values{"workload": {workload}, "label": {string(label)}, "run": {run}}
+	resp, err := c.httpClient().Post(c.Base+"/v1/profiles?"+q.Encode(), "application/octet-stream", bytes.NewReader(blob))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	defer resp.Body.Close()
+	var out PushResult
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Push encodes and uploads a profile.
+func (c *Client) Push(workload string, label store.Label, run string, p *sampler.Profile) (*PushResult, error) {
+	blob, err := profilefmt.Marshal(p)
+	if err != nil {
+		return nil, err
+	}
+	return c.PushBlob(workload, label, run, blob)
+}
+
+// Workloads lists the server's stored workloads.
+func (c *Client) Workloads() ([]store.WorkloadInfo, error) {
+	var out []store.WorkloadInfo
+	if err := c.getJSON("/v1/workloads", &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Diagnose requests a differential diagnosis.
+func (c *Client) Diagnose(req DiagnoseRequest) (*DiagnoseResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Post(c.Base+"/v1/diagnose", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	defer resp.Body.Close()
+	var out DiagnoseResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Report fetches a stored diagnosis by report id.
+func (c *Client) Report(id string) (*DiagnoseResponse, error) {
+	var out DiagnoseResponse
+	if err := c.getJSON("/v1/report/"+url.PathEscape(id), &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Stats fetches the server counters.
+func (c *Client) Stats() (*Stats, error) {
+	var out Stats
+	if err := c.getJSON("/v1/stats", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}

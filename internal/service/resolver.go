@@ -1,0 +1,176 @@
+package service
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"vprof/internal/bugs"
+	"vprof/internal/compiler"
+	"vprof/internal/debuginfo"
+	"vprof/internal/lang"
+	"vprof/internal/schema"
+)
+
+// Resolver maps a workload name to the debug info and monitoring schema its
+// diagnosis needs — what the offline pipeline gets from compiling the
+// program next to its profiles.
+type Resolver interface {
+	Resolve(workload string) (*debuginfo.Info, *schema.Schema, error)
+	// Known lists resolvable workload names (for diagnostics; a resolver
+	// may accept names beyond this list).
+	Known() []string
+}
+
+// bugsResolver serves the built-in bug registry: workload name = bug id
+// (b1..b15, u1..u3). Builds are cached; building compiles and
+// schema-analyzes the workload exactly as the offline harness does.
+type bugsResolver struct {
+	mu    sync.Mutex
+	built map[string]*bugs.Built
+}
+
+// NewBugsResolver resolves the 18 reproduced issues of internal/bugs.
+func NewBugsResolver() Resolver {
+	return &bugsResolver{built: map[string]*bugs.Built{}}
+}
+
+func (r *bugsResolver) Resolve(workload string) (*debuginfo.Info, *schema.Schema, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b, ok := r.built[workload]
+	if !ok {
+		w := bugs.ByID(workload)
+		if w == nil {
+			return nil, nil, fmt.Errorf("no bug workload %q", workload)
+		}
+		var err error
+		b, err = w.Build()
+		if err != nil {
+			return nil, nil, err
+		}
+		r.built[workload] = b
+	}
+	return b.Prog.Debug, b.Schema, nil
+}
+
+func (r *bugsResolver) Known() []string {
+	var out []string
+	for _, w := range bugs.All() {
+		out = append(out, w.ID)
+	}
+	for _, w := range bugs.UnresolvedIssues() {
+		out = append(out, w.ID)
+	}
+	return out
+}
+
+// programResolver serves workloads compiled from .vp source files: the
+// workload name is the file's base name without extension.
+type programResolver struct {
+	mu       sync.Mutex
+	paths    map[string]string // name → source path
+	compiled map[string]*compiledProgram
+}
+
+type compiledProgram struct {
+	debug *debuginfo.Info
+	sch   *schema.Schema
+}
+
+// NewProgramResolver resolves each listed .vp file as a workload named
+// after its base name (db/scan.vp → "scan").
+func NewProgramResolver(files []string) (Resolver, error) {
+	paths := map[string]string{}
+	for _, f := range files {
+		name := strings.TrimSuffix(filepath.Base(f), filepath.Ext(f))
+		if name == "" {
+			return nil, fmt.Errorf("cannot derive a workload name from %q", f)
+		}
+		if prev, ok := paths[name]; ok {
+			return nil, fmt.Errorf("workload %q named by both %s and %s", name, prev, f)
+		}
+		paths[name] = f
+	}
+	return &programResolver{paths: paths, compiled: map[string]*compiledProgram{}}, nil
+}
+
+func (r *programResolver) Resolve(workload string) (*debuginfo.Info, *schema.Schema, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.compiled[workload]; ok {
+		return c.debug, c.sch, nil
+	}
+	path, ok := r.paths[workload]
+	if !ok {
+		return nil, nil, fmt.Errorf("no program registered for workload %q", workload)
+	}
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := lang.Parse(path, string(src))
+	if err != nil {
+		return nil, nil, err
+	}
+	prog, err := compiler.Compile(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	c := &compiledProgram{debug: prog.Debug, sch: schema.GenerateIR(f, prog, schema.Options{})}
+	r.compiled[workload] = c
+	return c.debug, c.sch, nil
+}
+
+func (r *programResolver) Known() []string {
+	var out []string
+	for name := range r.paths {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// multiResolver tries resolvers in order (programs first, then the bug
+// registry, say).
+type multiResolver []Resolver
+
+// NewMultiResolver chains resolvers; Resolve returns the first success.
+func NewMultiResolver(rs ...Resolver) Resolver {
+	return multiResolver(rs)
+}
+
+func (m multiResolver) Resolve(workload string) (*debuginfo.Info, *schema.Schema, error) {
+	var firstErr error
+	for _, r := range m {
+		debug, sch, err := r.Resolve(workload)
+		if err == nil {
+			return debug, sch, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr == nil {
+		firstErr = fmt.Errorf("no resolver for workload %q", workload)
+	}
+	return nil, nil, firstErr
+}
+
+func (m multiResolver) Known() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, r := range m {
+		for _, name := range r.Known() {
+			if !seen[name] {
+				seen[name] = true
+				out = append(out, name)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,459 @@
+// Package service is the continuous-profiling daemon: an HTTP front end
+// over the profile store that accepts concurrent profile uploads and serves
+// differential diagnoses of candidate runs against each workload's stored
+// baseline corpus, using the same calibrated ranking + root-cause classifier
+// as the offline pipeline (internal/analysis).
+//
+// Endpoints (all JSON unless noted):
+//
+//	POST /v1/profiles?workload=w&label=normal|candidate&run=id
+//	     body: one profilefmt bundle (binary). Validated, deduplicated.
+//	GET  /v1/workloads
+//	POST /v1/diagnose        {"workload": w, "candidates": ["0"], "top": 10}
+//	GET  /v1/report/{id}
+//	GET  /v1/stats
+//
+// Ingestion and diagnosis share a bounded worker pool, so N clients can
+// push concurrently without unbounded decode/analysis work in flight.
+// Diagnosis results are memoized by the content hashes of the exact
+// (candidate-set, baseline-set) pair, so re-diagnosing an unchanged
+// workload is a cache hit (observable via the stats counters).
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"vprof/internal/analysis"
+	"vprof/internal/sampler"
+	"vprof/internal/store"
+)
+
+// MaxUploadBytes bounds one profile upload.
+const MaxUploadBytes = 64 << 20
+
+// Config assembles a server.
+type Config struct {
+	Store    *store.Store
+	Resolver Resolver
+	// Workers bounds concurrently executing ingest/diagnose work
+	// (default 4).
+	Workers int
+	// Params are the analysis tunables (zero value → DefaultParams).
+	Params *analysis.Params
+	// Top is the default row count of rendered reports (default 10).
+	Top int
+}
+
+// Server implements the HTTP API. Create with New.
+type Server struct {
+	store    *store.Store
+	resolver Resolver
+	params   analysis.Params
+	top      int
+	sem      chan struct{}
+
+	mu       sync.Mutex
+	memo     map[string]*DiagnoseResponse // memo key → result
+	reports  map[string]*DiagnoseResponse // report id → result
+	inflight map[string]chan struct{}
+
+	ingested  atomic.Int64
+	deduped   atomic.Int64
+	rejected  atomic.Int64
+	diagnoses atomic.Int64
+	memoHits  atomic.Int64
+}
+
+// New builds a server over an open store.
+func New(cfg Config) (*Server, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("service: Config.Store is required")
+	}
+	if cfg.Resolver == nil {
+		return nil, fmt.Errorf("service: Config.Resolver is required")
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 4
+	}
+	top := cfg.Top
+	if top <= 0 {
+		top = 10
+	}
+	params := analysis.DefaultParams()
+	if cfg.Params != nil {
+		params = *cfg.Params
+	}
+	return &Server{
+		store:    cfg.Store,
+		resolver: cfg.Resolver,
+		params:   params,
+		top:      top,
+		sem:      make(chan struct{}, workers),
+		memo:     map[string]*DiagnoseResponse{},
+		reports:  map[string]*DiagnoseResponse{},
+		inflight: map[string]chan struct{}{},
+	}, nil
+}
+
+// Handler returns the routed HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/profiles", s.handleIngest)
+	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	mux.HandleFunc("POST /v1/diagnose", s.handleDiagnose)
+	mux.HandleFunc("GET /v1/report/{id}", s.handleReport)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return mux
+}
+
+// acquire blocks until a worker slot is free; the returned func releases it.
+func (s *Server) acquire() func() {
+	s.sem <- struct{}{}
+	return func() { <-s.sem }
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// PushResult is the ingestion response.
+type PushResult struct {
+	ID       string `json:"id"`
+	Workload string `json:"workload"`
+	Label    string `json:"label"`
+	Run      string `json:"run"`
+	Dup      bool   `json:"dup"`
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	workload := q.Get("workload")
+	run := q.Get("run")
+	label, err := store.ParseLabel(q.Get("label"))
+	if err != nil {
+		s.rejected.Add(1)
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if workload == "" || run == "" {
+		s.rejected.Add(1)
+		writeErr(w, http.StatusBadRequest, "workload and run query parameters are required")
+		return
+	}
+	blob, err := io.ReadAll(io.LimitReader(r.Body, MaxUploadBytes+1))
+	if err != nil {
+		s.rejected.Add(1)
+		writeErr(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	if len(blob) > MaxUploadBytes {
+		s.rejected.Add(1)
+		writeErr(w, http.StatusRequestEntityTooLarge, "profile exceeds %d bytes", MaxUploadBytes)
+		return
+	}
+	release := s.acquire()
+	entry, dup, err := s.store.PutBlob(workload, label, run, blob)
+	release()
+	if err != nil {
+		s.rejected.Add(1)
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if dup {
+		s.deduped.Add(1)
+	} else {
+		s.ingested.Add(1)
+	}
+	writeJSON(w, http.StatusOK, PushResult{
+		ID: entry.ID, Workload: entry.Workload, Label: string(entry.Label), Run: entry.Run, Dup: dup,
+	})
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.store.Workloads())
+}
+
+// DiagnoseRequest asks for a differential diagnosis of a workload's
+// candidate runs against its baseline corpus.
+type DiagnoseRequest struct {
+	Workload string `json:"workload"`
+	// Candidates optionally names candidate run ids; empty means every
+	// stored candidate run.
+	Candidates []string `json:"candidates,omitempty"`
+	// Top bounds the rendered report (default: server's Top).
+	Top int `json:"top,omitempty"`
+}
+
+// RankEntry is one row of the calibrated ranking.
+type RankEntry struct {
+	Rank       int     `json:"rank"`
+	Func       string  `json:"func"`
+	RawCost    float64 `json:"raw_cost"`
+	Discount   float64 `json:"discount"`
+	Source     string  `json:"source"`
+	Calibrated float64 `json:"calibrated"`
+	Pattern    string  `json:"pattern"`
+}
+
+// DiagnoseResponse is both the diagnosis reply and the stored report.
+type DiagnoseResponse struct {
+	ReportID   string      `json:"report_id"`
+	Workload   string      `json:"workload"`
+	Baselines  []string    `json:"baselines"`  // entry ids, corpus order
+	Candidates []string    `json:"candidates"` // entry ids, run order
+	Ranks      []RankEntry `json:"ranks"`
+	Render     string      `json:"render"`
+	// Cached is true when this reply was served from the memo cache.
+	Cached bool `json:"cached"`
+	// MemoHits snapshots the server-wide diagnosis cache-hit counter.
+	MemoHits int64 `json:"memo_hits"`
+}
+
+func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
+	var req DiagnoseRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	resp, status, err := s.Diagnose(req)
+	if err != nil {
+		writeErr(w, status, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// Diagnose runs (or recalls) one differential diagnosis. Exported so the
+// CLI and harness can drive it without HTTP plumbing in tests.
+func (s *Server) Diagnose(req DiagnoseRequest) (*DiagnoseResponse, int, error) {
+	if req.Workload == "" {
+		return nil, http.StatusBadRequest, fmt.Errorf("workload is required")
+	}
+	top := req.Top
+	if top <= 0 {
+		top = s.top
+	}
+	baselines := s.store.Baselines(req.Workload)
+	if len(baselines) == 0 {
+		return nil, http.StatusConflict, fmt.Errorf("workload %q has no baseline runs", req.Workload)
+	}
+	var candidates []*store.Entry
+	if len(req.Candidates) == 0 {
+		candidates = s.store.Candidates(req.Workload)
+	} else {
+		for _, run := range req.Candidates {
+			e, ok := s.store.Lookup(req.Workload, store.LabelCandidate, run)
+			if !ok {
+				return nil, http.StatusNotFound, fmt.Errorf("workload %q has no candidate run %q", req.Workload, run)
+			}
+			candidates = append(candidates, e)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil, http.StatusConflict, fmt.Errorf("workload %q has no candidate runs", req.Workload)
+	}
+
+	key := memoKey(req.Workload, top, baselines, candidates)
+	// Memo fast path; an in-flight identical diagnosis is awaited rather
+	// than recomputed.
+	for {
+		s.mu.Lock()
+		if resp, ok := s.memo[key]; ok {
+			s.mu.Unlock()
+			s.memoHits.Add(1)
+			return s.cachedCopy(resp), http.StatusOK, nil
+		}
+		ch, busy := s.inflight[key]
+		if !busy {
+			ch = make(chan struct{})
+			s.inflight[key] = ch
+			s.mu.Unlock()
+			break
+		}
+		s.mu.Unlock()
+		<-ch
+	}
+	resp, status, err := s.compute(req.Workload, top, key, baselines, candidates)
+	s.mu.Lock()
+	if err == nil {
+		s.memo[key] = resp
+		s.reports[resp.ReportID] = resp
+	}
+	ch := s.inflight[key]
+	delete(s.inflight, key)
+	s.mu.Unlock()
+	close(ch)
+	if err != nil {
+		return nil, status, err
+	}
+	s.diagnoses.Add(1)
+	out := *resp
+	out.MemoHits = s.memoHits.Load()
+	return &out, http.StatusOK, nil
+}
+
+func (s *Server) cachedCopy(resp *DiagnoseResponse) *DiagnoseResponse {
+	out := *resp
+	out.Cached = true
+	out.MemoHits = s.memoHits.Load()
+	return &out
+}
+
+// memoKey hashes the exact diagnosis inputs: every blob id on both sides,
+// in order, plus the render bound. Any new push that changes either set
+// changes the key.
+func memoKey(workload string, top int, baselines, candidates []*store.Entry) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00%d\x00", workload, top)
+	for _, e := range baselines {
+		fmt.Fprintf(h, "b:%s\x00", e.ID)
+	}
+	for _, e := range candidates {
+		fmt.Fprintf(h, "c:%s\x00", e.ID)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func (s *Server) compute(workload string, top int, key string, baselines, candidates []*store.Entry) (*DiagnoseResponse, int, error) {
+	release := s.acquire()
+	defer release()
+
+	debug, sch, err := s.resolver.Resolve(workload)
+	if err != nil {
+		return nil, http.StatusNotFound, fmt.Errorf("resolve workload %q: %w", workload, err)
+	}
+	load := func(entries []*store.Entry) ([]*sampler.Profile, []string, error) {
+		var ps []*sampler.Profile
+		var ids []string
+		for _, e := range entries {
+			p, err := s.store.Get(e.ID)
+			if err != nil {
+				return nil, nil, err
+			}
+			ps = append(ps, p)
+			ids = append(ids, e.ID)
+		}
+		return ps, ids, nil
+	}
+	normal, bIDs, err := load(baselines)
+	if err != nil {
+		return nil, http.StatusInternalServerError, err
+	}
+	buggy, cIDs, err := load(candidates)
+	if err != nil {
+		return nil, http.StatusInternalServerError, err
+	}
+	report, err := analysis.Analyze(analysis.Input{
+		Debug:  debug,
+		Schema: sch,
+		Normal: normal,
+		Buggy:  buggy,
+	}, s.params)
+	if err != nil {
+		return nil, http.StatusUnprocessableEntity, fmt.Errorf("analyze %q: %w", workload, err)
+	}
+	resp := &DiagnoseResponse{
+		ReportID:   "r-" + key[:16],
+		Workload:   workload,
+		Baselines:  bIDs,
+		Candidates: cIDs,
+		Render:     report.Render(top),
+	}
+	for i, fr := range report.Funcs {
+		if i >= top {
+			break
+		}
+		resp.Ranks = append(resp.Ranks, RankEntry{
+			Rank:       fr.Rank,
+			Func:       fr.Name,
+			RawCost:    fr.RawCost,
+			Discount:   fr.Discount,
+			Source:     fr.DiscountSource,
+			Calibrated: fr.Calibrated,
+			Pattern:    fr.Pattern.String(),
+		})
+	}
+	return resp, http.StatusOK, nil
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	resp, ok := s.reports[id]
+	s.mu.Unlock()
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no report %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// Stats is the observability snapshot, including the diagnosis cache-hit
+// counter the end-to-end harness asserts on.
+type Stats struct {
+	Ingested          int64            `json:"ingested"`
+	Deduped           int64            `json:"deduped"`
+	Rejected          int64            `json:"rejected"`
+	Diagnoses         int64            `json:"diagnoses"`
+	DiagnoseCacheHits int64            `json:"diagnose_cache_hits"`
+	DecodeCache       store.CacheStats `json:"decode_cache"`
+	Workers           int              `json:"workers"`
+	Workloads         int              `json:"workloads"`
+}
+
+// StatsSnapshot returns current counters.
+func (s *Server) StatsSnapshot() Stats {
+	return Stats{
+		Ingested:          s.ingested.Load(),
+		Deduped:           s.deduped.Load(),
+		Rejected:          s.rejected.Load(),
+		Diagnoses:         s.diagnoses.Load(),
+		DiagnoseCacheHits: s.memoHits.Load(),
+		DecodeCache:       s.store.CacheStats(),
+		Workers:           cap(s.sem),
+		Workloads:         len(s.store.Workloads()),
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.StatsSnapshot())
+}
+
+// RootRank scans a response's rank rows for fn (the ground-truth root
+// cause); 0 means not ranked within the returned rows.
+func (r *DiagnoseResponse) RootRank(fn string) int {
+	for _, e := range r.Ranks {
+		if e.Func == fn {
+			return e.Rank
+		}
+	}
+	return 0
+}
+
+// Summary renders a one-line description for CLI output.
+func (r *DiagnoseResponse) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "report %s: workload %s, %d baselines, %d candidates",
+		r.ReportID, r.Workload, len(r.Baselines), len(r.Candidates))
+	if r.Cached {
+		b.WriteString(" (cached)")
+	}
+	return b.String()
+}

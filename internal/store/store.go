@@ -1,0 +1,522 @@
+// Package store is the persistent profile store behind the continuous
+// profiling service: a content-addressed, append-only segment log holding
+// profilefmt bundles, with an in-memory index that is rebuilt from a
+// manifest on open.
+//
+// Layout on disk (all files append-only):
+//
+//	<dir>/MANIFEST            — one line per entry: links (workload, label,
+//	                            run) keys to a content hash + segment offset
+//	<dir>/segment-000000.seg  — raw bundle blobs, concatenated
+//	<dir>/segment-000001.seg  — next segment after rollover, …
+//
+// Blobs are keyed by their SHA-256: pushing the same profile twice stores
+// one copy, and a re-read blob is verified against its hash before being
+// decoded. Entries (the (workload, label, run) → hash links) are what the
+// manifest accumulates; a duplicate entry is a no-op. The store also keeps
+//   - a rolling baseline corpus per workload: the most recent BaselineCap
+//     normal runs, what the diagnosis endpoint compares candidates against;
+//   - a bounded cache of decoded profiles, so repeated diagnoses of the
+//     same runs do not re-decode their histograms and value samples.
+package store
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"vprof/internal/profilefmt"
+	"vprof/internal/sampler"
+)
+
+// Label classifies an entry: part of the normal baseline corpus, or a
+// candidate (suspected-buggy) run to diagnose against it.
+type Label string
+
+const (
+	LabelNormal    Label = "normal"
+	LabelCandidate Label = "candidate"
+)
+
+// ParseLabel validates a label string from an API boundary.
+func ParseLabel(s string) (Label, error) {
+	switch Label(s) {
+	case LabelNormal, LabelCandidate:
+		return Label(s), nil
+	case "buggy": // accepted alias: the paper's name for the candidate side
+		return LabelCandidate, nil
+	}
+	return "", fmt.Errorf("store: unknown label %q (want normal, candidate or buggy)", s)
+}
+
+// Entry is one (workload, label, run) key resolved to a stored blob.
+type Entry struct {
+	ID       string // content hash of the blob, hex
+	Workload string
+	Label    Label
+	Run      string
+	Size     int64
+	// Seq is the manifest position; entries replay in Seq order.
+	Seq int
+}
+
+// blobRef locates a blob inside a segment.
+type blobRef struct {
+	segment int
+	offset  int64
+	size    int64
+}
+
+// Options tunes a store.
+type Options struct {
+	// BaselineCap bounds the rolling baseline corpus per workload
+	// (default 16 most recent normal runs).
+	BaselineCap int
+	// CacheCap bounds the decoded-profile cache (default 64 profiles).
+	CacheCap int
+	// SegmentSize triggers rollover to a new segment file once the
+	// current one exceeds it (default 64 MiB).
+	SegmentSize int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.BaselineCap <= 0 {
+		o.BaselineCap = 16
+	}
+	if o.CacheCap <= 0 {
+		o.CacheCap = 64
+	}
+	if o.SegmentSize <= 0 {
+		o.SegmentSize = 64 << 20
+	}
+	return o
+}
+
+// CacheStats reports decoded-cache effectiveness.
+type CacheStats struct {
+	Hits, Misses int64
+	Entries      int
+}
+
+// Store is safe for concurrent use.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu       sync.RWMutex
+	blobs    map[string]blobRef  // content hash → location
+	entries  map[string]*Entry   // entry key (workload|label|run) → entry
+	byWl     map[string][]*Entry // workload → entries in Seq order
+	seq      int
+	manifest *os.File
+	segID    int
+	seg      *os.File // current segment, append handle
+	segSize  int64
+	readers  map[int]*os.File // read handles per segment
+
+	cache      map[string]*sampler.Profile
+	cacheOrder []string // FIFO eviction
+	cacheHits  int64
+	cacheMiss  int64
+}
+
+// Open creates or reopens a store rooted at dir, rebuilding the index by
+// replaying the manifest.
+func Open(dir string, opts Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Store{
+		dir:     dir,
+		opts:    opts.withDefaults(),
+		blobs:   map[string]blobRef{},
+		entries: map[string]*Entry{},
+		byWl:    map[string][]*Entry{},
+		readers: map[int]*os.File{},
+		cache:   map[string]*sampler.Profile{},
+	}
+	if err := s.replayManifest(); err != nil {
+		return nil, err
+	}
+	mf, err := os.OpenFile(s.manifestPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	s.manifest = mf
+	if err := s.openSegmentForAppend(); err != nil {
+		mf.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Store) manifestPath() string { return filepath.Join(s.dir, "MANIFEST") }
+
+func (s *Store) segmentPath(id int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("segment-%06d.seg", id))
+}
+
+// replayManifest rebuilds the in-memory index. A torn final line (crash
+// mid-append) is skipped; everything before it is intact because both files
+// are append-only.
+func (s *Store) replayManifest() error {
+	f, err := os.Open(s.manifestPath())
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		e, ref, err := parseManifestLine(line)
+		if err != nil {
+			// Torn or foreign trailing data: stop replaying, the
+			// append offset continues after what we have.
+			break
+		}
+		s.indexLocked(e, ref)
+		if ref.segment > s.segID {
+			s.segID = ref.segment
+		}
+	}
+	return sc.Err()
+}
+
+func (s *Store) openSegmentForAppend() error {
+	f, err := os.OpenFile(s.segmentPath(s.segID), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return err
+	}
+	s.seg, s.segSize = f, st.Size()
+	return nil
+}
+
+// manifest line: v1 <hash> <segment> <offset> <size> <workload> <label> <run>
+// with workload/run query-escaped so they cannot smuggle separators.
+func formatManifestLine(e *Entry, ref blobRef) string {
+	return fmt.Sprintf("v1 %s %d %d %d %s %s %s\n",
+		e.ID, ref.segment, ref.offset, ref.size,
+		url.QueryEscape(e.Workload), e.Label, url.QueryEscape(e.Run))
+}
+
+func parseManifestLine(line string) (*Entry, blobRef, error) {
+	fields := strings.Fields(line)
+	if len(fields) != 8 || fields[0] != "v1" {
+		return nil, blobRef{}, fmt.Errorf("store: bad manifest line %q", line)
+	}
+	var ref blobRef
+	if _, err := fmt.Sscanf(fields[2]+" "+fields[3]+" "+fields[4], "%d %d %d",
+		&ref.segment, &ref.offset, &ref.size); err != nil {
+		return nil, blobRef{}, err
+	}
+	wl, err := url.QueryUnescape(fields[5])
+	if err != nil {
+		return nil, blobRef{}, err
+	}
+	label, err := ParseLabel(fields[6])
+	if err != nil {
+		return nil, blobRef{}, err
+	}
+	run, err := url.QueryUnescape(fields[7])
+	if err != nil {
+		return nil, blobRef{}, err
+	}
+	if ref.segment < 0 || ref.offset < 0 || ref.size <= 0 {
+		return nil, blobRef{}, fmt.Errorf("store: bad blob ref in %q", line)
+	}
+	return &Entry{ID: fields[1], Workload: wl, Label: label, Run: run, Size: ref.size}, ref, nil
+}
+
+func entryKey(workload string, label Label, run string) string {
+	return workload + "\x00" + string(label) + "\x00" + run
+}
+
+// indexLocked inserts an entry into the in-memory index (mu held, or during
+// single-threaded replay).
+func (s *Store) indexLocked(e *Entry, ref blobRef) {
+	if _, ok := s.blobs[e.ID]; !ok {
+		s.blobs[e.ID] = ref
+	}
+	key := entryKey(e.Workload, e.Label, e.Run)
+	if old, ok := s.entries[key]; ok {
+		// Re-push of an existing run: latest content wins.
+		old.ID, old.Size = e.ID, e.Size
+		return
+	}
+	e.Seq = s.seq
+	s.seq++
+	s.entries[key] = e
+	s.byWl[e.Workload] = append(s.byWl[e.Workload], e)
+}
+
+// PutBlob validates, stores and indexes one encoded profile bundle.
+// The returned bool is true when an identical entry (same key, same
+// content) already existed and nothing was written.
+func (s *Store) PutBlob(workload string, label Label, run string, blob []byte) (*Entry, bool, error) {
+	if workload == "" || run == "" {
+		return nil, false, fmt.Errorf("store: workload and run are required")
+	}
+	p, err := profilefmt.Unmarshal(blob)
+	if err != nil {
+		return nil, false, fmt.Errorf("store: reject invalid profile: %w", err)
+	}
+	sum := sha256.Sum256(blob)
+	id := hex.EncodeToString(sum[:])
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := entryKey(workload, label, run)
+	if old, ok := s.entries[key]; ok && old.ID == id {
+		cp := *old
+		return &cp, true, nil
+	}
+	ref, ok := s.blobs[id]
+	if !ok {
+		ref, err = s.appendBlobLocked(blob)
+		if err != nil {
+			return nil, false, err
+		}
+	}
+	e := &Entry{ID: id, Workload: workload, Label: label, Run: run, Size: int64(len(blob))}
+	if _, err := s.manifest.WriteString(formatManifestLine(e, ref)); err != nil {
+		return nil, false, err
+	}
+	s.indexLocked(e, ref)
+	s.cacheAddLocked(id, p)
+	cp := *s.entries[key]
+	return &cp, false, nil
+}
+
+// Put encodes and stores a profile (convenience over PutBlob).
+func (s *Store) Put(workload string, label Label, run string, p *sampler.Profile) (*Entry, bool, error) {
+	blob, err := profilefmt.Marshal(p)
+	if err != nil {
+		return nil, false, err
+	}
+	return s.PutBlob(workload, label, run, blob)
+}
+
+func (s *Store) appendBlobLocked(blob []byte) (blobRef, error) {
+	if s.segSize >= s.opts.SegmentSize {
+		if err := s.seg.Close(); err != nil {
+			return blobRef{}, err
+		}
+		s.segID++
+		if err := s.openSegmentForAppend(); err != nil {
+			return blobRef{}, err
+		}
+	}
+	ref := blobRef{segment: s.segID, offset: s.segSize, size: int64(len(blob))}
+	n, err := s.seg.Write(blob)
+	s.segSize += int64(n)
+	if err != nil {
+		return blobRef{}, err
+	}
+	return ref, nil
+}
+
+// Get returns the decoded profile stored under id, via the decoded cache.
+func (s *Store) Get(id string) (*sampler.Profile, error) {
+	s.mu.Lock()
+	if p, ok := s.cache[id]; ok {
+		s.cacheHits++
+		s.mu.Unlock()
+		return p, nil
+	}
+	s.cacheMiss++
+	ref, ok := s.blobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("store: no blob %s", id)
+	}
+	r, err := s.readerLocked(ref.segment)
+	s.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+
+	blob := make([]byte, ref.size)
+	if _, err := r.ReadAt(blob, ref.offset); err != nil {
+		return nil, fmt.Errorf("store: read blob %s: %w", id, err)
+	}
+	sum := sha256.Sum256(blob)
+	if hex.EncodeToString(sum[:]) != id {
+		return nil, fmt.Errorf("store: blob %s failed content verification", id)
+	}
+	p, err := profilefmt.Unmarshal(blob)
+	if err != nil {
+		return nil, fmt.Errorf("store: decode blob %s: %w", id, err)
+	}
+	s.mu.Lock()
+	s.cacheAddLocked(id, p)
+	s.mu.Unlock()
+	return p, nil
+}
+
+// readerLocked returns a shared read handle for a segment; *os.File.ReadAt
+// is safe for concurrent readers.
+func (s *Store) readerLocked(segment int) (*os.File, error) {
+	if r, ok := s.readers[segment]; ok {
+		return r, nil
+	}
+	r, err := os.Open(s.segmentPath(segment))
+	if err != nil {
+		return nil, err
+	}
+	s.readers[segment] = r
+	return r, nil
+}
+
+func (s *Store) cacheAddLocked(id string, p *sampler.Profile) {
+	if _, ok := s.cache[id]; ok {
+		return
+	}
+	for len(s.cache) >= s.opts.CacheCap && len(s.cacheOrder) > 0 {
+		evict := s.cacheOrder[0]
+		s.cacheOrder = s.cacheOrder[1:]
+		delete(s.cache, evict)
+	}
+	s.cache[id] = p
+	s.cacheOrder = append(s.cacheOrder, id)
+}
+
+// Lookup returns the entry stored under a (workload, label, run) key.
+func (s *Store) Lookup(workload string, label Label, run string) (*Entry, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.entries[entryKey(workload, label, run)]
+	if !ok {
+		return nil, false
+	}
+	cp := *e
+	return &cp, true
+}
+
+// runLess orders run ids naturally for the common numeric case (shorter
+// strings first, then lexicographic), matching the bug registry's ID order.
+func runLess(a, b string) bool {
+	if len(a) != len(b) {
+		return len(a) < len(b)
+	}
+	return a < b
+}
+
+func (s *Store) labeled(workload string, label Label) []*Entry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []*Entry
+	for _, e := range s.byWl[workload] {
+		if e.Label == label {
+			cp := *e
+			out = append(out, &cp)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Run != out[j].Run {
+			return runLess(out[i].Run, out[j].Run)
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}
+
+// Baselines returns the workload's rolling baseline corpus: its most recent
+// BaselineCap normal entries, in run order.
+func (s *Store) Baselines(workload string) []*Entry {
+	out := s.labeled(workload, LabelNormal)
+	if len(out) > s.opts.BaselineCap {
+		// Most recent = highest Seq; keep those, restore run order.
+		sort.Slice(out, func(i, j int) bool { return out[i].Seq > out[j].Seq })
+		out = out[:s.opts.BaselineCap]
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].Run != out[j].Run {
+				return runLess(out[i].Run, out[j].Run)
+			}
+			return out[i].Seq < out[j].Seq
+		})
+	}
+	return out
+}
+
+// Candidates returns the workload's candidate entries, in run order.
+func (s *Store) Candidates(workload string) []*Entry {
+	return s.labeled(workload, LabelCandidate)
+}
+
+// WorkloadInfo summarizes one workload's holdings.
+type WorkloadInfo struct {
+	Workload   string `json:"workload"`
+	Normals    int    `json:"normals"`
+	Candidates int    `json:"candidates"`
+	Baselines  int    `json:"baselines"`
+}
+
+// Workloads lists every workload with stored entries, sorted by name.
+func (s *Store) Workloads() []WorkloadInfo {
+	s.mu.RLock()
+	names := make([]string, 0, len(s.byWl))
+	for wl := range s.byWl {
+		names = append(names, wl)
+	}
+	s.mu.RUnlock()
+	sort.Strings(names)
+	out := make([]WorkloadInfo, 0, len(names))
+	for _, wl := range names {
+		info := WorkloadInfo{Workload: wl}
+		info.Normals = len(s.labeled(wl, LabelNormal))
+		info.Candidates = len(s.labeled(wl, LabelCandidate))
+		b := len(s.Baselines(wl))
+		info.Baselines = b
+		out = append(out, info)
+	}
+	return out
+}
+
+// CacheStats reports decoded-cache hit/miss counters.
+func (s *Store) CacheStats() CacheStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return CacheStats{Hits: s.cacheHits, Misses: s.cacheMiss, Entries: len(s.cache)}
+}
+
+// Close releases file handles. The store must not be used afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	keep := func(err error) {
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	if s.manifest != nil {
+		keep(s.manifest.Close())
+	}
+	if s.seg != nil {
+		keep(s.seg.Close())
+	}
+	for _, r := range s.readers {
+		keep(r.Close())
+	}
+	s.readers = map[int]*os.File{}
+	return first
+}
