@@ -32,20 +32,64 @@ func BenchmarkTable1Inventory(b *testing.B) {
 }
 
 // BenchmarkTable3Diagnosis runs the full Table 3 protocol per workload
-// (vProf 5+5 runs, hist-disc ablation, all five baselines).
+// (vProf 5+5 runs, hist-disc ablation, all five baselines), once with the
+// sequential legacy path and once with an 8-way worker pool. The workers=8
+// variant is what the parallel analysis engine buys on a multi-core runner;
+// outputs are identical either way, so "rank" must match across variants.
 func BenchmarkTable3Diagnosis(b *testing.B) {
-	for _, w := range bugs.All() {
-		w := w
-		b.Run(w.ID, func(b *testing.B) {
-			var lastRank int
+	for _, workers := range []int{1, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for _, w := range bugs.All() {
+				w := w
+				b.Run(w.ID, func(b *testing.B) {
+					var lastRank int
+					for i := 0; i < b.N; i++ {
+						row, err := harness.DiagnoseWorkloadWorkers(w, workers)
+						if err != nil {
+							b.Fatal(err)
+						}
+						lastRank = row.VProfRank
+					}
+					b.ReportMetric(float64(lastRank), "rank")
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkParallelDiscount isolates the analysis stage: profiles are
+// collected once outside the timed loop, then the variable discounter +
+// cost attribution re-run per iteration at each pool size. This is the
+// kernel the worker-pool fan-out and the pooled stats scratch buffers
+// target.
+func BenchmarkParallelDiscount(b *testing.B) {
+	w := bugs.ByID("b1")
+	built := w.MustBuild()
+	const runs = 5
+	var normal, buggy []*sampler.Profile
+	for i := 0; i < runs; i++ {
+		np, _ := built.ProfileNormal(i)
+		bp, _ := built.ProfileBuggy(i)
+		normal = append(normal, np)
+		buggy = append(buggy, bp)
+	}
+	in := analysis.Input{
+		Debug:  built.Prog.Debug,
+		Schema: built.Schema,
+		Normal: normal,
+		Buggy:  buggy,
+	}
+	for _, workers := range []int{1, 2, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			p := analysis.DefaultParams()
+			p.Workers = workers
 			for i := 0; i < b.N; i++ {
-				row, err := harness.DiagnoseWorkload(w)
-				if err != nil {
+				if _, err := analysis.Analyze(in, p); err != nil {
 					b.Fatal(err)
 				}
-				lastRank = row.VProfRank
 			}
-			b.ReportMetric(float64(lastRank), "rank")
 		})
 	}
 }

@@ -6,6 +6,12 @@
 //	vprof-eval                  # everything
 //	vprof-eval -table 3         # one table (1, 2, 3, 4, 5)
 //	vprof-eval -figure 8        # one figure (6, 7, 8)
+//	vprof-eval -workers 8       # fan diagnoses out over 8 workers
+//
+// -workers (default: VPROF_WORKERS, then GOMAXPROCS) bounds the deterministic
+// worker pool; every table and figure is byte-for-byte identical for any
+// worker count (Figure 7 measures wall-clock overhead and always runs
+// sequentially).
 package main
 
 import (
@@ -20,6 +26,7 @@ func main() {
 	table := flag.Int("table", 0, "render only this table (1-5)")
 	figure := flag.Int("figure", 0, "render only this figure (6-8)")
 	reps := flag.Int("reps", 3, "repetitions for wall-clock overhead measurements")
+	workers := flag.Int("workers", 0, "worker pool for diagnoses (0 = VPROF_WORKERS or GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
 	all := *table == 0 && *figure == 0
@@ -40,13 +47,13 @@ func main() {
 	}
 	if all || *table == 3 {
 		run("table 3", func() (string, error) {
-			text, _, err := harness.Table3()
+			text, _, err := harness.Table3Workers(*workers)
 			return text, err
 		})
 	}
 	if all || *table == 4 {
 		run("table 4", func() (string, error) {
-			cases, err := harness.Table4()
+			cases, err := harness.Table4Workers(*workers)
 			if err != nil {
 				return "", err
 			}
@@ -55,7 +62,7 @@ func main() {
 	}
 	if all || *table == 5 {
 		run("table 5", func() (string, error) {
-			rows, err := harness.Table5()
+			rows, err := harness.Table5Workers(*workers)
 			if err != nil {
 				return "", err
 			}
@@ -82,7 +89,7 @@ func main() {
 	}
 	if all || *figure == 8 {
 		run("figure 8", func() (string, error) {
-			res, err := harness.Figure8()
+			res, err := harness.Figure8Workers(*workers)
 			if err != nil {
 				return "", err
 			}

@@ -44,6 +44,7 @@ func cmdServe(args []string) error {
 	storeDir := fs.String("store", "vprof-store", "profile store directory")
 	useBugs := fs.Bool("bugs", false, "also serve the built-in bug workloads (default when no programs are given)")
 	workers := fs.Int("workers", 4, "bounded ingest/diagnose worker pool size")
+	analysisWorkers := fs.Int("analysis-workers", 0, "per-diagnosis analysis worker pool (0 = VPROF_WORKERS or GOMAXPROCS, 1 = sequential)")
 	top := fs.Int("top", 10, "default report rows")
 	baselineCap := fs.Int("baseline-cap", 16, "rolling baseline corpus size per workload")
 	if err := parseFlags(fs, args); err != nil {
@@ -58,7 +59,10 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return usageError{err}
 	}
-	srv, err := service.New(service.Config{Store: st, Resolver: resolver, Workers: *workers, Top: *top})
+	srv, err := service.New(service.Config{
+		Store: st, Resolver: resolver, Workers: *workers,
+		AnalysisWorkers: *analysisWorkers, Top: *top,
+	})
 	if err != nil {
 		return err
 	}

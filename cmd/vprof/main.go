@@ -105,9 +105,10 @@ func usage() {
   vprof run <prog.vp> [-inputs a,b,...] [-seed n] [-max-ticks n]
   vprof profile <prog.vp> [-inputs ...] [-out dir] [-interval n]
   vprof disasm <prog.vp>
-  vprof analyze <prog.vp> -normal dir[,dir...] -buggy dir[,dir...] [-top n]
-  vprof diagnose <prog.vp> -normal a,b -buggy a,b [-runs n] [-top n] [-funcs f1,f2]
-  vprof serve [-addr host:port] [-store dir] [-bugs] [-workers n] [prog.vp ...]
+  vprof analyze <prog.vp> -normal dir[,dir...] -buggy dir[,dir...] [-top n] [-workers n]
+  vprof diagnose <prog.vp> -normal a,b -buggy a,b [-runs n] [-top n] [-funcs f1,f2] [-workers n]
+  vprof serve [-addr host:port] [-store dir] [-bugs] [-workers n]
+              [-analysis-workers n] [prog.vp ...]
   vprof push <prog.vp> -server url -label normal|candidate [-workload w]
              [-inputs a,b] [-runs n] | push -server url -label l -dir artifacts
   vprof query workloads|diagnose|report|stats -server url [args]
@@ -325,6 +326,7 @@ func cmdAnalyze(args []string) error {
 	buggy := fs.String("buggy", "", "comma-separated buggy profile directories")
 	top := fs.Int("top", 10, "rows to print")
 	funcs := fs.String("funcs", "", "comma-separated component functions (must match the profiling schema)")
+	workers := fs.Int("workers", 0, "analysis worker pool (0 = VPROF_WORKERS or GOMAXPROCS, 1 = sequential)")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -363,7 +365,9 @@ func cmdAnalyze(args []string) error {
 	if err != nil {
 		return err
 	}
-	report, err := vprof.Analyze(prog, sch, normals, buggies, vprof.DefaultParams())
+	params := vprof.DefaultParams()
+	params.Workers = *workers
+	report, err := vprof.Analyze(prog, sch, normals, buggies, params)
 	if err != nil {
 		return err
 	}
@@ -381,6 +385,7 @@ func cmdDiagnose(args []string) error {
 	maxTicks := fs.Int64("max-ticks", 0, "tick budget per run")
 	funcs := fs.String("funcs", "", "comma-separated component functions to monitor")
 	root := fs.String("root", "", "known root cause (prints its rank)")
+	workers := fs.Int("workers", 0, "profiling/analysis worker pool (0 = VPROF_WORKERS or GOMAXPROCS, 1 = sequential)")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -401,10 +406,12 @@ func cmdDiagnose(args []string) error {
 		return err
 	}
 	sch := prog.GenerateSchema(schemaOpts(*funcs, false))
+	params := vprof.DefaultParams()
+	params.Workers = *workers
 	report, err := vprof.Diagnose(prog, sch,
 		vprof.RunSpec{Inputs: nIn, MaxTicks: *maxTicks},
 		vprof.RunSpec{Inputs: bIn, MaxTicks: *maxTicks},
-		*runs, vprof.DefaultParams())
+		*runs, params)
 	if err != nil {
 		return err
 	}

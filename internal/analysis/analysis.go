@@ -38,6 +38,12 @@ type Params struct {
 	// its longest buggy-run value streak exceeds StuckFactor times the
 	// longest streak seen in the normal execution.
 	StuckFactor float64
+	// Workers bounds the analysis worker pool that fans out per-variable
+	// discounts, per-function cost attribution and hist-discounter
+	// cross-comparisons: 0 resolves a default via VPROF_WORKERS then
+	// GOMAXPROCS (see internal/parallel), 1 forces the sequential legacy
+	// path. The report is byte-for-byte identical for every value.
+	Workers int
 	// DisableVarCost turns off the variable-based execution cost
 	// (ablation).
 	DisableVarCost bool

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"vprof/internal/debuginfo"
+	"vprof/internal/parallel"
 	"vprof/internal/schema"
 )
 
@@ -36,13 +37,18 @@ func Analyze(in Input, p Params) (*Report, error) {
 			varCost[fn] = float64(units * buggy.Interval)
 		}
 	}
-	universe := map[string]bool{}
+	universe := make([]string, 0, len(pcCost)+len(varCost))
+	seen := map[string]bool{}
 	for fn := range pcCost {
-		universe[fn] = true
+		seen[fn] = true
+		universe = append(universe, fn)
 	}
 	for fn := range varCost {
-		universe[fn] = true
+		if !seen[fn] {
+			universe = append(universe, fn)
+		}
 	}
+	sort.Strings(universe)
 
 	// Hist-discounter for functions with no variable verdict.
 	var hist map[string]float64
@@ -50,8 +56,15 @@ func Analyze(in Input, p Params) (*Report, error) {
 		hist = histDiscounter(p, in.Normal, in.Buggy, in.Debug)
 	}
 
+	// Per-function cost attribution fans out over the worker pool; every
+	// input (cost maps, attributed variables, hist ratios) is read-only
+	// from here on and each index fills only its own row, so the rows —
+	// and after the deterministic sort, the whole ranking — are identical
+	// for any worker count.
+	workers := parallel.Workers(p.Workers)
 	report := &Report{Params: p, Variables: vars}
-	for fn := range universe {
+	report.Funcs = parallel.Map(workers, len(universe), func(i int) FuncReport {
+		fn := universe[i]
 		fr := FuncReport{
 			Name:    fn,
 			PCCost:  pcCost[fn],
@@ -91,8 +104,8 @@ func Analyze(in Input, p Params) (*Report, error) {
 			fr.DiscountSource = "none"
 		}
 		fr.Calibrated = fr.RawCost * (1 - fr.Discount)
-		report.Funcs = append(report.Funcs, fr)
-	}
+		return fr
+	})
 
 	sort.Slice(report.Funcs, func(i, j int) bool {
 		a, b := &report.Funcs[i], &report.Funcs[j]
@@ -110,8 +123,9 @@ func Analyze(in Input, p Params) (*Report, error) {
 
 	// Bug-pattern inference and block localization for every ranked
 	// function (the paper reports them for top-ranked functions; having
-	// them everywhere costs nothing and helps the harness).
-	for i := range report.Funcs {
+	// them everywhere costs nothing and helps the harness). Rows are
+	// disjoint, so this fans out too.
+	parallel.ForEach(workers, len(report.Funcs), func(i int) {
 		fr := &report.Funcs[i]
 		var match *VariableReport
 		fr.Pattern, match = classify(p, attributed[fr.Name], fr.TopVariable, fr.Rank == 1)
@@ -119,7 +133,7 @@ func Analyze(in Input, p Params) (*Report, error) {
 			fr.TopVariable = match
 		}
 		fr.Blocks = localizeBlocks(in.Debug, fr)
-	}
+	})
 	return report, nil
 }
 

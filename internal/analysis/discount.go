@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"vprof/internal/debuginfo"
+	"vprof/internal/parallel"
 	"vprof/internal/sampler"
 	"vprof/internal/schema"
 	"vprof/internal/stats"
@@ -183,7 +184,10 @@ func abnormalPositions(dim Dimension, normal, buggy []float64) map[int]bool {
 
 // analyzeVariables runs the variable-discounter over every monitored
 // variable appearing in either profile, returning reports keyed by
-// "func\x00name".
+// "func\x00name". Variables are independent, so the per-variable statistics
+// fan out over the worker pool; each index writes only its own report, and
+// the merge below walks the sorted key list, so the result is identical to
+// the sequential computation regardless of the worker count.
 func analyzeVariables(p Params, in Input) map[string]*VariableReport {
 	normal, buggy := in.Normal[0], in.Buggy[0]
 	keys := map[string]sampler.LayoutEntry{}
@@ -193,12 +197,23 @@ func analyzeVariables(p Params, in Input) map[string]*VariableReport {
 	for _, l := range buggy.Layout {
 		keys[l.Func+"\x00"+l.Name] = l
 	}
+	names := make([]string, 0, len(keys))
+	for key := range keys {
+		names = append(names, key)
+	}
+	sort.Strings(names)
 
-	out := make(map[string]*VariableReport, len(keys))
-	for key, l := range keys {
-		nSamples := normal.VarSamples(l.Func, l.Name)
-		bSamples := buggy.VarSamples(l.Func, l.Name)
-		nSeries := tickSeries(nSamples)
+	// Group each profile's samples by variable once, instead of scanning
+	// the whole sample array per variable (VarSamples is O(samples) per
+	// call, which made the discounter quadratic in practice).
+	nByVar := samplesByVar(normal)
+	bByVar := samplesByVar(buggy)
+
+	reports := parallel.Map(parallel.Workers(p.Workers), len(names), func(i int) *VariableReport {
+		key := names[i]
+		l := keys[key]
+		nSeries := tickSeries(nByVar[key])
+		bSamples := bByVar[key]
 		bSeries := tickSeries(bSamples)
 		vr := &VariableReport{
 			Func:        l.Func,
@@ -218,7 +233,46 @@ func analyzeVariables(p Params, in Input) map[string]*VariableReport {
 		if vr.Tested && vr.Discount < p.DefaultDiscount {
 			vr.AbnormalPCs = abnormalPCs(vr.Dimension, nSeries, bSamples)
 		}
-		out[key] = vr
+		return vr
+	})
+	out := make(map[string]*VariableReport, len(names))
+	for i, key := range names {
+		out[key] = reports[i]
+	}
+	return out
+}
+
+// samplesByVar groups a profile's samples by "func\x00name", preserving
+// recording order. Matching VarSamples, duplicate layout entries for the
+// same variable resolve to the first layout index.
+func samplesByVar(pr *sampler.Profile) map[string][]sampler.Sample {
+	first := make(map[string]int32, len(pr.Layout))
+	for i, l := range pr.Layout {
+		key := l.Func + "\x00" + l.Name
+		if _, ok := first[key]; !ok {
+			first[key] = int32(i)
+		}
+	}
+	counts := make([]int, len(pr.Layout))
+	for _, s := range pr.Samples {
+		if s.Layout >= 0 && int(s.Layout) < len(counts) {
+			counts[s.Layout]++
+		}
+	}
+	byLayout := make([][]sampler.Sample, len(pr.Layout))
+	for i, c := range counts {
+		if c > 0 {
+			byLayout[i] = make([]sampler.Sample, 0, c)
+		}
+	}
+	for _, s := range pr.Samples {
+		if s.Layout >= 0 && int(s.Layout) < len(byLayout) {
+			byLayout[s.Layout] = append(byLayout[s.Layout], s)
+		}
+	}
+	out := make(map[string][]sampler.Sample, len(first))
+	for key, i := range first {
+		out[key] = byLayout[i]
 	}
 	return out
 }

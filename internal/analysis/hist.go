@@ -1,7 +1,10 @@
 package analysis
 
 import (
+	"sort"
+
 	"vprof/internal/debuginfo"
+	"vprof/internal/parallel"
 	"vprof/internal/sampler"
 	"vprof/internal/stats"
 )
@@ -33,15 +36,17 @@ func isSynthetic(name string) bool {
 // buggy and m normal profiles, r = h/c where h counts comparisons in which
 // the function ranks higher (more costly) in the normal profile, and c is
 // the number of comparisons in which the function appeared at all.
+// Per-profile rankings and the n×m per-function comparisons are independent,
+// so both fan out over the worker pool; the ratios are exact integer counts,
+// making the result identical for any worker count.
 func histDiscounter(p Params, normal, buggy []*sampler.Profile, info *debuginfo.Info) map[string]float64 {
-	normalRanks := make([]map[string]int, len(normal))
-	for j, np := range normal {
-		normalRanks[j] = stats.Ranks(pcCostApp(np, info))
-	}
-	buggyRanks := make([]map[string]int, len(buggy))
-	for i, bp := range buggy {
-		buggyRanks[i] = stats.Ranks(pcCostApp(bp, info))
-	}
+	workers := parallel.Workers(p.Workers)
+	normalRanks := parallel.Map(workers, len(normal), func(j int) map[string]int {
+		return stats.Ranks(pcCostApp(normal[j], info))
+	})
+	buggyRanks := parallel.Map(workers, len(buggy), func(i int) map[string]int {
+		return stats.Ranks(pcCostApp(buggy[i], info))
+	})
 
 	funcs := map[string]bool{}
 	for _, r := range normalRanks {
@@ -54,9 +59,18 @@ func histDiscounter(p Params, normal, buggy []*sampler.Profile, info *debuginfo.
 			funcs[f] = true
 		}
 	}
-
-	out := map[string]float64{}
+	names := make([]string, 0, len(funcs))
 	for f := range funcs {
+		names = append(names, f)
+	}
+	sort.Strings(names)
+
+	type verdict struct {
+		r  float64
+		ok bool
+	}
+	verdicts := parallel.Map(workers, len(names), func(i int) verdict {
+		f := names[i]
 		h, c := 0, 0
 		for _, br := range buggyRanks {
 			bRank, bOK := br[f]
@@ -79,13 +93,20 @@ func histDiscounter(p Params, normal, buggy []*sampler.Profile, info *debuginfo.
 			}
 		}
 		if c == 0 {
-			continue
+			return verdict{}
 		}
 		r := float64(h) / float64(c)
 		if r < p.ValidDiscount {
 			r = 0
 		}
-		out[f] = r
+		return verdict{r, true}
+	})
+
+	out := make(map[string]float64, len(names))
+	for i, f := range names {
+		if verdicts[i].ok {
+			out[f] = verdicts[i].r
+		}
 	}
 	return out
 }

@@ -20,6 +20,7 @@ import (
 	"vprof/internal/compiler"
 	"vprof/internal/debuginfo"
 	"vprof/internal/lang"
+	"vprof/internal/parallel"
 	"vprof/internal/sampler"
 	"vprof/internal/schema"
 	"vprof/internal/vm"
@@ -202,12 +203,20 @@ func (b *Built) Analyze(p analysis.Params, runs int) (*analysis.Report, error) {
 	if runs <= 0 {
 		runs = 5
 	}
-	in := analysis.Input{Debug: b.Prog.Debug, Schema: b.Schema}
-	for i := 0; i < runs; i++ {
+	// Per-run profiling executions are independent (deterministic per-run
+	// seeds, read-only program/metadata) and fan out over the same worker
+	// pool the analysis uses; profiles land in run order regardless of
+	// scheduling.
+	type pair struct{ normal, buggy *sampler.Profile }
+	pairs := parallel.Map(parallel.Workers(p.Workers), runs, func(i int) pair {
 		np, _ := b.ProfileNormal(i)
 		bp, _ := b.ProfileBuggy(i)
-		in.Normal = append(in.Normal, np)
-		in.Buggy = append(in.Buggy, bp)
+		return pair{np, bp}
+	})
+	in := analysis.Input{Debug: b.Prog.Debug, Schema: b.Schema}
+	for _, pr := range pairs {
+		in.Normal = append(in.Normal, pr.normal)
+		in.Buggy = append(in.Buggy, pr.buggy)
 	}
 	return analysis.Analyze(in, p)
 }

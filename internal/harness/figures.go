@@ -7,6 +7,7 @@ import (
 
 	"vprof/internal/analysis"
 	"vprof/internal/bugs"
+	"vprof/internal/parallel"
 	"vprof/internal/sampler"
 )
 
@@ -183,15 +184,26 @@ type Figure8Result struct {
 // workload and re-analyzed under each parameter setting (the sweep varies
 // only post-profiling analysis).
 func Figure8() (*Figure8Result, error) {
+	return Figure8Workers(0)
+}
+
+// Figure8Workers is Figure8 with profile collection and per-workload
+// re-analysis fanned out over an explicit worker pool. Ranks are integers
+// and accumulate in workload order, so both sweeps are identical for any
+// worker count. (Figure7 deliberately has no parallel variant: it measures
+// wall-clock overhead, which concurrent load would skew.)
+func Figure8Workers(workers int) (*Figure8Result, error) {
+	workers = parallel.Workers(workers)
 	type captured struct {
 		w  *bugs.Workload
 		in analysis.Input
 	}
-	var inputs []captured
-	for _, w := range bugs.All() {
+	all := bugs.All()
+	inputs, err := parallel.MapErr(workers, len(all), func(idx int) (captured, error) {
+		w := all[idx]
 		b, err := w.Build()
 		if err != nil {
-			return nil, err
+			return captured{}, err
 		}
 		in := analysis.Input{Debug: b.Prog.Debug, Schema: b.Schema}
 		for i := 0; i < Runs; i++ {
@@ -200,23 +212,37 @@ func Figure8() (*Figure8Result, error) {
 			in.Normal = append(in.Normal, np)
 			in.Buggy = append(in.Buggy, bp)
 		}
-		inputs = append(inputs, captured{w, in})
+		return captured{w, in}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	measureAt := func(p analysis.Params) (Figure8Point, error) {
-		pt := Figure8Point{}
-		var rankSum, ranked float64
-		for _, c := range inputs {
+		type verdict struct {
+			rank int
+			n    int
+		}
+		verdicts, err := parallel.MapErr(workers, len(inputs), func(i int) (verdict, error) {
+			c := inputs[i]
 			rep, err := analysis.Analyze(c.in, p)
 			if err != nil {
-				return pt, err
+				return verdict{}, err
 			}
-			r := rep.Rank(c.w.RootFunc)
+			return verdict{rep.Rank(c.w.RootFunc), len(rep.Funcs)}, nil
+		})
+		if err != nil {
+			return Figure8Point{}, err
+		}
+		pt := Figure8Point{}
+		var rankSum, ranked float64
+		for _, v := range verdicts {
+			r := v.rank
 			if r >= 1 && r <= 5 {
 				pt.Diagnosed++
 			}
 			if r == 0 {
-				r = len(rep.Funcs) + 1 // NR: pessimistic rank
+				r = v.n + 1 // NR: pessimistic rank
 			}
 			rankSum += float64(r)
 			ranked++
@@ -229,6 +255,7 @@ func Figure8() (*Figure8Result, error) {
 	for dd := 0.1; dd <= 1.001; dd += 0.1 {
 		p := analysis.DefaultParams()
 		p.DefaultDiscount = dd
+		p.Workers = 1 // measureAt already fans out per workload
 		pt, err := measureAt(p)
 		if err != nil {
 			return nil, err
@@ -239,6 +266,7 @@ func Figure8() (*Figure8Result, error) {
 	for vd := 0.1; vd <= 1.001; vd += 0.1 {
 		p := analysis.DefaultParams()
 		p.ValidDiscount = vd
+		p.Workers = 1
 		pt, err := measureAt(p)
 		if err != nil {
 			return nil, err

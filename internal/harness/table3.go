@@ -6,20 +6,31 @@ import (
 	"vprof/internal/analysis"
 	"vprof/internal/baselines"
 	"vprof/internal/bugs"
+	"vprof/internal/parallel"
 	"vprof/internal/sampler"
 )
 
 // DiagnoseWorkload runs the complete Table 3 protocol for one workload: the
 // vProf pipeline (5+5 runs), the hist-discounter-only ablation (zero
-// variables monitored), and the five baseline tools.
+// variables monitored), and the five baseline tools. The worker count
+// resolves via internal/parallel (VPROF_WORKERS, then GOMAXPROCS).
 func DiagnoseWorkload(w *bugs.Workload) (Table3Row, error) {
+	return DiagnoseWorkloadWorkers(w, 0)
+}
+
+// DiagnoseWorkloadWorkers is DiagnoseWorkload on an explicit worker pool;
+// the row is byte-for-byte identical for every worker count.
+func DiagnoseWorkloadWorkers(w *bugs.Workload, workers int) (Table3Row, error) {
+	workers = parallel.Workers(workers)
 	b, err := w.Build()
 	if err != nil {
 		return Table3Row{}, err
 	}
 	row := Table3Row{ID: w.ID, Ticket: w.Ticket, Paper: w.PaperRanks}
 
-	rep, err := b.Analyze(analysis.DefaultParams(), Runs)
+	params := analysis.DefaultParams()
+	params.Workers = workers
+	rep, err := b.Analyze(params, Runs)
 	if err != nil {
 		return row, err
 	}
@@ -32,7 +43,7 @@ func DiagnoseWorkload(w *bugs.Workload) (Table3Row, error) {
 		row.ClassNC = fr.Pattern == analysis.PatternNC
 	}
 
-	histRep, err := HistDiscOnly(b)
+	histRep, err := HistDiscOnlyWorkers(b, workers)
 	if err != nil {
 		return row, err
 	}
@@ -55,12 +66,23 @@ func DiagnoseWorkload(w *bugs.Workload) (Table3Row, error) {
 // HistDiscOnly runs vProf with zero variables monitored, leaving only the
 // hist-discounter (Table 3's hist-disc column).
 func HistDiscOnly(b *bugs.Built) (*analysis.Report, error) {
+	return HistDiscOnlyWorkers(b, 0)
+}
+
+// HistDiscOnlyWorkers is HistDiscOnly on an explicit worker pool.
+func HistDiscOnlyWorkers(b *bugs.Built, workers int) (*analysis.Report, error) {
+	workers = parallel.Workers(workers)
+	type pair struct{ normal, buggy *sampler.Profile }
+	pairs := parallel.Map(workers, Runs, func(i int) pair {
+		return pair{profileNoVars(b, i, false), profileNoVars(b, i, true)}
+	})
 	in := analysis.Input{Debug: b.Prog.Debug, Schema: b.Schema}
-	for i := 0; i < Runs; i++ {
-		in.Normal = append(in.Normal, profileNoVars(b, i, false))
-		in.Buggy = append(in.Buggy, profileNoVars(b, i, true))
+	for _, pr := range pairs {
+		in.Normal = append(in.Normal, pr.normal)
+		in.Buggy = append(in.Buggy, pr.buggy)
 	}
 	p := analysis.DefaultParams()
+	p.Workers = workers
 	return analysis.Analyze(in, p)
 }
 
@@ -138,13 +160,25 @@ func relatedFunctions(callGraph map[string][]string, root string) map[string]boo
 
 // Table3 diagnoses every resolved workload and renders the table.
 func Table3() (string, []Table3Row, error) {
-	var rows []Table3Row
-	for _, w := range bugs.All() {
-		row, err := DiagnoseWorkload(w)
+	return Table3Workers(0)
+}
+
+// Table3Workers is Table3 with per-workload diagnoses fanned out over an
+// explicit worker pool. Rows land in registry order and every row is
+// deterministic, so the rendered table is byte-for-byte identical to the
+// sequential run.
+func Table3Workers(workers int) (string, []Table3Row, error) {
+	workers = parallel.Workers(workers)
+	all := bugs.All()
+	rows, err := parallel.MapErr(workers, len(all), func(i int) (Table3Row, error) {
+		row, err := DiagnoseWorkloadWorkers(all[i], workers)
 		if err != nil {
-			return "", nil, fmt.Errorf("%s: %w", w.ID, err)
+			return row, fmt.Errorf("%s: %w", all[i].ID, err)
 		}
-		rows = append(rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return "", nil, err
 	}
 	return RenderTable3(rows), rows, nil
 }

@@ -9,6 +9,7 @@ import (
 	"vprof/internal/bugs"
 	"vprof/internal/debuginfo"
 	"vprof/internal/lang"
+	"vprof/internal/parallel"
 	"vprof/internal/sampler"
 	"vprof/internal/schema"
 )
@@ -36,11 +37,19 @@ type Table4Finding struct {
 // investigated per component (the paper's §6.2 workflow), reporting the
 // top-ranked functions and their anomalous variables.
 func Table4() ([]Table4Case, error) {
-	var out []Table4Case
-	for _, w := range bugs.UnresolvedIssues() {
+	return Table4Workers(0)
+}
+
+// Table4Workers is Table4 with per-issue diagnoses fanned out over an
+// explicit worker pool; cases land in registry order.
+func Table4Workers(workers int) ([]Table4Case, error) {
+	workers = parallel.Workers(workers)
+	issues := bugs.UnresolvedIssues()
+	return parallel.MapErr(workers, len(issues), func(idx int) (Table4Case, error) {
+		w := issues[idx]
 		b, err := w.Build()
 		if err != nil {
-			return nil, err
+			return Table4Case{}, err
 		}
 		c := Table4Case{ID: w.ID, Ticket: w.Ticket, Description: w.Description, Notes: w.Notes}
 
@@ -54,9 +63,9 @@ func Table4() ([]Table4Case, error) {
 		}
 		sort.Strings(names)
 		for _, name := range names {
-			rep, err := analyzeComponent(b, components[name])
+			rep, err := analyzeComponent(b, components[name], workers)
 			if err != nil {
-				return nil, err
+				return Table4Case{}, err
 			}
 			// The paper's workflow ranks the investigated component's
 			// own functions ("vProf ranks its function lookupKey
@@ -105,14 +114,13 @@ func Table4() ([]Table4Case, error) {
 			}
 			c.Findings = append(c.Findings, f)
 		}
-		out = append(out, c)
-	}
-	return out, nil
+		return c, nil
+	})
 }
 
 // analyzeComponent runs vProf with monitoring restricted to a set of
 // functions (nil = whole file).
-func analyzeComponent(b *bugs.Built, funcs []string) (*analysis.Report, error) {
+func analyzeComponent(b *bugs.Built, funcs []string, workers int) (*analysis.Report, error) {
 	filter := func(string) bool { return true }
 	if funcs != nil {
 		set := map[string]bool{}
@@ -134,14 +142,20 @@ func analyzeComponent(b *bugs.Built, funcs []string) (*analysis.Report, error) {
 		}
 	}
 
-	in := analysis.Input{Debug: b.Prog.Debug, Schema: buggySch}
-	for i := 0; i < Runs; i++ {
+	type pair struct{ normal, buggy *sampler.Profile }
+	pairs := parallel.Map(parallel.Workers(workers), Runs, func(i int) pair {
 		nres := sampler.ProfileRun(b.NormalProg, normalMeta, b.W.NormalConfig(i), sampler.Options{Interval: bugs.DefaultInterval})
 		bres := sampler.ProfileRun(b.Prog, buggyMeta, b.W.BuggyConfig(i), sampler.Options{Interval: bugs.DefaultInterval})
-		in.Normal = append(in.Normal, sampler.MergeProfiles(nres.Profiles))
-		in.Buggy = append(in.Buggy, sampler.MergeProfiles(bres.Profiles))
+		return pair{sampler.MergeProfiles(nres.Profiles), sampler.MergeProfiles(bres.Profiles)}
+	})
+	in := analysis.Input{Debug: b.Prog.Debug, Schema: buggySch}
+	for _, pr := range pairs {
+		in.Normal = append(in.Normal, pr.normal)
+		in.Buggy = append(in.Buggy, pr.buggy)
 	}
-	return analysis.Analyze(in, analysis.DefaultParams())
+	p := analysis.DefaultParams()
+	p.Workers = workers
+	return analysis.Analyze(in, p)
 }
 
 // componentSchema regenerates the monitoring schema for one program version
@@ -201,15 +215,24 @@ type Table5Row struct {
 
 // Table5 measures per-workload profiling overhead on the buggy execution.
 func Table5() ([]Table5Row, error) {
-	var rows []Table5Row
-	for _, w := range bugs.All() {
+	return Table5Workers(0)
+}
+
+// Table5Workers is Table5 with per-workload measurement fanned out over an
+// explicit worker pool. All columns except the wall-clock timings (InitMs,
+// WallMs) are deterministic for any worker count; the timings are
+// nondeterministic under any schedule, parallel or not.
+func Table5Workers(workers int) ([]Table5Row, error) {
+	all := bugs.All()
+	return parallel.MapErr(parallel.Workers(workers), len(all), func(i int) (Table5Row, error) {
+		w := all[i]
 		b, err := w.Build()
 		if err != nil {
-			return nil, err
+			return Table5Row{}, err
 		}
 		prof, res := b.ProfileBuggy(0)
 		cov := schema.Verify(b.Schema, b.Prog.Debug)
-		rows = append(rows, Table5Row{
+		return Table5Row{
 			ID:        w.ID,
 			Variables: len(b.Schema.Entries),
 			Pruned:    b.Schema.Pruned,
@@ -221,9 +244,8 @@ func Table5() ([]Table5Row, error) {
 			SamplesKB: float64(prof.SampleBytes) / 1024,
 			RunTicks:  res.TotalTicks(),
 			WallMs:    float64(res.WallTime.Microseconds()) / 1000,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // RenderTable5 formats the overhead table.

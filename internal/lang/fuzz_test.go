@@ -1,13 +1,21 @@
-package lang
+package lang_test
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"vprof/internal/bugs"
+	"vprof/internal/lang"
 )
 
 // FuzzParse checks the lexer and parser never panic and that anything that
 // parses also re-parses (position and structure stability is covered by the
-// unit tests; here we care about robustness on arbitrary input).
+// unit tests; here we care about robustness on arbitrary input). The corpus
+// is seeded with hand-written grammar edge cases, every checked-in testdata
+// program, and all embedded bug-workload sources, so mutations start from
+// realistic full-size programs rather than toy fragments.
 func FuzzParse(f *testing.F) {
 	seeds := []string{
 		"",
@@ -28,16 +36,35 @@ func FuzzParse(f *testing.F) {
 		strings.Repeat("(", 500),
 		"func main() { out(1 == 2 != 3 < 4); }",
 	}
+	// Checked-in example programs.
+	paths, err := filepath.Glob(filepath.Join("..", "..", "testdata", "*.vp"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, p := range paths {
+		src, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		seeds = append(seeds, string(src))
+	}
+	// Embedded bug reproductions: the largest real programs in the tree.
+	for _, w := range bugs.All() {
+		seeds = append(seeds, w.Source)
+		if w.NormalSource != "" {
+			seeds = append(seeds, w.NormalSource)
+		}
+	}
 	for _, s := range seeds {
 		f.Add(s)
 	}
 	f.Fuzz(func(t *testing.T, src string) {
-		file, err := Parse("fuzz.vp", src)
+		file, err := lang.Parse("fuzz.vp", src)
 		if err != nil {
 			return // rejecting is fine; panicking is not
 		}
 		// Walk must terminate and visit without panicking.
 		n := 0
-		Walk(file, func(Node) bool { n++; return n < 100000 })
+		lang.Walk(file, func(lang.Node) bool { n++; return n < 100000 })
 	})
 }

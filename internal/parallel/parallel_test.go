@@ -1,0 +1,136 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(7); got != 7 {
+		t.Errorf("explicit request: %d, want 7", got)
+	}
+	t.Setenv(EnvWorkers, "3")
+	if got := Workers(0); got != 3 {
+		t.Errorf("env fallback: %d, want 3", got)
+	}
+	if got := Workers(2); got != 2 {
+		t.Errorf("explicit beats env: %d, want 2", got)
+	}
+	t.Setenv(EnvWorkers, "not-a-number")
+	if got, want := Workers(0), max(runtime.GOMAXPROCS(0), 1); got != want {
+		t.Errorf("bad env ignored: %d, want %d", got, want)
+	}
+	os.Unsetenv(EnvWorkers)
+	if got := Workers(0); got < 1 {
+		t.Errorf("default workers = %d, want >= 1", got)
+	}
+}
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		const n = 53
+		counts := make([]atomic.Int64, n)
+		ForEach(workers, n, func(i int) {
+			counts[i].Add(1)
+		})
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Errorf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachEmptyAndSequential(t *testing.T) {
+	ForEach(4, 0, func(int) { t.Error("fn called for n=0") })
+	// workers<=1 must run inline: goroutine-count stays flat and order is
+	// strictly ascending.
+	var order []int
+	ForEach(1, 5, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("sequential order = %v", order)
+		}
+	}
+}
+
+func TestMapDeterministicOrder(t *testing.T) {
+	want := Map(1, 200, func(i int) string { return fmt.Sprintf("r%d", i*i) })
+	for _, workers := range []int{2, 4, 16} {
+		got := Map(workers, 200, func(i int) string { return fmt.Sprintf("r%d", i*i) })
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: index %d = %q, want %q", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMapErrLowestIndexWins(t *testing.T) {
+	errA := errors.New("fail-10")
+	errB := errors.New("fail-40")
+	fn := func(i int) (int, error) {
+		switch i {
+		case 10:
+			return 0, errA
+		case 40:
+			return 0, errB
+		}
+		return i, nil
+	}
+	for _, workers := range []int{1, 8} {
+		_, err := MapErr(workers, 64, fn)
+		if !errors.Is(err, errA) {
+			t.Errorf("workers=%d: err = %v, want %v (lowest index)", workers, err, errA)
+		}
+	}
+	out, err := MapErr(8, 8, func(i int) (int, error) { return i * 2, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*2 {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestForEachPanicLowestIndex(t *testing.T) {
+	for _, workers := range []int{1, 6} {
+		func() {
+			defer func() {
+				r := recover()
+				if r != "boom-3" {
+					t.Errorf("workers=%d: recovered %v, want boom-3", workers, r)
+				}
+			}()
+			ForEach(workers, 32, func(i int) {
+				if i == 3 || i == 17 {
+					panic(fmt.Sprintf("boom-%d", i))
+				}
+			})
+		}()
+	}
+}
+
+func TestForEachBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var inFlight, peak atomic.Int64
+	ForEach(workers, 200, func(i int) {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		inFlight.Add(-1)
+	})
+	if p := peak.Load(); p > workers {
+		t.Errorf("peak concurrency %d exceeds %d workers", p, workers)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"vprof/internal/compiler"
 	"vprof/internal/debuginfo"
@@ -108,19 +109,25 @@ type Schema struct {
 	// Pruned counts entries removed by the MinScore/MaxEntries options.
 	Pruned int
 
-	index map[string]int // Key() -> Entries index, built lazily by Lookup
+	indexMu sync.Mutex
+	index   map[string]int // Key() -> Entries index, built lazily by Lookup
 }
 
 // Lookup returns the entry for a variable, or nil. fn is the declaring
-// function or debuginfo.GlobalScope.
+// function or debuginfo.GlobalScope. Lookup is safe for concurrent use as
+// long as Entries is not being mutated concurrently; the lazy index build is
+// mutex-guarded so the parallel analysis engine can share one Schema.
 func (s *Schema) Lookup(fn, name string) *Entry {
+	s.indexMu.Lock()
 	if s.index == nil || len(s.index) != len(s.Entries) {
 		s.index = make(map[string]int, len(s.Entries))
 		for i := range s.Entries {
 			s.index[s.Entries[i].Key()] = i
 		}
 	}
-	if i, ok := s.index[fn+"\x00"+name]; ok {
+	i, ok := s.index[fn+"\x00"+name]
+	s.indexMu.Unlock()
+	if ok {
 		return &s.Entries[i]
 	}
 	return nil

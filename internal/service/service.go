@@ -46,6 +46,11 @@ type Config struct {
 	// Workers bounds concurrently executing ingest/diagnose work
 	// (default 4).
 	Workers int
+	// AnalysisWorkers bounds the per-diagnosis analysis worker pool
+	// (internal/parallel): 0 resolves a default via VPROF_WORKERS then
+	// GOMAXPROCS, 1 forces the sequential legacy path. Reports are
+	// byte-for-byte identical for every value.
+	AnalysisWorkers int
 	// Params are the analysis tunables (zero value → DefaultParams).
 	Params *analysis.Params
 	// Top is the default row count of rendered reports (default 10).
@@ -91,6 +96,9 @@ func New(cfg Config) (*Server, error) {
 	params := analysis.DefaultParams()
 	if cfg.Params != nil {
 		params = *cfg.Params
+	}
+	if cfg.AnalysisWorkers != 0 {
+		params.Workers = cfg.AnalysisWorkers
 	}
 	return &Server{
 		store:    cfg.Store,

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"math"
 	"sort"
+	"sync"
 )
 
 // ErrDegenerate is returned by ADKSample when the test is undefined: fewer
@@ -35,38 +36,73 @@ type ADResult struct {
 	P float64
 }
 
+// adScratch holds the per-call working buffers of ADKSample. Calls are hot
+// (one per variable per dimension, across every workload of a table run) and
+// were allocation-bound; the buffers are pooled and resized in place so the
+// steady state allocates nothing. Pooling only changes where the memory
+// comes from — the arithmetic and its order are untouched, keeping results
+// bit-identical to the original implementation.
+type adScratch struct {
+	pooled []float64
+	sorted []float64
+	zstar  []float64
+	lj, bj []float64
+	n      []int
+}
+
+var adScratchPool = sync.Pool{New: func() any { return new(adScratch) }}
+
+// grow returns buf with length n, reusing its backing array when possible.
+func grow(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
 // ADKSample runs the k-sample Anderson-Darling test on the given samples.
+// It is safe for concurrent use.
 func ADKSample(samples ...[]float64) (ADResult, error) {
 	k := len(samples)
 	if k < 2 {
 		return ADResult{}, ErrDegenerate
 	}
-	n := make([]int, k)
-	var pooled []float64
+	sc := adScratchPool.Get().(*adScratch)
+	defer adScratchPool.Put(sc)
+	if cap(sc.n) < k {
+		sc.n = make([]int, k)
+	}
+	n := sc.n[:k]
+	N := 0
 	for i, s := range samples {
 		if len(s) == 0 {
 			return ADResult{}, ErrDegenerate
 		}
 		n[i] = len(s)
-		pooled = append(pooled, s...)
+		N += len(s)
 	}
-	N := len(pooled)
 	if N < 4 {
 		return ADResult{}, ErrDegenerate
 	}
+	pooled := grow(sc.pooled, N)[:0]
+	for _, s := range samples {
+		pooled = append(pooled, s...)
+	}
+	sc.pooled = pooled
 	sort.Float64s(pooled)
 	if pooled[0] == pooled[N-1] {
 		return ADResult{}, ErrDegenerate
 	}
 
 	// Distinct pooled values and their multiplicities.
-	zstar := make([]float64, 1, N)
+	zstar := grow(sc.zstar, N)[:1]
 	zstar[0] = pooled[0]
 	for _, v := range pooled[1:] {
 		if v != zstar[len(zstar)-1] {
 			zstar = append(zstar, v)
 		}
 	}
+	sc.zstar = zstar
 	L := len(zstar)
 
 	searchLeft := func(s []float64, v float64) int {
@@ -76,8 +112,9 @@ func ADKSample(samples ...[]float64) (ADResult, error) {
 		return sort.Search(len(s), func(i int) bool { return s[i] > v })
 	}
 
-	lj := make([]float64, L) // multiplicity of zstar[j] in pooled
-	bj := make([]float64, L) // midrank position
+	lj := grow(sc.lj, L) // multiplicity of zstar[j] in pooled
+	bj := grow(sc.bj, L) // midrank position
+	sc.lj, sc.bj = lj, bj
 	for j, v := range zstar {
 		l := searchLeft(pooled, v)
 		r := searchRight(pooled, v)
@@ -88,7 +125,8 @@ func ADKSample(samples ...[]float64) (ADResult, error) {
 	fN := float64(N)
 	var a2akN float64
 	for i := 0; i < k; i++ {
-		s := append([]float64(nil), samples[i]...)
+		s := append(grow(sc.sorted, len(samples[i]))[:0], samples[i]...)
+		sc.sorted = s
 		sort.Float64s(s)
 		var inner float64
 		for j, v := range zstar {
@@ -111,16 +149,7 @@ func ADKSample(samples ...[]float64) (ADResult, error) {
 	for _, ni := range n {
 		H += 1 / float64(ni)
 	}
-	var h float64
-	for i := 1; i < N; i++ {
-		h += 1 / float64(i)
-	}
-	var g float64
-	for i := 1; i <= N-2; i++ {
-		for j := i + 1; j <= N-1; j++ {
-			g += 1 / (float64(N-i) * float64(j))
-		}
-	}
+	h, g := harmonicTerms(N)
 	fk := float64(k)
 	a := (4*g-6)*(fk-1) + (10-6*g)*H
 	b := (2*g-4)*fk*fk + 8*h*fk + (2*g-14*h-4)*H - 8*h + 4*g - 6
@@ -137,6 +166,43 @@ func ADKSample(samples ...[]float64) (ADResult, error) {
 	return ADResult{A2akN: a2akN, Stat: stat, P: adPValue(stat, m)}, nil
 }
 
+// harmonicTerms returns the h and g terms of the Scholz & Stephens variance
+// formula for a pooled size of N. g is quadratic in N to compute and both
+// depend on nothing but N, while the analysis pipeline calls ADKSample with
+// the same handful of sample sizes thousands of times per table run — so the
+// terms are memoized. The cached values are produced by exactly the
+// summation loops (and summation order) of the direct computation, so
+// memoization cannot perturb a single bit of any result.
+func harmonicTerms(N int) (h, g float64) {
+	harmonicMu.Lock()
+	defer harmonicMu.Unlock()
+	if t, ok := harmonicCache[N]; ok {
+		return t[0], t[1]
+	}
+	for i := 1; i < N; i++ {
+		h += 1 / float64(i)
+	}
+	for i := 1; i <= N-2; i++ {
+		for j := i + 1; j <= N-1; j++ {
+			g += 1 / (float64(N-i) * float64(j))
+		}
+	}
+	if len(harmonicCache) >= harmonicCacheCap {
+		// Unbounded growth guard; distinct Ns per process are few, so
+		// resetting (rather than evicting) keeps the code trivial.
+		harmonicCache = make(map[int][2]float64, harmonicCacheCap)
+	}
+	harmonicCache[N] = [2]float64{h, g}
+	return h, g
+}
+
+const harmonicCacheCap = 1 << 14
+
+var (
+	harmonicMu    sync.Mutex
+	harmonicCache = map[int][2]float64{}
+)
+
 // Interpolation tables from Scholz & Stephens (1987), Table 2, as used by
 // SciPy: critical values at the listed significance levels are approximated
 // by b0 + b1/sqrt(m) + b2/m, then log(sig) is fit quadratically in the
@@ -146,16 +212,24 @@ var (
 	adB0  = []float64{0.675, 1.281, 1.645, 1.960, 2.326, 2.573, 3.085}
 	adB1  = []float64{-0.245, 0.250, 0.678, 1.149, 1.822, 2.364, 3.615}
 	adB2  = []float64{-0.105, -0.305, -0.362, -0.391, -0.396, -0.345, -0.154}
+
+	// adLogSig is log(adSig), fixed at init so the hot p-value path takes
+	// no logarithms and allocates nothing.
+	adLogSig = func() [7]float64 {
+		var out [7]float64
+		for i, s := range adSig {
+			out[i] = math.Log(s)
+		}
+		return out
+	}()
 )
 
 func adPValue(stat, m float64) float64 {
-	crit := make([]float64, len(adSig))
-	logSig := make([]float64, len(adSig))
+	var crit [7]float64
 	for i := range adSig {
 		crit[i] = adB0[i] + adB1[i]/math.Sqrt(m) + adB2[i]/m
-		logSig[i] = math.Log(adSig[i])
 	}
-	c0, c1, c2 := quadFit(crit, logSig)
+	c0, c1, c2 := quadFit(crit[:], adLogSig[:])
 	p := math.Exp(c0 + c1*stat + c2*stat*stat)
 	// Clamp outside the table range, as SciPy does.
 	if stat < crit[0] {

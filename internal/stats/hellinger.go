@@ -3,15 +3,30 @@ package stats
 import (
 	"math"
 	"sort"
+	"sync"
 )
 
 // DefaultHellingerBins is the bin count used when two samples have too many
 // distinct values to compare value-by-value.
 const DefaultHellingerBins = 32
 
+// hellScratch pools the working buffers of HellingerBins: two sorted copies
+// of the inputs, the distinct-value list and the two PMFs. The kernel is
+// called once per (variable, dimension) across every workload and was
+// allocation-bound; pooling removes the steady-state allocations without
+// touching the arithmetic (counts are exact integers in float64, so the
+// counting order cannot change a result bit).
+type hellScratch struct {
+	a, b     []float64
+	distinct []float64
+	pa, pb   []float64
+}
+
+var hellScratchPool = sync.Pool{New: func() any { return new(hellScratch) }}
+
 // Hellinger returns the Hellinger distance between the empirical
 // distributions of two samples, in [0, 1]. 0 means identical distributions,
-// 1 means disjoint support.
+// 1 means disjoint support. It is safe for concurrent use.
 //
 // The samples are discretized onto a common set of bins: exact values when
 // the combined number of distinct values is small, equal-width bins over the
@@ -33,16 +48,27 @@ func HellingerBins(a, b []float64, bins int) float64 {
 		bins = 2
 	}
 
-	distinct := distinctValues(a, b)
+	sc := hellScratchPool.Get().(*hellScratch)
+	defer hellScratchPool.Put(sc)
+	sa := append(grow(sc.a, len(a))[:0], a...)
+	sb := append(grow(sc.b, len(b))[:0], b...)
+	sc.a, sc.b = sa, sb
+	sort.Float64s(sa)
+	sort.Float64s(sb)
+
+	distinct := mergeDistinct(sa, sb, grow(sc.distinct, len(a)+len(b))[:0])
+	sc.distinct = distinct
+
 	var pa, pb []float64
 	if len(distinct) <= bins {
-		pa = exactPMF(a, distinct)
-		pb = exactPMF(b, distinct)
+		pa = sortedPMF(sa, distinct, grow(sc.pa, len(distinct)))
+		pb = sortedPMF(sb, distinct, grow(sc.pb, len(distinct)))
 	} else {
-		lo, hi := combinedRange(a, b)
-		pa = binnedPMF(a, lo, hi, bins)
-		pb = binnedPMF(b, lo, hi, bins)
+		lo, hi := distinct[0], distinct[len(distinct)-1]
+		pa = binnedPMF(sa, lo, hi, bins, grow(sc.pa, bins))
+		pb = binnedPMF(sb, lo, hi, bins, grow(sc.pb, bins))
 	}
+	sc.pa, sc.pb = pa, pb
 
 	// H^2 = 1 - sum sqrt(p_i * q_i)  (Bhattacharyya coefficient).
 	var bc float64
@@ -55,49 +81,51 @@ func HellingerBins(a, b []float64, bins int) float64 {
 	return math.Sqrt(1 - bc)
 }
 
-func distinctValues(a, b []float64) []float64 {
-	all := make([]float64, 0, len(a)+len(b))
-	all = append(all, a...)
-	all = append(all, b...)
-	sort.Float64s(all)
-	out := all[:0]
-	for i, v := range all {
-		if i == 0 || v != out[len(out)-1] {
+// mergeDistinct appends the sorted distinct union of two sorted slices to
+// out.
+func mergeDistinct(sa, sb, out []float64) []float64 {
+	i, j := 0, 0
+	for i < len(sa) || j < len(sb) {
+		var v float64
+		switch {
+		case j >= len(sb) || (i < len(sa) && sa[i] <= sb[j]):
+			v = sa[i]
+			i++
+		default:
+			v = sb[j]
+			j++
+		}
+		if len(out) == 0 || v != out[len(out)-1] {
 			out = append(out, v)
 		}
 	}
 	return out
 }
 
-func exactPMF(s, distinct []float64) []float64 {
-	p := make([]float64, len(distinct))
-	for _, v := range s {
-		i := sort.SearchFloat64s(distinct, v)
-		p[i]++
-	}
+// sortedPMF computes the empirical PMF of a sorted sample over the distinct
+// support in one merged walk (the sample's values are a subset of distinct).
+func sortedPMF(s, distinct, p []float64) []float64 {
 	for i := range p {
-		p[i] /= float64(len(s))
+		p[i] = 0
+	}
+	d := 0
+	for _, v := range s {
+		for distinct[d] != v {
+			d++
+		}
+		p[d]++
+	}
+	inv := float64(len(s))
+	for i := range p {
+		p[i] /= inv
 	}
 	return p
 }
 
-func combinedRange(a, b []float64) (lo, hi float64) {
-	lo, hi = math.Inf(1), math.Inf(-1)
-	for _, s := range [][]float64{a, b} {
-		for _, v := range s {
-			if v < lo {
-				lo = v
-			}
-			if v > hi {
-				hi = v
-			}
-		}
+func binnedPMF(s []float64, lo, hi float64, bins int, p []float64) []float64 {
+	for i := range p {
+		p[i] = 0
 	}
-	return lo, hi
-}
-
-func binnedPMF(s []float64, lo, hi float64, bins int) []float64 {
-	p := make([]float64, bins)
 	width := (hi - lo) / float64(bins)
 	if width <= 0 {
 		p[0] = 1

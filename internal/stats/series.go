@@ -18,7 +18,16 @@ func Deltas(s []float64) []float64 {
 // Compress collapses a time-ordered series to one entry per run of equal
 // consecutive values.
 func Compress(s []float64) []float64 {
-	var out []float64
+	if len(s) == 0 {
+		return nil
+	}
+	runs := 1
+	for i := 1; i < len(s); i++ {
+		if s[i] != s[i-1] {
+			runs++
+		}
+	}
+	out := make([]float64, 0, runs)
 	for i, v := range s {
 		if i == 0 || v != s[i-1] {
 			out = append(out, v)
@@ -43,7 +52,13 @@ func RunLengths(s []float64) []float64 {
 	if len(s) == 0 {
 		return nil
 	}
-	var out []float64
+	runs := 1
+	for i := 1; i < len(s); i++ {
+		if s[i] != s[i-1] {
+			runs++
+		}
+	}
+	out := make([]float64, 0, runs)
 	run := 1.0
 	for i := 1; i < len(s); i++ {
 		if s[i] == s[i-1] {

@@ -31,6 +31,7 @@ import (
 	"vprof/internal/compiler"
 	"vprof/internal/debuginfo"
 	"vprof/internal/lang"
+	"vprof/internal/parallel"
 	"vprof/internal/sampler"
 	"vprof/internal/schema"
 	"vprof/internal/vm"
@@ -274,21 +275,27 @@ func Analyze(prog *Program, sch *Schema, normal, buggy []*Profile, params Params
 
 // Diagnose is the one-call workflow of the paper's Figure 2: profile the
 // program `runs` times under each spec (normal and buggy), analyze, and
-// return the calibrated report.
+// return the calibrated report. Profiling runs and the analysis fan out over
+// params.Workers goroutines (see Params.Workers); the report is identical
+// for every worker count.
 func Diagnose(prog *Program, sch *Schema, normalSpec, buggySpec RunSpec, runs int, params Params) (*Report, error) {
 	if runs <= 0 {
 		runs = 5
 	}
-	var normal, buggy []*Profile
-	for i := 0; i < runs; i++ {
+	type pair struct{ normal, buggy *Profile }
+	pairs := parallel.Map(parallel.Workers(params.Workers), runs, func(i int) pair {
 		n := normalSpec
 		b := buggySpec
 		n.AlarmPhase += int64(7 * i)
 		b.AlarmPhase += int64(7 * i)
 		n.Seed += uint64(i * 1000003)
 		b.Seed += uint64(i * 1000003)
-		normal = append(normal, prog.Profile(n, sch))
-		buggy = append(buggy, prog.Profile(b, sch))
+		return pair{prog.Profile(n, sch), prog.Profile(b, sch)}
+	})
+	var normal, buggy []*Profile
+	for _, pr := range pairs {
+		normal = append(normal, pr.normal)
+		buggy = append(buggy, pr.buggy)
 	}
 	return Analyze(prog, sch, normal, buggy, params)
 }
