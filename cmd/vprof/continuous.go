@@ -10,10 +10,13 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"os"
 	"path/filepath"
 	"strings"
 
 	vprof "vprof"
+	"vprof/internal/obs"
+	"vprof/internal/parallel"
 	"vprof/internal/profilefmt"
 	"vprof/internal/sampler"
 	"vprof/internal/service"
@@ -47,10 +50,29 @@ func cmdServe(args []string) error {
 	analysisWorkers := fs.Int("analysis-workers", 0, "per-diagnosis analysis worker pool (0 = VPROF_WORKERS or GOMAXPROCS, 1 = sequential)")
 	top := fs.Int("top", 10, "default report rows")
 	baselineCap := fs.Int("baseline-cap", 16, "rolling baseline corpus size per workload")
+	logLevel := fs.String("log-level", "info", "log verbosity: debug, info, warn, error")
+	logFormat := fs.String("log-format", "text", "log encoding: text or json")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
-	st, err := store.Open(*storeDir, store.Options{BaselineCap: *baselineCap})
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		return usageError{err}
+	}
+	logger, err := obs.NewLogger(os.Stderr, level, *logFormat)
+	if err != nil {
+		return usageError{err}
+	}
+
+	// One registry spans the whole process: HTTP + diagnose series from the
+	// service, segment/cache series from the store, fan-out series from the
+	// analysis worker pool, self-profiling series from the sampler. All of
+	// it is exposed at GET /metrics.
+	reg := obs.NewRegistry()
+	parallel.Instrument(reg)
+	sampler.Instrument(reg)
+
+	st, err := store.Open(*storeDir, store.Options{BaselineCap: *baselineCap, Metrics: reg})
 	if err != nil {
 		return err
 	}
@@ -62,6 +84,7 @@ func cmdServe(args []string) error {
 	srv, err := service.New(service.Config{
 		Store: st, Resolver: resolver, Workers: *workers,
 		AnalysisWorkers: *analysisWorkers, Top: *top,
+		Metrics: reg, Logger: logger,
 	})
 	if err != nil {
 		return err
@@ -70,6 +93,7 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
+	logger.Info("vprof service listening", "addr", ln.Addr().String(), "store", *storeDir)
 	fmt.Printf("vprof service listening on http://%s (store %s)\n", ln.Addr(), *storeDir)
 	return http.Serve(ln, srv.Handler())
 }

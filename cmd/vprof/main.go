@@ -69,19 +69,34 @@ func run(args []string) int {
 		return 2
 	}
 	if err := cmd(args[1:]); err != nil {
-		var ue usageError
-		if errors.As(err, &ue) {
+		switch exitCode(err) {
+		case 0:
+			return 0
+		case 2:
 			fmt.Fprintf(os.Stderr, "vprof %s: %v\n", args[0], err)
 			usage()
 			return 2
-		}
-		if errors.Is(err, flag.ErrHelp) {
-			return 0
 		}
 		fmt.Fprintf(os.Stderr, "vprof: %v\n", err)
 		return 1
 	}
 	return 0
+}
+
+// exitCode derives the process exit code from the error chain alone — no
+// message matching: 0 for nil or an explicit help request, 2 for
+// command-line mistakes (usageError), 1 for every execution failure. The
+// service client's typed sentinels (service.ErrNotFound and friends) are
+// execution failures: the command line was fine, the server disagreed.
+func exitCode(err error) int {
+	if err == nil || errors.Is(err, flag.ErrHelp) {
+		return 0
+	}
+	var ue usageError
+	if errors.As(err, &ue) {
+		return 2
+	}
+	return 1
 }
 
 // parseFlags parses a subcommand's flag set, classifying parse failures
@@ -108,7 +123,8 @@ func usage() {
   vprof analyze <prog.vp> -normal dir[,dir...] -buggy dir[,dir...] [-top n] [-workers n]
   vprof diagnose <prog.vp> -normal a,b -buggy a,b [-runs n] [-top n] [-funcs f1,f2] [-workers n]
   vprof serve [-addr host:port] [-store dir] [-bugs] [-workers n]
-              [-analysis-workers n] [prog.vp ...]
+              [-analysis-workers n] [-log-level l] [-log-format text|json]
+              [prog.vp ...]
   vprof push <prog.vp> -server url -label normal|candidate [-workload w]
              [-inputs a,b] [-runs n] | push -server url -label l -dir artifacts
   vprof query workloads|diagnose|report|stats -server url [args]

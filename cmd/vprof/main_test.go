@@ -1,7 +1,9 @@
 package main
 
 import (
+	"errors"
 	"flag"
+	"fmt"
 	"io"
 	"net/http/httptest"
 	"os"
@@ -209,15 +211,17 @@ func TestExitCodes(t *testing.T) {
 		args []string
 		want int
 	}{
-		{nil, 2},                                // no subcommand
-		{[]string{"frobnicate"}, 2},             // unknown subcommand
-		{[]string{"run", "-no-such-flag"}, 2},   // unknown flag
-		{[]string{"run"}, 2},                    // missing program file
-		{[]string{"run", "a.vp", "b.vp"}, 2},    // too many program files
-		{[]string{"query"}, 2},                  // missing query subcommand
-		{[]string{"query", "wat"}, 2},           // unknown query subcommand
-		{[]string{"push", "-label", "x"}, 2},    // bad label
-		{[]string{"run", "no-such-file.vp"}, 1}, // execution failure
+		{nil, 2},                                     // no subcommand
+		{[]string{"frobnicate"}, 2},                  // unknown subcommand
+		{[]string{"run", "-no-such-flag"}, 2},        // unknown flag
+		{[]string{"run"}, 2},                         // missing program file
+		{[]string{"run", "a.vp", "b.vp"}, 2},         // too many program files
+		{[]string{"query"}, 2},                       // missing query subcommand
+		{[]string{"query", "wat"}, 2},                // unknown query subcommand
+		{[]string{"push", "-label", "x"}, 2},         // bad label
+		{[]string{"run", "no-such-file.vp"}, 1},      // execution failure
+		{[]string{"serve", "-log-level", "loud"}, 2}, // bad log level
+		{[]string{"serve", "-log-format", "xml"}, 2}, // bad log encoding
 		{[]string{"help"}, 0},
 		{[]string{"--help"}, 0},
 		{[]string{"run", "-h"}, 0}, // flag-level help is not an error
@@ -226,6 +230,31 @@ func TestExitCodes(t *testing.T) {
 		got := captureStderr(t, func() int { return run(tc.args) })
 		if got != tc.want {
 			t.Errorf("run(%q) = %d, want %d", tc.args, got, tc.want)
+		}
+	}
+}
+
+// TestExitCodeClassification pins the 0/1/2 convention: help is success,
+// usage mistakes are 2, and every execution failure — including the typed
+// service sentinels — is 1.
+func TestExitCodeClassification(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"nil", nil, 0},
+		{"flag help", flag.ErrHelp, 0},
+		{"usage", usageError{errors.New("bad flag")}, 2},
+		{"wrapped usage", fmt.Errorf("serve: %w", usageError{errors.New("bad level")}), 2},
+		{"plain failure", errors.New("boom"), 1},
+		{"not found", fmt.Errorf("query: %w", service.ErrNotFound), 1},
+		{"invalid bundle", fmt.Errorf("push: %w", service.ErrInvalidBundle), 1},
+		{"baseline missing", service.ErrBaselineMissing, 1},
+	}
+	for _, tc := range cases {
+		if got := exitCode(tc.err); got != tc.want {
+			t.Errorf("%s: exitCode(%v) = %d, want %d", tc.name, tc.err, got, tc.want)
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package vprof_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -60,6 +61,41 @@ func ExampleProgram_GenerateSchema() {
 	// example.vp, driver, 9, rounds, int, cond|args
 	// example.vp, driver, 12, todo, int, loop|cond|args
 	// example.vp, expensive_worker, 4, n, int, args
+}
+
+// ExampleAnalyzeContext shows the context-first API: profile both
+// executions under a cancellable context, then analyze with an
+// AnalyzeRequest and options. Canceling ctx would stop the profiling runs
+// at the next sampling alarm and drain the analysis workers.
+func ExampleAnalyzeContext() {
+	prog, err := vprof.Compile("example.vp", exampleSource)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sch := prog.GenerateSchema(vprof.SchemaOptions{})
+	ctx := context.Background()
+	normal, err := prog.ProfileContext(ctx, vprof.RunSpec{Inputs: []int64{8, 40}}, sch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	buggy, err := prog.ProfileContext(ctx, vprof.RunSpec{Inputs: []int64{0, 40}}, sch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := vprof.AnalyzeContext(ctx, vprof.AnalyzeRequest{
+		Program: prog,
+		Schema:  sch,
+		Normal:  []*vprof.Profile{normal},
+		Buggy:   []*vprof.Profile{buggy},
+	}, vprof.WithWorkers(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("driver rank:", report.Rank("driver"))
+	fmt.Println("discount:", report.Func("driver").Discount)
+	// Output:
+	// driver rank: 1
+	// discount: 0
 }
 
 // ExampleDiagnose runs the full Figure 2 workflow and reports where the true

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"errors"
 	"sort"
 
@@ -15,13 +16,28 @@ var ErrNoProfiles = errors.New("analysis: need at least one normal and one buggy
 // Analyze runs the complete post-profiling analysis and returns the
 // calibrated function ranking with bug-pattern annotations.
 func Analyze(in Input, p Params) (*Report, error) {
+	return AnalyzeContext(context.Background(), in, p)
+}
+
+// AnalyzeContext is Analyze with cooperative cancellation: every fan-out
+// stage (variable discounter, hist discounter, per-function attribution,
+// classification) checks ctx and drains its workers once it is canceled,
+// returning ctx.Err(). With a never-canceled context the computation — and
+// its output, byte for byte — is identical to Analyze.
+func AnalyzeContext(ctx context.Context, in Input, p Params) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(in.Normal) == 0 || len(in.Buggy) == 0 {
 		return nil, ErrNoProfiles
 	}
 	buggy := in.Buggy[0]
 
 	// Variable-discounter over run 0 of each side.
-	vars := analyzeVariables(p, in)
+	vars, err := analyzeVariables(ctx, p, in)
+	if err != nil {
+		return nil, err
+	}
 	attributed := attributeVariables(vars, buggy, in.Debug)
 
 	// Raw costs from the buggy profile: max of PC-sample cost and
@@ -53,7 +69,10 @@ func Analyze(in Input, p Params) (*Report, error) {
 	// Hist-discounter for functions with no variable verdict.
 	var hist map[string]float64
 	if !p.DisableHistDiscounter {
-		hist = histDiscounter(p, in.Normal, in.Buggy, in.Debug)
+		hist, err = histDiscounter(ctx, p, in.Normal, in.Buggy, in.Debug)
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	// Per-function cost attribution fans out over the worker pool; every
@@ -63,7 +82,7 @@ func Analyze(in Input, p Params) (*Report, error) {
 	// for any worker count.
 	workers := parallel.Workers(p.Workers)
 	report := &Report{Params: p, Variables: vars}
-	report.Funcs = parallel.Map(workers, len(universe), func(i int) FuncReport {
+	report.Funcs, err = parallel.MapCtx(ctx, workers, len(universe), func(i int) FuncReport {
 		fn := universe[i]
 		fr := FuncReport{
 			Name:    fn,
@@ -106,6 +125,9 @@ func Analyze(in Input, p Params) (*Report, error) {
 		fr.Calibrated = fr.RawCost * (1 - fr.Discount)
 		return fr
 	})
+	if err != nil {
+		return nil, err
+	}
 
 	sort.Slice(report.Funcs, func(i, j int) bool {
 		a, b := &report.Funcs[i], &report.Funcs[j]
@@ -125,7 +147,7 @@ func Analyze(in Input, p Params) (*Report, error) {
 	// function (the paper reports them for top-ranked functions; having
 	// them everywhere costs nothing and helps the harness). Rows are
 	// disjoint, so this fans out too.
-	parallel.ForEach(workers, len(report.Funcs), func(i int) {
+	if err := parallel.ForEachCtx(ctx, workers, len(report.Funcs), func(i int) {
 		fr := &report.Funcs[i]
 		var match *VariableReport
 		fr.Pattern, match = classify(p, attributed[fr.Name], fr.TopVariable, fr.Rank == 1)
@@ -133,7 +155,9 @@ func Analyze(in Input, p Params) (*Report, error) {
 			fr.TopVariable = match
 		}
 		fr.Blocks = localizeBlocks(in.Debug, fr)
-	})
+	}); err != nil {
+		return nil, err
+	}
 	return report, nil
 }
 

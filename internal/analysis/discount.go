@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"sort"
 
 	"vprof/internal/debuginfo"
@@ -187,8 +188,9 @@ func abnormalPositions(dim Dimension, normal, buggy []float64) map[int]bool {
 // "func\x00name". Variables are independent, so the per-variable statistics
 // fan out over the worker pool; each index writes only its own report, and
 // the merge below walks the sorted key list, so the result is identical to
-// the sequential computation regardless of the worker count.
-func analyzeVariables(p Params, in Input) map[string]*VariableReport {
+// the sequential computation regardless of the worker count. Cancellation
+// drains the pool and surfaces ctx.Err().
+func analyzeVariables(ctx context.Context, p Params, in Input) (map[string]*VariableReport, error) {
 	normal, buggy := in.Normal[0], in.Buggy[0]
 	keys := map[string]sampler.LayoutEntry{}
 	for _, l := range normal.Layout {
@@ -209,7 +211,7 @@ func analyzeVariables(p Params, in Input) map[string]*VariableReport {
 	nByVar := samplesByVar(normal)
 	bByVar := samplesByVar(buggy)
 
-	reports := parallel.Map(parallel.Workers(p.Workers), len(names), func(i int) *VariableReport {
+	reports, err := parallel.MapCtx(ctx, parallel.Workers(p.Workers), len(names), func(i int) *VariableReport {
 		key := names[i]
 		l := keys[key]
 		nSeries := tickSeries(nByVar[key])
@@ -235,11 +237,14 @@ func analyzeVariables(p Params, in Input) map[string]*VariableReport {
 		}
 		return vr
 	})
+	if err != nil {
+		return nil, err
+	}
 	out := make(map[string]*VariableReport, len(names))
 	for i, key := range names {
 		out[key] = reports[i]
 	}
-	return out
+	return out, nil
 }
 
 // samplesByVar groups a profile's samples by "func\x00name", preserving

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"sort"
 
 	"vprof/internal/debuginfo"
@@ -39,14 +40,20 @@ func isSynthetic(name string) bool {
 // Per-profile rankings and the n×m per-function comparisons are independent,
 // so both fan out over the worker pool; the ratios are exact integer counts,
 // making the result identical for any worker count.
-func histDiscounter(p Params, normal, buggy []*sampler.Profile, info *debuginfo.Info) map[string]float64 {
+func histDiscounter(ctx context.Context, p Params, normal, buggy []*sampler.Profile, info *debuginfo.Info) (map[string]float64, error) {
 	workers := parallel.Workers(p.Workers)
-	normalRanks := parallel.Map(workers, len(normal), func(j int) map[string]int {
+	normalRanks, err := parallel.MapCtx(ctx, workers, len(normal), func(j int) map[string]int {
 		return stats.Ranks(pcCostApp(normal[j], info))
 	})
-	buggyRanks := parallel.Map(workers, len(buggy), func(i int) map[string]int {
+	if err != nil {
+		return nil, err
+	}
+	buggyRanks, err := parallel.MapCtx(ctx, workers, len(buggy), func(i int) map[string]int {
 		return stats.Ranks(pcCostApp(buggy[i], info))
 	})
+	if err != nil {
+		return nil, err
+	}
 
 	funcs := map[string]bool{}
 	for _, r := range normalRanks {
@@ -69,7 +76,7 @@ func histDiscounter(p Params, normal, buggy []*sampler.Profile, info *debuginfo.
 		r  float64
 		ok bool
 	}
-	verdicts := parallel.Map(workers, len(names), func(i int) verdict {
+	verdicts, err := parallel.MapCtx(ctx, workers, len(names), func(i int) verdict {
 		f := names[i]
 		h, c := 0, 0
 		for _, br := range buggyRanks {
@@ -101,6 +108,9 @@ func histDiscounter(p Params, normal, buggy []*sampler.Profile, info *debuginfo.
 		}
 		return verdict{r, true}
 	})
+	if err != nil {
+		return nil, err
+	}
 
 	out := make(map[string]float64, len(names))
 	for i, f := range names {
@@ -108,5 +118,5 @@ func histDiscounter(p Params, normal, buggy []*sampler.Profile, info *debuginfo.
 			out[f] = verdicts[i].r
 		}
 	}
-	return out
+	return out, nil
 }

@@ -1,7 +1,9 @@
 package harness
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"strings"
@@ -9,6 +11,7 @@ import (
 
 	"vprof/internal/analysis"
 	"vprof/internal/bugs"
+	"vprof/internal/obs"
 	"vprof/internal/sampler"
 	"vprof/internal/service"
 	"vprof/internal/store"
@@ -44,8 +47,16 @@ type ReplayRow struct {
 // diagnosis of the candidate set against the stored baseline corpus, a
 // second (memoized) diagnosis, and a byte-for-byte comparison against the
 // offline analysis of the very same profiles.
+//
+// The replay runs with the full observability stack enabled — shared
+// metrics registry across service, store and analysis worker pool — and
+// finishes by asserting /healthz reports ok and /metrics exposes the
+// request-path series. The byte-for-byte render comparison therefore
+// doubles as the proof that instrumentation is free: the observed reports
+// are identical to the uninstrumented offline pipeline's.
 func ReplayContinuous(dir string, workloads []*bugs.Workload) ([]ReplayRow, error) {
-	st, err := store.Open(dir, store.Options{})
+	reg := obs.NewRegistry()
+	st, err := store.Open(dir, store.Options{Metrics: reg})
 	if err != nil {
 		return nil, err
 	}
@@ -55,6 +66,7 @@ func ReplayContinuous(dir string, workloads []*bugs.Workload) ([]ReplayRow, erro
 		Resolver: service.NewBugsResolver(),
 		Workers:  4,
 		Top:      replayTop,
+		Metrics:  reg,
 	})
 	if err != nil {
 		return nil, err
@@ -66,7 +78,8 @@ func ReplayContinuous(dir string, workloads []*bugs.Workload) ([]ReplayRow, erro
 	hs := &http.Server{Handler: srv.Handler()}
 	go hs.Serve(ln)
 	defer hs.Close()
-	client := service.NewClient("http://" + ln.Addr().String())
+	base := "http://" + ln.Addr().String()
+	client := service.NewClient(base)
 
 	var rows []ReplayRow
 	for _, w := range workloads {
@@ -76,7 +89,58 @@ func ReplayContinuous(dir string, workloads []*bugs.Workload) ([]ReplayRow, erro
 		}
 		rows = append(rows, row)
 	}
+	if err := checkObservability(base); err != nil {
+		return rows, err
+	}
 	return rows, nil
+}
+
+// checkObservability asserts the replayed service's operational endpoints:
+// /healthz must report ok (store writable, baselines loaded) and /metrics
+// must expose the HTTP, store, diagnose and worker-pool series.
+func checkObservability(base string) error {
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		return err
+	}
+	var h service.Health
+	err = json.NewDecoder(resp.Body).Decode(&h)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("healthz: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK || h.Status != "ok" {
+		return fmt.Errorf("healthz after replay: HTTP %d, status %q, checks %v",
+			resp.StatusCode, h.Status, h.Checks)
+	}
+
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	exposition := string(body)
+	for _, series := range []string{
+		"vprof_http_requests_total",
+		"vprof_http_request_duration_seconds",
+		"vprof_http_requests_in_flight",
+		"vprof_store_segments_written_total",
+		"vprof_store_ingest_bytes_total",
+		"vprof_store_decode_cache_hits_total",
+		"vprof_diagnose_duration_seconds",
+		"vprof_diagnose_requests_total",
+		"vprof_diagnose_memo_hits_total",
+		"vprof_pool_slots",
+	} {
+		if !strings.Contains(exposition, series) {
+			return fmt.Errorf("metrics exposition missing %s after replay", series)
+		}
+	}
+	return nil
 }
 
 func replayWorkload(client *service.Client, w *bugs.Workload) (ReplayRow, error) {

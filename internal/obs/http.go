@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// HTTPMetrics instruments HTTP handlers: a per-route latency histogram, an
+// in-flight gauge, and a requests counter partitioned by route and status
+// class. A nil *HTTPMetrics passes handlers through untouched.
+type HTTPMetrics struct {
+	requests *CounterVec   // route, code class ("2xx", ...)
+	duration *HistogramVec // route
+	inflight *Gauge
+}
+
+// NewHTTPMetrics registers the HTTP metric families on reg under the given
+// namespace prefix (e.g. "vprof" → vprof_http_requests_total).
+func NewHTTPMetrics(reg *Registry, namespace string) *HTTPMetrics {
+	if reg == nil {
+		return nil
+	}
+	if namespace != "" {
+		namespace += "_"
+	}
+	return &HTTPMetrics{
+		requests: reg.CounterVec(namespace+"http_requests_total",
+			"HTTP requests served, by route and status class.", "route", "code"),
+		duration: reg.HistogramVec(namespace+"http_request_duration_seconds",
+			"HTTP request latency in seconds, by route.", DefBuckets, "route"),
+		inflight: reg.Gauge(namespace+"http_requests_in_flight",
+			"HTTP requests currently being served."),
+	}
+}
+
+// statusRecorder captures the status code written by the wrapped handler.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+// Wrap instruments next under the given route label.
+func (m *HTTPMetrics) Wrap(route string, next http.Handler) http.Handler {
+	if m == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		m.inflight.Inc()
+		rec := &statusRecorder{ResponseWriter: w}
+		defer func() {
+			m.inflight.Dec()
+			m.duration.With(route).Observe(time.Since(start).Seconds())
+			status := rec.status
+			if status == 0 {
+				status = http.StatusOK
+			}
+			m.requests.With(route, strconv.Itoa(status/100)+"xx").Inc()
+		}()
+		next.ServeHTTP(rec, r)
+	})
+}

@@ -1,0 +1,244 @@
+package obs
+
+import (
+	"bytes"
+	"log/slog"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total", "requests")
+	c.Inc()
+	c.Add(2.5)
+	c.Add(-1) // dropped: counters are monotonic
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter = %v, want 3.5", got)
+	}
+	g := r.Gauge("depth", "queue depth")
+	g.Set(10)
+	g.Dec()
+	g.Add(-2)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %v, want 7", got)
+	}
+}
+
+func TestRegistryIdempotentAndMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "x")
+	b := r.Counter("x_total", "x")
+	if a != b {
+		t.Fatal("re-registering the same counter returned a different metric")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering x_total as a gauge did not panic")
+		}
+	}()
+	r.Gauge("x_total", "x")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "latency", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 5, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if want := 0.05 + 0.1 + 0.5 + 5 + 100; math.Abs(h.Sum()-want) > 1e-9 {
+		t.Fatalf("sum = %v, want %v", h.Sum(), want)
+	}
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	out := buf.String()
+	// 0.05 and 0.1 land in le=0.1 (upper bounds are inclusive), cumulative
+	// counts follow.
+	for _, line := range []string{
+		`lat_bucket{le="0.1"} 2`,
+		`lat_bucket{le="1"} 3`,
+		`lat_bucket{le="10"} 4`,
+		`lat_bucket{le="+Inf"} 5`,
+		`lat_count 5`,
+	} {
+		if !strings.Contains(out, line) {
+			t.Errorf("exposition missing %q:\n%s", line, out)
+		}
+	}
+}
+
+func TestWritePrometheusDeterministicAndEscaped(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("b_total", "b", "route").With(`p"q\r` + "\n").Inc()
+	r.Counter("a_total", "a").Inc()
+	r.GaugeVec("c", "c", "k").With("z").Set(1)
+	r.GaugeVec("c", "c", "k").With("a").Set(2)
+
+	var first bytes.Buffer
+	r.WritePrometheus(&first)
+	for i := 0; i < 3; i++ {
+		var again bytes.Buffer
+		r.WritePrometheus(&again)
+		if first.String() != again.String() {
+			t.Fatalf("exposition not deterministic:\n%s\nvs\n%s", first.String(), again.String())
+		}
+	}
+	out := first.String()
+	if !strings.Contains(out, `b_total{route="p\"q\\r\n"} 1`) {
+		t.Errorf("label escaping wrong:\n%s", out)
+	}
+	// Families sorted by name, series by label value.
+	ai := strings.Index(out, "a_total 1")
+	bi := strings.Index(out, "b_total{")
+	ca := strings.Index(out, `c{k="a"} 2`)
+	cz := strings.Index(out, `c{k="z"} 1`)
+	if ai < 0 || bi < 0 || ca < 0 || cz < 0 || !(ai < bi && bi < ca && ca < cz) {
+		t.Errorf("ordering wrong (a=%d b=%d ca=%d cz=%d):\n%s", ai, bi, ca, cz, out)
+	}
+}
+
+func TestNilRegistryAndMetricsAreSafe(t *testing.T) {
+	var r *Registry
+	r.Counter("x", "x").Inc()
+	r.Gauge("y", "y").Set(3)
+	r.Histogram("z", "z", DefBuckets).Observe(1)
+	r.CounterVec("cv", "cv", "l").With("v").Add(1)
+	r.GaugeVec("gv", "gv", "l").With("v").Dec()
+	r.HistogramVec("hv", "hv", DefBuckets, "l").With("v").Observe(1)
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	if buf.Len() != 0 {
+		t.Fatalf("nil registry wrote output: %q", buf.String())
+	}
+	var m *HTTPMetrics
+	h := m.Wrap("/x", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	if h == nil {
+		t.Fatal("nil HTTPMetrics.Wrap returned nil handler")
+	}
+}
+
+func TestConcurrentMetricUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n_total", "n")
+	h := r.Histogram("d", "d", []float64{1, 2})
+	v := r.CounterVec("l_total", "l", "k")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(float64(i % 3))
+				v.With("ab"[g%2 : g%2+1]).Inc()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %v, want 8000", c.Value())
+	}
+	if h.Count() != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", h.Count())
+	}
+	if got := v.With("a").Value() + v.With("b").Value(); got != 8000 {
+		t.Fatalf("vec sum = %v, want 8000", got)
+	}
+}
+
+func TestHandlerServesExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("served_total", "served").Add(4)
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	if !strings.Contains(buf.String(), "served_total 4") {
+		t.Errorf("body missing series:\n%s", buf.String())
+	}
+}
+
+func TestHTTPMetricsMiddleware(t *testing.T) {
+	reg := NewRegistry()
+	m := NewHTTPMetrics(reg, "t")
+	h := m.Wrap("/v1/x", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("fail") != "" {
+			http.Error(w, "nope", http.StatusBadRequest)
+			return
+		}
+		w.Write([]byte("ok")) // implicit 200
+	}))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	resp, err := http.Get(srv.URL + "?fail=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	if got := m.requests.With("/v1/x", "2xx").Value(); got != 3 {
+		t.Errorf("2xx = %v, want 3", got)
+	}
+	if got := m.requests.With("/v1/x", "4xx").Value(); got != 1 {
+		t.Errorf("4xx = %v, want 1", got)
+	}
+	if got := m.duration.With("/v1/x").Count(); got != 4 {
+		t.Errorf("duration count = %d, want 4", got)
+	}
+	if got := m.inflight.Value(); got != 0 {
+		t.Errorf("in-flight after completion = %v, want 0", got)
+	}
+}
+
+func TestParseLevelAndLoggerFormats(t *testing.T) {
+	for in, want := range map[string]slog.Level{
+		"debug": slog.LevelDebug, "info": slog.LevelInfo,
+		"WARN": slog.LevelWarn, "error": slog.LevelError, "": slog.LevelInfo,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel(loud) succeeded")
+	}
+
+	var buf bytes.Buffer
+	lg, err := NewLogger(&buf, slog.LevelWarn, "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("hidden")
+	lg.Warn("shown", "k", "v")
+	out := buf.String()
+	if strings.Contains(out, "hidden") || !strings.Contains(out, `"msg":"shown"`) {
+		t.Errorf("json logger output wrong: %q", out)
+	}
+	if _, err := NewLogger(&buf, slog.LevelInfo, "yaml"); err == nil {
+		t.Error("NewLogger(yaml) succeeded")
+	}
+	Nop().Error("dropped") // must not panic or write anywhere visible
+}

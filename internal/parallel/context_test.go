@@ -1,0 +1,126 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"vprof/internal/obs"
+)
+
+func TestForEachCtxNilAndBackgroundMatchForEach(t *testing.T) {
+	for _, ctx := range []context.Context{nil, context.Background()} {
+		var ran atomic.Int64
+		if err := ForEachCtx(ctx, 4, 100, func(i int) { ran.Add(1) }); err != nil {
+			t.Fatalf("ctx=%v: err = %v", ctx, err)
+		}
+		if ran.Load() != 100 {
+			t.Fatalf("ctx=%v: ran %d of 100", ctx, ran.Load())
+		}
+	}
+}
+
+func TestForEachCtxPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	err := ForEachCtx(ctx, 4, 10, func(i int) { ran = true })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Fatal("fn ran despite pre-canceled context")
+	}
+}
+
+// TestForEachCtxCancelDrainsInFlight cancels mid-run and checks that (a) the
+// in-flight tasks finish rather than being abandoned, (b) no new index is
+// claimed afterwards, and (c) ctx.Err() is surfaced. Run under -race this
+// also proves the drain path has no data races.
+func TestForEachCtxCancelDrainsInFlight(t *testing.T) {
+	const workers, n = 4, 64
+	ctx, cancel := context.WithCancel(context.Background())
+	release := make(chan struct{})
+	var started, finished atomic.Int64
+	var once sync.Once
+	err := ForEachCtx(ctx, workers, n, func(i int) {
+		started.Add(1)
+		// The first wave of tasks blocks until the test cancels; every task
+		// that starts must still run to completion (drain, not abandon).
+		once.Do(func() {
+			cancel()
+			close(release)
+		})
+		<-release
+		finished.Add(1)
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if started.Load() != finished.Load() {
+		t.Fatalf("started %d but finished %d: in-flight tasks were abandoned", started.Load(), finished.Load())
+	}
+	if started.Load() >= n {
+		t.Fatalf("all %d tasks ran despite cancellation", n)
+	}
+}
+
+func TestMapCtxCompletesWithoutCancel(t *testing.T) {
+	got, err := MapCtx(context.Background(), 3, 5, func(i int) int { return i * i })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("got[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapErrCtxCancellationBeatsIndexError(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	boom := errors.New("boom")
+	_, err := MapErrCtx(ctx, 1, 10, func(i int) (int, error) {
+		if i == 0 {
+			cancel()
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled to take precedence", err)
+	}
+
+	// Without cancellation the lowest-index error still wins.
+	_, err = MapErrCtx(context.Background(), 4, 10, func(i int) (int, error) {
+		if i%3 == 1 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+func TestInstrumentCountsTasks(t *testing.T) {
+	reg := obs.NewRegistry()
+	Instrument(reg)
+	defer Instrument(nil)
+	ForEach(4, 50, func(i int) {})
+	ForEach(1, 10, func(i int) {})
+	if err := ForEachCtx(context.Background(), 2, 5, func(i int) {}); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("vprof_parallel_tasks_total", "").Value(); got != 65 {
+		t.Fatalf("tasks_total = %v, want 65", got)
+	}
+	if got := reg.Gauge("vprof_parallel_queue_depth", "").Value(); got != 0 {
+		t.Fatalf("queue_depth after drain = %v, want 0", got)
+	}
+	if got := reg.Gauge("vprof_parallel_active_workers", "").Value(); got != 0 {
+		t.Fatalf("active_workers after drain = %v, want 0", got)
+	}
+}

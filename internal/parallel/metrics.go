@@ -1,0 +1,42 @@
+package parallel
+
+import (
+	"sync/atomic"
+
+	"vprof/internal/obs"
+)
+
+// metrics holds the pool's instrumentation handles. The fields are nil-safe
+// obs metrics, so the uninstrumented default (all nil) costs one pointer
+// load plus nil-receiver no-ops per task.
+type metrics struct {
+	tasks   *obs.Counter // tasks completed across all fan-outs
+	active  *obs.Gauge   // tasks currently executing (pool utilization)
+	pending *obs.Gauge   // tasks admitted but not yet finished (queue depth)
+}
+
+// poolMetrics is swapped atomically so Instrument is safe to call while
+// fan-outs are running (e.g. from tests).
+var poolMetrics = func() *atomic.Pointer[metrics] {
+	p := new(atomic.Pointer[metrics])
+	p.Store(&metrics{})
+	return p
+}()
+
+// Instrument registers the worker-pool metric families on reg and routes all
+// subsequent fan-outs through them. Passing a nil registry restores the
+// uninstrumented default.
+func Instrument(reg *obs.Registry) {
+	if reg == nil {
+		poolMetrics.Store(&metrics{})
+		return
+	}
+	poolMetrics.Store(&metrics{
+		tasks: reg.Counter("vprof_parallel_tasks_total",
+			"Fan-out tasks completed by the analysis worker pool."),
+		active: reg.Gauge("vprof_parallel_active_workers",
+			"Fan-out tasks currently executing."),
+		pending: reg.Gauge("vprof_parallel_queue_depth",
+			"Fan-out tasks admitted but not yet finished."),
+	})
+}

@@ -60,9 +60,15 @@ func ForEach(workers, n int, fn func(i int)) {
 	if workers > n {
 		workers = n
 	}
+	m := poolMetrics.Load()
+	m.pending.Add(float64(n))
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			m.active.Inc()
 			fn(i)
+			m.active.Dec()
+			m.tasks.Inc()
+			m.pending.Dec()
 		}
 		return
 	}
@@ -79,7 +85,11 @@ func ForEach(workers, n int, fn func(i int)) {
 				if i >= n {
 					return
 				}
+				m.active.Inc()
 				runOne(i, fn, panics, &panicked)
+				m.active.Dec()
+				m.tasks.Inc()
+				m.pending.Dec()
 			}
 		}()
 	}

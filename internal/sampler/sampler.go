@@ -225,10 +225,18 @@ func (p *Profiler) OnWallAlarm(m *vm.VM, blocked bool) {
 
 func (p *Profiler) record(m *vm.VM, tick int64) {
 	p.numAlarms++
+	sm := samplerMetrics.Load()
+	sm.alarms.Inc()
 	pc := m.PC()
 	if pc >= 0 && pc < len(p.hist) {
 		p.hist[pc]++
 	}
+	before := len(p.samples)
+	unwound := 0
+	defer func() {
+		sm.valueSamples.Add(float64(len(p.samples) - before))
+		sm.unwindDepth.Observe(float64(unwound))
+	}()
 	p.sampleAt(m, pc, 0, 0, tick)
 	if p.opts.UnwindDepth < 0 {
 		return
@@ -244,6 +252,7 @@ func (p *Profiler) record(m *vm.VM, tick int64) {
 		// The caller PC is the call-instruction PC recorded in the
 		// callee frame; registers are restored from the caller frame.
 		p.sampleAt(m, below.RetPC, d, d, tick)
+		unwound = d
 	}
 }
 

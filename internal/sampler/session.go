@@ -1,6 +1,7 @@
 package sampler
 
 import (
+	"context"
 	"time"
 
 	"vprof/internal/compiler"
@@ -36,6 +37,21 @@ func (r *RunResult) TotalTicks() int64 {
 // are overridden. An AlarmPhase in baseCfg is honored, letting repeated runs
 // sample at different phases.
 func ProfileRun(prog *compiler.Program, metadata []debuginfo.VarLoc, baseCfg vm.Config, opts Options) *RunResult {
+	res, _ := ProfileRunContext(context.Background(), prog, metadata, baseCfg, opts)
+	return res
+}
+
+// ProfileRunContext is ProfileRun with cooperative cancellation: the context
+// is checked at every profiling alarm (cancellation granularity is one alarm
+// interval) and the VM is interrupted once it is canceled. On cancellation
+// the partial result is returned alongside ctx.Err(). A context that can
+// never be canceled adds no per-alarm work, so ProfileRun stays byte-for-byte
+// identical to its pre-context behavior.
+func ProfileRunContext(ctx context.Context, prog *compiler.Program, metadata []debuginfo.VarLoc, baseCfg vm.Config, opts Options) (*RunResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	done := ctx.Done()
 	start := time.Now()
 	profilers := map[int]*Profiler{}
 	interval := opts.Interval
@@ -49,9 +65,31 @@ func ProfileRun(prog *compiler.Program, metadata []debuginfo.VarLoc, baseCfg vm.
 		if opts.OffCPU {
 			cfg.WallAlarmInterval = interval
 			cfg.OnWallAlarm = p.OnWallAlarm
+			if done != nil {
+				inner := cfg.OnWallAlarm
+				cfg.OnWallAlarm = func(m *vm.VM, blocked bool) {
+					select {
+					case <-done:
+						m.Interrupt(ctx.Err())
+					default:
+					}
+					inner(m, blocked)
+				}
+			}
 		} else {
 			cfg.AlarmInterval = interval
 			cfg.OnAlarm = p.OnAlarm
+			if done != nil {
+				inner := cfg.OnAlarm
+				cfg.OnAlarm = func(m *vm.VM) {
+					select {
+					case <-done:
+						m.Interrupt(ctx.Err())
+					default:
+					}
+					inner(m)
+				}
+			}
 		}
 		return cfg
 	})
@@ -60,7 +98,7 @@ func ProfileRun(prog *compiler.Program, metadata []debuginfo.VarLoc, baseCfg vm.
 		res.Profiles = append(res.Profiles, profilers[proc.Pid].Finish(proc.Pid, proc.VM.Ticks()))
 	}
 	res.WallTime = time.Since(start)
-	return res
+	return res, ctx.Err()
 }
 
 // Run executes prog without any profiler attached (the "w/o profiling"

@@ -3,6 +3,7 @@ package service
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -12,6 +13,42 @@ import (
 	"vprof/internal/sampler"
 	"vprof/internal/store"
 )
+
+// Typed sentinel errors mapped from the service's error responses. Callers
+// branch with errors.Is instead of matching message strings; the full server
+// message (and HTTP status) stays available via Error().
+var (
+	// ErrNotFound: unknown workload, candidate run, or report id.
+	ErrNotFound = errors.New("service: not found")
+	// ErrInvalidBundle: the uploaded profile bundle failed validation
+	// (malformed encoding or oversized).
+	ErrInvalidBundle = errors.New("service: invalid profile bundle")
+	// ErrBaselineMissing: the workload has no baseline corpus to diagnose
+	// against.
+	ErrBaselineMissing = errors.New("service: baseline corpus missing")
+)
+
+// sentinelFor maps an error-body code (primary) or HTTP status (fallback,
+// for older servers that send no code) to a sentinel.
+func sentinelFor(code string, status int) error {
+	switch code {
+	case CodeNotFound:
+		return ErrNotFound
+	case CodeInvalidBundle:
+		return ErrInvalidBundle
+	case CodeBaselineMissing:
+		return ErrBaselineMissing
+	}
+	if code == "" {
+		switch status {
+		case http.StatusNotFound:
+			return ErrNotFound
+		case http.StatusRequestEntityTooLarge:
+			return ErrInvalidBundle
+		}
+	}
+	return nil
+}
 
 // Client talks to a running vprof service (vprof push / vprof query, and
 // the end-to-end harness).
@@ -32,17 +69,26 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
-// apiError decodes the service's {"error": ...} body.
+// apiError decodes the service's {"error", "code"} body into an error that
+// wraps the matching sentinel (when one applies), so errors.Is works while
+// the server's message is preserved.
 func apiError(resp *http.Response) error {
 	defer resp.Body.Close()
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
 	var e struct {
 		Error string `json:"error"`
+		Code  string `json:"code"`
 	}
+	var err error
 	if json.Unmarshal(body, &e) == nil && e.Error != "" {
-		return fmt.Errorf("service: %s (HTTP %d)", e.Error, resp.StatusCode)
+		err = fmt.Errorf("service: %s (HTTP %d)", e.Error, resp.StatusCode)
+	} else {
+		err = fmt.Errorf("service: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(body))
 	}
-	return fmt.Errorf("service: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+	if sentinel := sentinelFor(e.Code, resp.StatusCode); sentinel != nil {
+		return fmt.Errorf("%w: %w", sentinel, err)
+	}
+	return err
 }
 
 func (c *Client) getJSON(path string, out any) error {

@@ -21,17 +21,22 @@
 package service
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"vprof/internal/analysis"
+	"vprof/internal/obs"
 	"vprof/internal/sampler"
 	"vprof/internal/store"
 )
@@ -55,6 +60,84 @@ type Config struct {
 	Params *analysis.Params
 	// Top is the default row count of rendered reports (default 10).
 	Top int
+	// Metrics receives the service's instrumentation and backs GET
+	// /metrics. Nil allocates a private registry, so /metrics always
+	// works; pass a shared registry to combine with store/sampler/pool
+	// series.
+	Metrics *obs.Registry
+	// Logger receives structured request/diagnosis logs (nil = discard).
+	Logger *slog.Logger
+}
+
+// Machine-readable error codes carried in the JSON error body alongside the
+// message; the client maps them to typed sentinel errors.
+const (
+	CodeBadRequest      = "bad_request"
+	CodeInvalidBundle   = "invalid_bundle"
+	CodeNotFound        = "not_found"
+	CodeBaselineMissing = "baseline_missing"
+	CodeNoCandidates    = "no_candidates"
+	CodeAnalysisFailed  = "analysis_failed"
+	CodeCanceled        = "canceled"
+	CodeInternal        = "internal"
+)
+
+// StatusClientClosedRequest reports a diagnosis aborted because its client
+// disconnected (nginx's non-standard 499; never actually written to the
+// closed connection, but visible in Diagnose's status return and metrics).
+const StatusClientClosedRequest = 499
+
+// codedError pairs an error with its machine-readable code so HTTP handlers
+// can emit both without string matching.
+type codedError struct {
+	code string
+	err  error
+}
+
+func (e *codedError) Error() string { return e.err.Error() }
+func (e *codedError) Unwrap() error { return e.err }
+
+func withCode(code string, err error) error {
+	return &codedError{code: code, err: err}
+}
+
+// errCode extracts the machine-readable code (CodeInternal when untyped).
+func errCode(err error) string {
+	var ce *codedError
+	if errors.As(err, &ce) {
+		return ce.code
+	}
+	return CodeInternal
+}
+
+// serviceMetrics holds the request-path instrumentation handles (all
+// nil-safe obs metrics).
+type serviceMetrics struct {
+	http        *obs.HTTPMetrics
+	duration    *obs.Histogram // diagnose wall time, computed only
+	diagnoses   *obs.CounterVec
+	memoHits    *obs.Counter
+	poolSlots   *obs.Gauge
+	poolInUse   *obs.Gauge
+	poolWaiting *obs.Gauge
+}
+
+func newServiceMetrics(reg *obs.Registry) serviceMetrics {
+	return serviceMetrics{
+		http: obs.NewHTTPMetrics(reg, "vprof"),
+		duration: reg.Histogram("vprof_diagnose_duration_seconds",
+			"Wall time of computed (non-memoized) diagnoses.", obs.DefBuckets),
+		diagnoses: reg.CounterVec("vprof_diagnose_requests_total",
+			"Diagnose requests, by outcome.", "outcome"),
+		memoHits: reg.Counter("vprof_diagnose_memo_hits_total",
+			"Diagnose requests served from the memo cache."),
+		poolSlots: reg.Gauge("vprof_pool_slots",
+			"Capacity of the ingest/diagnose worker pool."),
+		poolInUse: reg.Gauge("vprof_pool_in_use",
+			"Worker-pool slots currently held."),
+		poolWaiting: reg.Gauge("vprof_pool_queue_depth",
+			"Requests blocked waiting for a worker-pool slot."),
+	}
 }
 
 // Server implements the HTTP API. Create with New.
@@ -64,6 +147,9 @@ type Server struct {
 	params   analysis.Params
 	top      int
 	sem      chan struct{}
+	reg      *obs.Registry
+	m        serviceMetrics
+	log      *slog.Logger
 
 	mu       sync.Mutex
 	memo     map[string]*DiagnoseResponse // memo key → result
@@ -100,33 +186,67 @@ func New(cfg Config) (*Server, error) {
 	if cfg.AnalysisWorkers != 0 {
 		params.Workers = cfg.AnalysisWorkers
 	}
-	return &Server{
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = obs.Nop()
+	}
+	s := &Server{
 		store:    cfg.Store,
 		resolver: cfg.Resolver,
 		params:   params,
 		top:      top,
 		sem:      make(chan struct{}, workers),
+		reg:      reg,
+		m:        newServiceMetrics(reg),
+		log:      logger,
 		memo:     map[string]*DiagnoseResponse{},
 		reports:  map[string]*DiagnoseResponse{},
 		inflight: map[string]chan struct{}{},
-	}, nil
+	}
+	s.m.poolSlots.Set(float64(workers))
+	return s, nil
 }
 
-// Handler returns the routed HTTP handler.
+// Metrics returns the server's registry (the one behind GET /metrics).
+func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+// Handler returns the routed HTTP handler. Every /v1 route is wrapped in
+// the HTTP metrics middleware; /metrics and /healthz are left bare so
+// scraping does not perturb the request-path series.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/profiles", s.handleIngest)
-	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
-	mux.HandleFunc("POST /v1/diagnose", s.handleDiagnose)
-	mux.HandleFunc("GET /v1/report/{id}", s.handleReport)
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	route := func(pattern, label string, h http.HandlerFunc) {
+		mux.Handle(pattern, s.m.http.Wrap(label, h))
+	}
+	route("POST /v1/profiles", "/v1/profiles", s.handleIngest)
+	route("GET /v1/workloads", "/v1/workloads", s.handleWorkloads)
+	route("POST /v1/diagnose", "/v1/diagnose", s.handleDiagnose)
+	route("GET /v1/report/{id}", "/v1/report", s.handleReport)
+	route("GET /v1/stats", "/v1/stats", s.handleStats)
+	mux.Handle("GET /metrics", s.reg.Handler())
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
 }
 
-// acquire blocks until a worker slot is free; the returned func releases it.
-func (s *Server) acquire() func() {
-	s.sem <- struct{}{}
-	return func() { <-s.sem }
+// acquireCtx blocks until a worker slot is free or ctx is canceled; the
+// returned func releases the slot.
+func (s *Server) acquireCtx(ctx context.Context) (func(), error) {
+	s.m.poolWaiting.Inc()
+	defer s.m.poolWaiting.Dec()
+	select {
+	case s.sem <- struct{}{}:
+		s.m.poolInUse.Inc()
+		return func() {
+			s.m.poolInUse.Dec()
+			<-s.sem
+		}, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -137,8 +257,15 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.Encode(v)
 }
 
-func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+// errBody is the JSON error envelope: a human-readable message plus a
+// machine-readable code.
+type errBody struct {
+	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
+}
+
+func writeErr(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, errBody{Error: fmt.Sprintf(format, args...), Code: code})
 }
 
 // PushResult is the ingestion response.
@@ -157,31 +284,40 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	label, err := store.ParseLabel(q.Get("label"))
 	if err != nil {
 		s.rejected.Add(1)
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
 		return
 	}
 	if workload == "" || run == "" {
 		s.rejected.Add(1)
-		writeErr(w, http.StatusBadRequest, "workload and run query parameters are required")
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, "workload and run query parameters are required")
 		return
 	}
 	blob, err := io.ReadAll(io.LimitReader(r.Body, MaxUploadBytes+1))
 	if err != nil {
 		s.rejected.Add(1)
-		writeErr(w, http.StatusBadRequest, "read body: %v", err)
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, "read body: %v", err)
 		return
 	}
 	if len(blob) > MaxUploadBytes {
 		s.rejected.Add(1)
-		writeErr(w, http.StatusRequestEntityTooLarge, "profile exceeds %d bytes", MaxUploadBytes)
+		writeErr(w, http.StatusRequestEntityTooLarge, CodeInvalidBundle, "profile exceeds %d bytes", MaxUploadBytes)
 		return
 	}
-	release := s.acquire()
+	release, err := s.acquireCtx(r.Context())
+	if err != nil {
+		writeErr(w, StatusClientClosedRequest, CodeCanceled, "%v", err)
+		return
+	}
 	entry, dup, err := s.store.PutBlob(workload, label, run, blob)
 	release()
 	if err != nil {
 		s.rejected.Add(1)
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		code := CodeBadRequest
+		if errors.Is(err, store.ErrInvalidProfile) {
+			code = CodeInvalidBundle
+		}
+		s.log.Warn("ingest rejected", "workload", workload, "run", run, "err", err)
+		writeErr(w, http.StatusBadRequest, code, "%v", err)
 		return
 	}
 	if dup {
@@ -189,6 +325,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	} else {
 		s.ingested.Add(1)
 	}
+	s.log.Debug("ingest", "workload", workload, "label", label, "run", run, "bytes", len(blob), "dup", dup)
 	writeJSON(w, http.StatusOK, PushResult{
 		ID: entry.ID, Workload: entry.Workload, Label: string(entry.Label), Run: entry.Run, Dup: dup,
 	})
@@ -237,12 +374,14 @@ type DiagnoseResponse struct {
 func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 	var req DiagnoseRequest
 	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, "decode request: %v", err)
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, "decode request: %v", err)
 		return
 	}
-	resp, status, err := s.Diagnose(req)
+	// r.Context() ends when the client disconnects, so an abandoned
+	// request aborts its analysis fan-out and releases its pool slot.
+	resp, status, err := s.DiagnoseContext(r.Context(), req)
 	if err != nil {
-		writeErr(w, status, "%v", err)
+		writeErr(w, status, errCode(err), "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -251,8 +390,19 @@ func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 // Diagnose runs (or recalls) one differential diagnosis. Exported so the
 // CLI and harness can drive it without HTTP plumbing in tests.
 func (s *Server) Diagnose(req DiagnoseRequest) (*DiagnoseResponse, int, error) {
+	return s.DiagnoseContext(context.Background(), req)
+}
+
+// DiagnoseContext is Diagnose with cooperative cancellation: the context
+// gates the worker-pool slot wait, the in-flight dedup wait, and the
+// analysis fan-out itself. A canceled diagnosis reports
+// StatusClientClosedRequest and is not memoized.
+func (s *Server) DiagnoseContext(ctx context.Context, req DiagnoseRequest) (*DiagnoseResponse, int, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if req.Workload == "" {
-		return nil, http.StatusBadRequest, fmt.Errorf("workload is required")
+		return nil, http.StatusBadRequest, withCode(CodeBadRequest, fmt.Errorf("workload is required"))
 	}
 	top := req.Top
 	if top <= 0 {
@@ -260,7 +410,8 @@ func (s *Server) Diagnose(req DiagnoseRequest) (*DiagnoseResponse, int, error) {
 	}
 	baselines := s.store.Baselines(req.Workload)
 	if len(baselines) == 0 {
-		return nil, http.StatusConflict, fmt.Errorf("workload %q has no baseline runs", req.Workload)
+		s.m.diagnoses.With("error").Inc()
+		return nil, http.StatusConflict, withCode(CodeBaselineMissing, fmt.Errorf("workload %q has no baseline runs", req.Workload))
 	}
 	var candidates []*store.Entry
 	if len(req.Candidates) == 0 {
@@ -269,13 +420,15 @@ func (s *Server) Diagnose(req DiagnoseRequest) (*DiagnoseResponse, int, error) {
 		for _, run := range req.Candidates {
 			e, ok := s.store.Lookup(req.Workload, store.LabelCandidate, run)
 			if !ok {
-				return nil, http.StatusNotFound, fmt.Errorf("workload %q has no candidate run %q", req.Workload, run)
+				s.m.diagnoses.With("error").Inc()
+				return nil, http.StatusNotFound, withCode(CodeNotFound, fmt.Errorf("workload %q has no candidate run %q", req.Workload, run))
 			}
 			candidates = append(candidates, e)
 		}
 	}
 	if len(candidates) == 0 {
-		return nil, http.StatusConflict, fmt.Errorf("workload %q has no candidate runs", req.Workload)
+		s.m.diagnoses.With("error").Inc()
+		return nil, http.StatusConflict, withCode(CodeNoCandidates, fmt.Errorf("workload %q has no candidate runs", req.Workload))
 	}
 
 	key := memoKey(req.Workload, top, baselines, candidates)
@@ -286,6 +439,8 @@ func (s *Server) Diagnose(req DiagnoseRequest) (*DiagnoseResponse, int, error) {
 		if resp, ok := s.memo[key]; ok {
 			s.mu.Unlock()
 			s.memoHits.Add(1)
+			s.m.memoHits.Inc()
+			s.m.diagnoses.With("cached").Inc()
 			return s.cachedCopy(resp), http.StatusOK, nil
 		}
 		ch, busy := s.inflight[key]
@@ -296,9 +451,15 @@ func (s *Server) Diagnose(req DiagnoseRequest) (*DiagnoseResponse, int, error) {
 			break
 		}
 		s.mu.Unlock()
-		<-ch
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			s.m.diagnoses.With("canceled").Inc()
+			return nil, StatusClientClosedRequest, withCode(CodeCanceled, ctx.Err())
+		}
 	}
-	resp, status, err := s.compute(req.Workload, top, key, baselines, candidates)
+	start := time.Now()
+	resp, status, err := s.compute(ctx, req.Workload, top, key, baselines, candidates)
 	s.mu.Lock()
 	if err == nil {
 		s.memo[key] = resp
@@ -309,9 +470,20 @@ func (s *Server) Diagnose(req DiagnoseRequest) (*DiagnoseResponse, int, error) {
 	s.mu.Unlock()
 	close(ch)
 	if err != nil {
+		outcome := "error"
+		if errCode(err) == CodeCanceled {
+			outcome = "canceled"
+		}
+		s.m.diagnoses.With(outcome).Inc()
+		s.log.Warn("diagnose failed", "workload", req.Workload, "status", status, "err", err)
 		return nil, status, err
 	}
 	s.diagnoses.Add(1)
+	s.m.diagnoses.With("computed").Inc()
+	s.m.duration.Observe(time.Since(start).Seconds())
+	s.log.Info("diagnose computed", "workload", req.Workload, "report", resp.ReportID,
+		"baselines", len(resp.Baselines), "candidates", len(resp.Candidates),
+		"duration", time.Since(start))
 	out := *resp
 	out.MemoHits = s.memoHits.Load()
 	return &out, http.StatusOK, nil
@@ -339,13 +511,19 @@ func memoKey(workload string, top int, baselines, candidates []*store.Entry) str
 	return hex.EncodeToString(h.Sum(nil))
 }
 
-func (s *Server) compute(workload string, top int, key string, baselines, candidates []*store.Entry) (*DiagnoseResponse, int, error) {
-	release := s.acquire()
+func (s *Server) compute(ctx context.Context, workload string, top int, key string, baselines, candidates []*store.Entry) (*DiagnoseResponse, int, error) {
+	release, err := s.acquireCtx(ctx)
+	if err != nil {
+		return nil, StatusClientClosedRequest, withCode(CodeCanceled, err)
+	}
 	defer release()
 
 	debug, sch, err := s.resolver.Resolve(workload)
 	if err != nil {
-		return nil, http.StatusNotFound, fmt.Errorf("resolve workload %q: %w", workload, err)
+		return nil, http.StatusNotFound, withCode(CodeNotFound, fmt.Errorf("resolve workload %q: %w", workload, err))
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, StatusClientClosedRequest, withCode(CodeCanceled, err)
 	}
 	load := func(entries []*store.Entry) ([]*sampler.Profile, []string, error) {
 		var ps []*sampler.Profile
@@ -362,20 +540,23 @@ func (s *Server) compute(workload string, top int, key string, baselines, candid
 	}
 	normal, bIDs, err := load(baselines)
 	if err != nil {
-		return nil, http.StatusInternalServerError, err
+		return nil, http.StatusInternalServerError, withCode(CodeInternal, err)
 	}
 	buggy, cIDs, err := load(candidates)
 	if err != nil {
-		return nil, http.StatusInternalServerError, err
+		return nil, http.StatusInternalServerError, withCode(CodeInternal, err)
 	}
-	report, err := analysis.Analyze(analysis.Input{
+	report, err := analysis.AnalyzeContext(ctx, analysis.Input{
 		Debug:  debug,
 		Schema: sch,
 		Normal: normal,
 		Buggy:  buggy,
 	}, s.params)
 	if err != nil {
-		return nil, http.StatusUnprocessableEntity, fmt.Errorf("analyze %q: %w", workload, err)
+		if ctx.Err() != nil {
+			return nil, StatusClientClosedRequest, withCode(CodeCanceled, err)
+		}
+		return nil, http.StatusUnprocessableEntity, withCode(CodeAnalysisFailed, fmt.Errorf("analyze %q: %w", workload, err))
 	}
 	resp := &DiagnoseResponse{
 		ReportID:   "r-" + key[:16],
@@ -407,10 +588,64 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	resp, ok := s.reports[id]
 	s.mu.Unlock()
 	if !ok {
-		writeErr(w, http.StatusNotFound, "no report %q", id)
+		writeErr(w, http.StatusNotFound, CodeNotFound, "no report %q", id)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// Health is the /healthz body: overall status plus per-check detail.
+// Status is "ok" when the store is writable, the resolver knows at least
+// one workload, and at least one baseline corpus is loaded; "degraded" when
+// only baselines are missing (a fresh server that cannot diagnose yet, but
+// can ingest); anything else is "unavailable" with HTTP 503.
+type Health struct {
+	Status            string            `json:"status"`
+	Checks            map[string]string `json:"checks"`
+	Workloads         int               `json:"workloads"`
+	BaselineWorkloads int               `json:"baseline_workloads"`
+}
+
+// HealthSnapshot evaluates the health checks.
+func (s *Server) HealthSnapshot() Health {
+	h := Health{Status: "ok", Checks: map[string]string{}}
+	if err := s.store.Health(); err != nil {
+		h.Checks["store_writable"] = err.Error()
+		h.Status = "unavailable"
+	} else {
+		h.Checks["store_writable"] = "ok"
+	}
+	if known := s.resolver.Known(); len(known) == 0 {
+		h.Checks["resolver"] = "no workloads resolvable"
+		h.Status = "unavailable"
+	} else {
+		h.Checks["resolver"] = "ok"
+	}
+	for _, wl := range s.store.Workloads() {
+		h.Workloads++
+		if wl.Baselines > 0 {
+			h.BaselineWorkloads++
+		}
+	}
+	if h.BaselineWorkloads == 0 {
+		h.Checks["baselines"] = "no baseline corpus loaded"
+		if h.Status == "ok" {
+			h.Status = "degraded"
+		}
+	} else {
+		h.Checks["baselines"] = "ok"
+	}
+	return h
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := s.HealthSnapshot()
+	status := http.StatusOK
+	if h.Status == "unavailable" {
+		status = http.StatusServiceUnavailable
+		s.log.Error("health check failed", "checks", fmt.Sprint(h.Checks))
+	}
+	writeJSON(w, status, h)
 }
 
 // Stats is the observability snapshot, including the diagnosis cache-hit

@@ -24,6 +24,7 @@ import (
 	"bufio"
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"net/url"
 	"os"
@@ -32,9 +33,14 @@ import (
 	"strings"
 	"sync"
 
+	"vprof/internal/obs"
 	"vprof/internal/profilefmt"
 	"vprof/internal/sampler"
 )
+
+// ErrInvalidProfile wraps every decode rejection at ingest, so API layers
+// can map "the uploaded bundle is garbage" to a typed client error.
+var ErrInvalidProfile = errors.New("store: invalid profile bundle")
 
 // Label classifies an entry: part of the normal baseline corpus, or a
 // candidate (suspected-buggy) run to diagnose against it.
@@ -84,6 +90,10 @@ type Options struct {
 	// SegmentSize triggers rollover to a new segment file once the
 	// current one exceeds it (default 64 MiB).
 	SegmentSize int64
+	// Metrics, when non-nil, receives the store's instrumentation
+	// (segments written, ingest bytes, dedup hits, decoded-cache
+	// hits/misses). A nil registry costs nil-receiver no-ops.
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -125,6 +135,38 @@ type Store struct {
 	cacheOrder []string // FIFO eviction
 	cacheHits  int64
 	cacheMiss  int64
+
+	m storeMetrics
+}
+
+// storeMetrics holds the store's nil-safe instrumentation handles.
+type storeMetrics struct {
+	segments     *obs.Counter
+	ingestBytes  *obs.Counter
+	dedupHits    *obs.Counter
+	cacheHits    *obs.Counter
+	cacheMisses  *obs.Counter
+	cacheEntries *obs.Gauge
+}
+
+func newStoreMetrics(reg *obs.Registry) storeMetrics {
+	if reg == nil {
+		return storeMetrics{}
+	}
+	return storeMetrics{
+		segments: reg.Counter("vprof_store_segments_written_total",
+			"Segment files opened for append (including rollovers)."),
+		ingestBytes: reg.Counter("vprof_store_ingest_bytes_total",
+			"Bytes of profile bundles appended to segments."),
+		dedupHits: reg.Counter("vprof_store_dedup_hits_total",
+			"Ingests resolved without a write: identical content already stored."),
+		cacheHits: reg.Counter("vprof_store_decode_cache_hits_total",
+			"Profile reads served from the decoded-profile cache."),
+		cacheMisses: reg.Counter("vprof_store_decode_cache_misses_total",
+			"Profile reads that had to re-read and decode a blob."),
+		cacheEntries: reg.Gauge("vprof_store_decoded_cache_entries",
+			"Profiles currently held by the decoded-profile cache."),
+	}
 }
 
 // Open creates or reopens a store rooted at dir, rebuilding the index by
@@ -141,6 +183,7 @@ func Open(dir string, opts Options) (*Store, error) {
 		byWl:    map[string][]*Entry{},
 		readers: map[int]*os.File{},
 		cache:   map[string]*sampler.Profile{},
+		m:       newStoreMetrics(opts.Metrics),
 	}
 	if err := s.replayManifest(); err != nil {
 		return nil, err
@@ -207,6 +250,7 @@ func (s *Store) openSegmentForAppend() error {
 		return err
 	}
 	s.seg, s.segSize = f, st.Size()
+	s.m.segments.Inc()
 	return nil
 }
 
@@ -277,7 +321,7 @@ func (s *Store) PutBlob(workload string, label Label, run string, blob []byte) (
 	}
 	p, err := profilefmt.Unmarshal(blob)
 	if err != nil {
-		return nil, false, fmt.Errorf("store: reject invalid profile: %w", err)
+		return nil, false, fmt.Errorf("store: reject invalid profile: %w (%w)", err, ErrInvalidProfile)
 	}
 	sum := sha256.Sum256(blob)
 	id := hex.EncodeToString(sum[:])
@@ -286,6 +330,7 @@ func (s *Store) PutBlob(workload string, label Label, run string, blob []byte) (
 	defer s.mu.Unlock()
 	key := entryKey(workload, label, run)
 	if old, ok := s.entries[key]; ok && old.ID == id {
+		s.m.dedupHits.Inc()
 		cp := *old
 		return &cp, true, nil
 	}
@@ -295,6 +340,9 @@ func (s *Store) PutBlob(workload string, label Label, run string, blob []byte) (
 		if err != nil {
 			return nil, false, err
 		}
+		s.m.ingestBytes.Add(float64(len(blob)))
+	} else {
+		s.m.dedupHits.Inc()
 	}
 	e := &Entry{ID: id, Workload: workload, Label: label, Run: run, Size: int64(len(blob))}
 	if _, err := s.manifest.WriteString(formatManifestLine(e, ref)); err != nil {
@@ -340,9 +388,11 @@ func (s *Store) Get(id string) (*sampler.Profile, error) {
 	if p, ok := s.cache[id]; ok {
 		s.cacheHits++
 		s.mu.Unlock()
+		s.m.cacheHits.Inc()
 		return p, nil
 	}
 	s.cacheMiss++
+	s.m.cacheMisses.Inc()
 	ref, ok := s.blobs[id]
 	if !ok {
 		s.mu.Unlock()
@@ -397,6 +447,7 @@ func (s *Store) cacheAddLocked(id string, p *sampler.Profile) {
 	}
 	s.cache[id] = p
 	s.cacheOrder = append(s.cacheOrder, id)
+	s.m.cacheEntries.Set(float64(len(s.cache)))
 }
 
 // Lookup returns the entry stored under a (workload, label, run) key.
@@ -498,6 +549,24 @@ func (s *Store) CacheStats() CacheStats {
 	return CacheStats{Hits: s.cacheHits, Misses: s.cacheMiss, Entries: len(s.cache)}
 }
 
+// Health verifies the store is writable: both append handles are open, the
+// manifest syncs, and the directory is still present. It is the substance
+// behind the service's /healthz check.
+func (s *Store) Health() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.manifest == nil || s.seg == nil {
+		return errors.New("store: closed")
+	}
+	if err := s.manifest.Sync(); err != nil {
+		return fmt.Errorf("store: manifest not writable: %w", err)
+	}
+	if _, err := os.Stat(s.dir); err != nil {
+		return fmt.Errorf("store: directory missing: %w", err)
+	}
+	return nil
+}
+
 // Close releases file handles. The store must not be used afterwards.
 func (s *Store) Close() error {
 	s.mu.Lock()
@@ -510,9 +579,11 @@ func (s *Store) Close() error {
 	}
 	if s.manifest != nil {
 		keep(s.manifest.Close())
+		s.manifest = nil
 	}
 	if s.seg != nil {
 		keep(s.seg.Close())
+		s.seg = nil
 	}
 	for _, r := range s.readers {
 		keep(r.Close())

@@ -33,6 +33,10 @@ type Value struct {
 // profiling data gathered so far remains valid.
 var ErrTicksExceeded = errors.New("vm: tick budget exceeded")
 
+// ErrInterrupted is the default error reported by a VM stopped via
+// Interrupt (e.g. when a profiling run's context is canceled).
+var ErrInterrupted = errors.New("vm: interrupted")
+
 // RuntimeError is a trap raised by program execution (e.g. division by zero).
 type RuntimeError struct {
 	PC   int
@@ -117,6 +121,7 @@ type VM struct {
 	nextPtr int64
 	halted  bool
 	result  Value
+	stopErr error // set by Interrupt; checked once per instruction
 
 	// Children collects spawn() requests in order.
 	Children []ChildRequest
@@ -162,6 +167,16 @@ func New(prog *compiler.Program, cfg Config) *VM {
 
 // Prog returns the program being executed.
 func (vm *VM) Prog() *compiler.Program { return vm.prog }
+
+// Interrupt stops the run at the next instruction boundary; the loop returns
+// err (ErrInterrupted when nil). It is intended to be called from alarm
+// callbacks — the VM is single-threaded, so the flag needs no atomics.
+func (vm *VM) Interrupt(err error) {
+	if err == nil {
+		err = ErrInterrupted
+	}
+	vm.stopErr = err
+}
 
 // Ticks returns the simulated CPU time consumed so far.
 func (vm *VM) Ticks() int64 { return vm.ticks }
@@ -347,6 +362,9 @@ func boolVal(b bool) Value {
 func (vm *VM) loop() error {
 	prog := vm.prog
 	for !vm.halted {
+		if vm.stopErr != nil {
+			return vm.stopErr
+		}
 		if vm.ticks >= vm.cfg.MaxTicks {
 			return ErrTicksExceeded
 		}

@@ -17,13 +17,23 @@
 //
 //	prog, _ := vprof.Compile("app.vp", source)
 //	sch := prog.GenerateSchema(vprof.SchemaOptions{})
-//	normal := prog.Profile(vprof.RunSpec{Inputs: []int64{10}}, sch)
-//	buggy := prog.Profile(vprof.RunSpec{Inputs: []int64{900}}, sch)
-//	report, _ := vprof.Analyze(prog, sch, []*vprof.Profile{normal}, []*vprof.Profile{buggy}, vprof.DefaultParams())
+//	normal, _ := prog.ProfileContext(ctx, vprof.RunSpec{Inputs: []int64{10}}, sch)
+//	buggy, _ := prog.ProfileContext(ctx, vprof.RunSpec{Inputs: []int64{900}}, sch)
+//	report, _ := vprof.AnalyzeContext(ctx, vprof.AnalyzeRequest{
+//		Program: prog,
+//		Schema:  sch,
+//		Normal:  []*vprof.Profile{normal},
+//		Buggy:   []*vprof.Profile{buggy},
+//	}, vprof.WithWorkers(4))
 //	fmt.Print(report.Render(10))
+//
+// The context cancels profiling runs (checked at each sampling alarm) and
+// the analysis fan-out; the deprecated positional Analyze wrapper remains
+// for existing callers.
 package vprof
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -221,10 +231,20 @@ func (p *Program) Run(spec RunSpec) (outputs []int64, ticks int64, err error) {
 // Profile executes the program under the value-assisted profiler, monitoring
 // the schema's variables, and returns the merged multi-process profile.
 func (p *Program) Profile(spec RunSpec, sch *Schema) *Profile {
+	prof, _ := p.ProfileContext(context.Background(), spec, sch)
+	return prof
+}
+
+// ProfileContext is Profile with cooperative cancellation: the context is
+// checked at every sampling alarm and the run is cut off once it is
+// canceled, returning the partial profile alongside ctx.Err(). With a
+// never-canceled context the profile is byte-for-byte the one Profile
+// produces.
+func (p *Program) ProfileContext(ctx context.Context, spec RunSpec, sch *Schema) (*Profile, error) {
 	meta := schema.Translate(sch, p.compiled.Debug)
-	res := sampler.ProfileRun(p.compiled, meta, spec.vmConfig(),
+	res, err := sampler.ProfileRunContext(ctx, p.compiled, meta, spec.vmConfig(),
 		sampler.Options{Interval: spec.interval(), OffCPU: spec.OffCPU})
-	return sampler.MergeProfiles(res.Profiles)
+	return sampler.MergeProfiles(res.Profiles), err
 }
 
 // Disassemble renders the compiled text section with function and
@@ -260,17 +280,78 @@ func (p *Program) Metadata(sch *Schema) []debuginfo.VarLoc {
 // basic-block ranges, line table, variable locations).
 func (p *Program) Debug() *debuginfo.Info { return p.compiled.Debug }
 
-// Analyze runs the post-profiling analysis over profiles of normal and buggy
-// executions of prog. Profiles must have been produced with the same schema.
-// The first profile of each side feeds the variable-discounter; all profiles
-// feed the hist-discounter.
-func Analyze(prog *Program, sch *Schema, normal, buggy []*Profile, params Params) (*Report, error) {
-	return analysis.Analyze(analysis.Input{
-		Debug:  prog.compiled.Debug,
-		Schema: sch,
-		Normal: normal,
-		Buggy:  buggy,
+// AnalyzeRequest bundles the inputs to the post-profiling analysis, replacing
+// the old 5-positional-argument Analyze call. Profiles must have been
+// produced with the same schema. The first profile of each side feeds the
+// variable-discounter; all profiles feed the hist-discounter.
+type AnalyzeRequest struct {
+	// Program is the profiled program (source of debug information).
+	Program *Program
+	// Schema lists the monitored variables (tags drive classification).
+	Schema *Schema
+	// Normal and Buggy are the two executions' profiles.
+	Normal []*Profile
+	Buggy  []*Profile
+	// Params are the analysis tunables; nil means DefaultParams. The
+	// WithParams / WithWorkers options modify this field.
+	Params *Params
+}
+
+// AnalyzeOption tweaks an AnalyzeRequest; pass options to AnalyzeContext.
+type AnalyzeOption func(*AnalyzeRequest)
+
+// WithParams replaces the request's analysis parameters.
+func WithParams(p Params) AnalyzeOption {
+	return func(r *AnalyzeRequest) { r.Params = &p }
+}
+
+// WithWorkers bounds the analysis worker pool (see Params.Workers): 0
+// resolves a default via VPROF_WORKERS then GOMAXPROCS, 1 forces the
+// sequential path. The report is identical for every value.
+func WithWorkers(n int) AnalyzeOption {
+	return func(r *AnalyzeRequest) {
+		p := DefaultParams()
+		if r.Params != nil {
+			p = *r.Params
+		}
+		p.Workers = n
+		r.Params = &p
+	}
+}
+
+// AnalyzeContext runs the post-profiling analysis. The context cancels the
+// analysis fan-out cooperatively (workers drain, ctx.Err() is returned);
+// with a never-canceled context the report is byte-for-byte the sequential
+// result.
+func AnalyzeContext(ctx context.Context, req AnalyzeRequest, opts ...AnalyzeOption) (*Report, error) {
+	for _, opt := range opts {
+		opt(&req)
+	}
+	params := DefaultParams()
+	if req.Params != nil {
+		params = *req.Params
+	}
+	return analysis.AnalyzeContext(ctx, analysis.Input{
+		Debug:  req.Program.compiled.Debug,
+		Schema: req.Schema,
+		Normal: req.Normal,
+		Buggy:  req.Buggy,
 	}, params)
+}
+
+// Analyze runs the post-profiling analysis over profiles of normal and buggy
+// executions of prog.
+//
+// Deprecated: use AnalyzeContext with an AnalyzeRequest; this positional
+// form is kept so existing callers compile unchanged.
+func Analyze(prog *Program, sch *Schema, normal, buggy []*Profile, params Params) (*Report, error) {
+	return AnalyzeContext(context.Background(), AnalyzeRequest{
+		Program: prog,
+		Schema:  sch,
+		Normal:  normal,
+		Buggy:   buggy,
+		Params:  &params,
+	})
 }
 
 // Diagnose is the one-call workflow of the paper's Figure 2: profile the
@@ -279,25 +360,53 @@ func Analyze(prog *Program, sch *Schema, normal, buggy []*Profile, params Params
 // params.Workers goroutines (see Params.Workers); the report is identical
 // for every worker count.
 func Diagnose(prog *Program, sch *Schema, normalSpec, buggySpec RunSpec, runs int, params Params) (*Report, error) {
+	return DiagnoseContext(context.Background(), prog, sch, normalSpec, buggySpec, runs, params)
+}
+
+// DiagnoseContext is Diagnose with cooperative cancellation: profiling runs
+// stop at the next sampling alarm after cancellation, the analysis fan-out
+// drains, and ctx.Err() is returned. With a never-canceled context the
+// report is byte-for-byte identical to Diagnose.
+func DiagnoseContext(ctx context.Context, prog *Program, sch *Schema, normalSpec, buggySpec RunSpec, runs int, params Params) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if runs <= 0 {
 		runs = 5
 	}
 	type pair struct{ normal, buggy *Profile }
-	pairs := parallel.Map(parallel.Workers(params.Workers), runs, func(i int) pair {
+	pairs, err := parallel.MapErrCtx(ctx, parallel.Workers(params.Workers), runs, func(i int) (pair, error) {
 		n := normalSpec
 		b := buggySpec
 		n.AlarmPhase += int64(7 * i)
 		b.AlarmPhase += int64(7 * i)
 		n.Seed += uint64(i * 1000003)
 		b.Seed += uint64(i * 1000003)
-		return pair{prog.Profile(n, sch), prog.Profile(b, sch)}
+		np, err := prog.ProfileContext(ctx, n, sch)
+		if err != nil {
+			return pair{}, err
+		}
+		bp, err := prog.ProfileContext(ctx, b, sch)
+		if err != nil {
+			return pair{}, err
+		}
+		return pair{np, bp}, nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	var normal, buggy []*Profile
 	for _, pr := range pairs {
 		normal = append(normal, pr.normal)
 		buggy = append(buggy, pr.buggy)
 	}
-	return Analyze(prog, sch, normal, buggy, params)
+	return AnalyzeContext(ctx, AnalyzeRequest{
+		Program: prog,
+		Schema:  sch,
+		Normal:  normal,
+		Buggy:   buggy,
+		Params:  &params,
+	})
 }
 
 // FormatSchema renders a schema in the paper's textual format.
