@@ -6,13 +6,18 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
+	"time"
 
 	vprof "vprof"
 	"vprof/internal/obs"
@@ -50,6 +55,9 @@ func cmdServe(args []string) error {
 	analysisWorkers := fs.Int("analysis-workers", 0, "per-diagnosis analysis worker pool (0 = VPROF_WORKERS or GOMAXPROCS, 1 = sequential)")
 	top := fs.Int("top", 10, "default report rows")
 	baselineCap := fs.Int("baseline-cap", 16, "rolling baseline corpus size per workload")
+	requestTimeout := fs.Duration("request-timeout", 0, "per-request deadline (0 = none)")
+	maxQueue := fs.Int("max-queue", 0, "admission queue bound before shedding with 429 (0 = default)")
+	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "grace period for in-flight requests on SIGTERM")
 	logLevel := fs.String("log-level", "info", "log verbosity: debug, info, warn, error")
 	logFormat := fs.String("log-format", "text", "log encoding: text or json")
 	if err := parseFlags(fs, args); err != nil {
@@ -77,6 +85,12 @@ func cmdServe(args []string) error {
 		return err
 	}
 	defer st.Close()
+	if rec := st.Recovery(); rec != nil && !rec.Clean() {
+		logger.Warn("store recovered at startup",
+			"dropped_records", rec.DroppedRecords,
+			"quarantined", len(rec.Quarantined),
+			"truncated_bytes", rec.TruncatedBytes)
+	}
 	resolver, err := buildResolver(fs.Args(), *useBugs)
 	if err != nil {
 		return usageError{err}
@@ -84,6 +98,7 @@ func cmdServe(args []string) error {
 	srv, err := service.New(service.Config{
 		Store: st, Resolver: resolver, Workers: *workers,
 		AnalysisWorkers: *analysisWorkers, Top: *top,
+		RequestTimeout: *requestTimeout, MaxQueue: *maxQueue,
 		Metrics: reg, Logger: logger,
 	})
 	if err != nil {
@@ -95,7 +110,36 @@ func cmdServe(args []string) error {
 	}
 	logger.Info("vprof service listening", "addr", ln.Addr().String(), "store", *storeDir)
 	fmt.Printf("vprof service listening on http://%s (store %s)\n", ln.Addr(), *storeDir)
-	return http.Serve(ln, srv.Handler())
+
+	// Serve until the listener fails or a termination signal arrives. On
+	// SIGTERM/SIGINT the service drains: new requests are refused with 503,
+	// in-flight work gets -drain-timeout to finish, the store is flushed,
+	// and only then do the connections close.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second signal kills hard
+		logger.Info("shutting down", "drain_timeout", drainTimeout.String())
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(drainCtx); err != nil {
+			logger.Error("drain incomplete", "err", err)
+			hs.Close()
+			return err
+		}
+		if err := hs.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+		logger.Info("shutdown complete")
+		return nil
+	}
 }
 
 func cmdPush(args []string) error {

@@ -1,0 +1,46 @@
+// The fsck subcommand: offline integrity checking and repair for a profile
+// store directory. It is the disaster-recovery entry point documented in
+// README.md — run it after a crash or suspected corruption, before (or
+// instead of) restarting `vprof serve`.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"vprof/internal/store"
+)
+
+// cmdFsck checks (and with -repair, repairs) a profile store. Exit codes
+// follow fsck convention rather than the generic 0/1/2 of the other
+// subcommands:
+//
+//	0 — store is clean
+//	1 — issues were found (and repaired when -repair was given)
+//	2 — store is unrecoverable or the check itself failed
+func cmdFsck(args []string) error {
+	fs := flag.NewFlagSet("fsck", flag.ContinueOnError)
+	storeDir := fs.String("store", "vprof-store", "profile store directory")
+	repair := fs.Bool("repair", false, "apply repairs (truncate torn tails, quarantine corrupt segments)")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return usageError{fmt.Errorf("fsck: unexpected argument %q", fs.Arg(0))}
+	}
+
+	check := store.Fsck
+	if *repair {
+		check = store.Repair
+	}
+	report, err := check(*storeDir)
+	if err != nil {
+		// The directory is missing or unreadable: nothing to repair.
+		return exitError{code: 2, err: err}
+	}
+	fmt.Print(report.Render())
+	if report.Clean() {
+		return nil
+	}
+	return exitError{code: 1}
+}

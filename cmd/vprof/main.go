@@ -39,6 +39,7 @@ var commands = map[string]func([]string) error{
 	"serve":    cmdServe,
 	"push":     cmdPush,
 	"query":    cmdQuery,
+	"fsck":     cmdFsck,
 }
 
 // usageError marks failures that are the caller's command line rather than
@@ -48,6 +49,23 @@ type usageError struct{ err error }
 
 func (e usageError) Error() string { return e.err.Error() }
 func (e usageError) Unwrap() error { return e.err }
+
+// exitError carries an explicit process exit code for subcommands whose
+// codes mean more than pass/fail — fsck uses 1 for "issues found" and 2
+// for "unrecoverable", mirroring the filesystem fsck convention. A nil
+// wrapped error means the command already printed its own report.
+type exitError struct {
+	code int
+	err  error
+}
+
+func (e exitError) Error() string {
+	if e.err != nil {
+		return e.err.Error()
+	}
+	return fmt.Sprintf("exit status %d", e.code)
+}
+func (e exitError) Unwrap() error { return e.err }
 
 // run dispatches one invocation and returns the process exit code: 0 on
 // success, 2 for command-line mistakes (unknown subcommand or flag, missing
@@ -69,6 +87,13 @@ func run(args []string) int {
 		return 2
 	}
 	if err := cmd(args[1:]); err != nil {
+		var xe exitError
+		if errors.As(err, &xe) {
+			if xe.err != nil {
+				fmt.Fprintf(os.Stderr, "vprof %s: %v\n", args[0], xe.err)
+			}
+			return xe.code
+		}
 		switch exitCode(err) {
 		case 0:
 			return 0
@@ -123,11 +148,13 @@ func usage() {
   vprof analyze <prog.vp> -normal dir[,dir...] -buggy dir[,dir...] [-top n] [-workers n]
   vprof diagnose <prog.vp> -normal a,b -buggy a,b [-runs n] [-top n] [-funcs f1,f2] [-workers n]
   vprof serve [-addr host:port] [-store dir] [-bugs] [-workers n]
-              [-analysis-workers n] [-log-level l] [-log-format text|json]
+              [-analysis-workers n] [-request-timeout d] [-max-queue n]
+              [-drain-timeout d] [-log-level l] [-log-format text|json]
               [prog.vp ...]
   vprof push <prog.vp> -server url -label normal|candidate [-workload w]
              [-inputs a,b] [-runs n] | push -server url -label l -dir artifacts
   vprof query workloads|diagnose|report|stats -server url [args]
+  vprof fsck [-store dir] [-repair]
 `)
 }
 

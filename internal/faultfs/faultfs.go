@@ -1,0 +1,72 @@
+// Package faultfs is the filesystem seam under the profile store: a small
+// interface covering exactly the operations the store performs, a
+// passthrough implementation over the real filesystem, and an injecting
+// implementation (inject.go) that can fail the nth operation, tear a write
+// short, or simulate a whole-machine crash at a chosen persistence point.
+//
+// The store takes an FS in its Options; production uses NewOS(), the
+// crash-replay test matrix uses NewInjector(nil). Because the injector
+// passes every surviving byte through to the real filesystem, a "crashed"
+// directory can afterwards be reopened with the plain OS implementation —
+// exactly like restarting a process after a power cut.
+package faultfs
+
+import (
+	"io"
+	"io/fs"
+	"os"
+)
+
+// File is the subset of *os.File the store needs. Handles opened for append
+// only Write/Sync/Truncate; read handles only ReadAt.
+type File interface {
+	io.Writer
+	io.ReaderAt
+	io.Closer
+	// Sync flushes the file to stable storage; data written before a
+	// successful Sync survives a crash.
+	Sync() error
+	// Truncate cuts the file to size (used to roll back partial appends).
+	Truncate(size int64) error
+	Stat() (fs.FileInfo, error)
+	Name() string
+}
+
+// FS is the filesystem surface the store writes through.
+type FS interface {
+	// OpenFile opens (and with os.O_CREATE, creates) a file for writing.
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	// Open opens a file read-only.
+	Open(name string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	MkdirAll(name string, perm fs.FileMode) error
+	Stat(name string) (fs.FileInfo, error)
+	ReadDir(name string) ([]fs.DirEntry, error)
+	// Truncate cuts the named file to size without holding a handle.
+	Truncate(name string, size int64) error
+}
+
+// osFS is the passthrough implementation over package os.
+type osFS struct{}
+
+// NewOS returns the real-filesystem implementation.
+func NewOS() FS { return osFS{} }
+
+func (osFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (osFS) Open(name string) (File, error) { return os.Open(name) }
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) MkdirAll(name string, perm fs.FileMode) error { return os.MkdirAll(name, perm) }
+
+func (osFS) Stat(name string) (fs.FileInfo, error) { return os.Stat(name) }
+
+func (osFS) ReadDir(name string) ([]fs.DirEntry, error) { return os.ReadDir(name) }
+
+func (osFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }

@@ -1,0 +1,353 @@
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"sync"
+)
+
+// ErrCrashed is returned by every operation after the injector's simulated
+// crash point: the "machine" is off, nothing persists anymore.
+var ErrCrashed = errors.New("faultfs: simulated crash")
+
+// Op classifies the mutating operations the injector counts and can fail.
+type Op string
+
+const (
+	OpCreate   Op = "create" // OpenFile with os.O_CREATE
+	OpWrite    Op = "write"
+	OpSync     Op = "sync"
+	OpTruncate Op = "truncate"
+	OpRename   Op = "rename"
+	OpRemove   Op = "remove"
+	OpMkdir    Op = "mkdir"
+)
+
+// failure is one planned fault: the nth operation of a kind returns err; a
+// write may first persist a short prefix (torn write).
+type failure struct {
+	op   Op
+	nth  int
+	err  error
+	keep int // for OpWrite: bytes persisted before the error (-1 = none)
+	used bool
+}
+
+// Injector wraps an FS and injects faults. The crash model mirrors a power
+// cut over a POSIX filesystem: data written but not yet Synced may vanish
+// (entirely, or — in torn mode — a prefix survives); data synced before the
+// crash point always survives; after the crash every operation fails with
+// ErrCrashed. Because the injector applies the crash by truncating the real
+// underlying files, the directory can then be reopened with NewOS() to play
+// the restart.
+type Injector struct {
+	inner FS
+
+	mu       sync.Mutex
+	muts     int // mutating ops performed
+	perOp    map[Op]int
+	failures []*failure
+	crashAt  int // crash when muts reaches this count (0 = never)
+	torn     bool
+	crashed  bool
+	durable  map[string]int64 // path → length known to be on stable storage
+}
+
+// NewInjector wraps inner (nil = the real filesystem) with fault injection.
+func NewInjector(inner FS) *Injector {
+	if inner == nil {
+		inner = NewOS()
+	}
+	return &Injector{inner: inner, perOp: map[Op]int{}, durable: map[string]int64{}}
+}
+
+// FailNth makes the nth (1-based) operation of kind op return err, once.
+func (in *Injector) FailNth(op Op, nth int, err error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.failures = append(in.failures, &failure{op: op, nth: nth, err: err, keep: -1})
+}
+
+// ShortWriteNth makes the nth write persist only keep bytes and then return
+// io.ErrShortWrite — a torn write the caller must roll back.
+func (in *Injector) ShortWriteNth(nth, keep int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.failures = append(in.failures, &failure{op: OpWrite, nth: nth, err: io.ErrShortWrite, keep: keep})
+}
+
+// CrashAt schedules the simulated crash at the nth mutating operation: that
+// operation (and everything after it) fails with ErrCrashed, and all
+// unsynced data is discarded at that moment.
+func (in *Injector) CrashAt(n int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.crashAt = n
+}
+
+// SetTorn controls what the crash leaves behind: false discards every
+// unsynced byte, true keeps half of each file's unsynced tail (a torn
+// write straddling the crash).
+func (in *Injector) SetTorn(torn bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.torn = torn
+}
+
+// Crash simulates the crash immediately.
+func (in *Injector) Crash() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.crashLocked()
+}
+
+// Crashed reports whether the crash point has been reached.
+func (in *Injector) Crashed() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.crashed
+}
+
+// Mutations returns the count of mutating operations performed so far — a
+// fault-free run's total sizes the crash-replay matrix.
+func (in *Injector) Mutations() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.muts
+}
+
+// step accounts one mutating operation and applies the fault plan. It
+// returns keep >= 0 when a write should persist only a prefix.
+func (in *Injector) step(op Op) (keep int, err error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.crashed {
+		return -1, ErrCrashed
+	}
+	in.muts++
+	in.perOp[op]++
+	for _, f := range in.failures {
+		if !f.used && f.op == op && f.nth == in.perOp[op] {
+			f.used = true
+			return f.keep, f.err
+		}
+	}
+	if in.crashAt > 0 && in.muts >= in.crashAt {
+		in.crashLocked()
+		return -1, ErrCrashed
+	}
+	return -1, nil
+}
+
+// crashLocked flips the injector into the crashed state and discards every
+// unsynced byte (or, in torn mode, all but half of each unsynced tail).
+func (in *Injector) crashLocked() {
+	in.crashed = true
+	for path, dur := range in.durable {
+		fi, err := in.inner.Stat(path)
+		if err != nil || fi.Size() <= dur {
+			continue
+		}
+		cut := dur
+		if in.torn {
+			cut = dur + (fi.Size()-dur)/2
+		}
+		// Best effort: the file may have been renamed or removed.
+		_ = in.inner.Truncate(path, cut)
+	}
+}
+
+// alive returns ErrCrashed once the crash point has passed (used by the
+// non-mutating operations, which a dead machine cannot serve either).
+func (in *Injector) alive() error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.crashed {
+		return ErrCrashed
+	}
+	return nil
+}
+
+// markDurable records the file's current length as crash-safe.
+func (in *Injector) markDurable(path string, f File) {
+	fi, err := f.Stat()
+	if err != nil {
+		return
+	}
+	in.mu.Lock()
+	in.durable[path] = fi.Size()
+	in.mu.Unlock()
+}
+
+// trackOpen seeds the durability ledger: bytes already on disk when a file
+// is first opened are presumed to have been synced by a previous life.
+func (in *Injector) trackOpen(path string, f File) {
+	in.mu.Lock()
+	if _, ok := in.durable[path]; ok {
+		in.mu.Unlock()
+		return
+	}
+	in.mu.Unlock()
+	in.markDurable(path, f)
+}
+
+func (in *Injector) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	if flag&os.O_CREATE != 0 {
+		if _, err := in.step(OpCreate); err != nil {
+			return nil, err
+		}
+	} else if err := in.alive(); err != nil {
+		return nil, err
+	}
+	f, err := in.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	in.trackOpen(name, f)
+	return &injFile{f: f, path: name, in: in}, nil
+}
+
+func (in *Injector) Open(name string) (File, error) {
+	if err := in.alive(); err != nil {
+		return nil, err
+	}
+	f, err := in.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{f: f, path: name, in: in}, nil
+}
+
+func (in *Injector) Rename(oldpath, newpath string) error {
+	if _, err := in.step(OpRename); err != nil {
+		return err
+	}
+	if err := in.inner.Rename(oldpath, newpath); err != nil {
+		return err
+	}
+	in.mu.Lock()
+	if dur, ok := in.durable[oldpath]; ok {
+		in.durable[newpath] = dur
+		delete(in.durable, oldpath)
+	}
+	in.mu.Unlock()
+	return nil
+}
+
+func (in *Injector) Remove(name string) error {
+	if _, err := in.step(OpRemove); err != nil {
+		return err
+	}
+	if err := in.inner.Remove(name); err != nil {
+		return err
+	}
+	in.mu.Lock()
+	delete(in.durable, name)
+	in.mu.Unlock()
+	return nil
+}
+
+func (in *Injector) MkdirAll(name string, perm fs.FileMode) error {
+	if _, err := in.step(OpMkdir); err != nil {
+		return err
+	}
+	return in.inner.MkdirAll(name, perm)
+}
+
+func (in *Injector) Stat(name string) (fs.FileInfo, error) {
+	if err := in.alive(); err != nil {
+		return nil, err
+	}
+	return in.inner.Stat(name)
+}
+
+func (in *Injector) ReadDir(name string) ([]fs.DirEntry, error) {
+	if err := in.alive(); err != nil {
+		return nil, err
+	}
+	return in.inner.ReadDir(name)
+}
+
+func (in *Injector) Truncate(name string, size int64) error {
+	if _, err := in.step(OpTruncate); err != nil {
+		return err
+	}
+	if err := in.inner.Truncate(name, size); err != nil {
+		return err
+	}
+	in.clampDurable(name, size)
+	return nil
+}
+
+func (in *Injector) clampDurable(path string, size int64) {
+	in.mu.Lock()
+	if dur, ok := in.durable[path]; ok && dur > size {
+		in.durable[path] = size
+	}
+	in.mu.Unlock()
+}
+
+// injFile routes a file's operations through the injector's fault plan.
+type injFile struct {
+	f    File
+	path string
+	in   *Injector
+}
+
+func (f *injFile) Write(p []byte) (int, error) {
+	keep, err := f.in.step(OpWrite)
+	if err != nil {
+		if keep >= 0 && keep < len(p) {
+			n, _ := f.f.Write(p[:keep]) // the torn prefix reaches the file
+			return n, err
+		}
+		return 0, err
+	}
+	return f.f.Write(p)
+}
+
+func (f *injFile) Sync() error {
+	if _, err := f.in.step(OpSync); err != nil {
+		return err
+	}
+	if err := f.f.Sync(); err != nil {
+		return err
+	}
+	f.in.markDurable(f.path, f.f)
+	return nil
+}
+
+func (f *injFile) Truncate(size int64) error {
+	if _, err := f.in.step(OpTruncate); err != nil {
+		return err
+	}
+	if err := f.f.Truncate(size); err != nil {
+		return err
+	}
+	f.in.clampDurable(f.path, size)
+	return nil
+}
+
+func (f *injFile) ReadAt(p []byte, off int64) (int, error) {
+	if err := f.in.alive(); err != nil {
+		return 0, err
+	}
+	return f.f.ReadAt(p, off)
+}
+
+func (f *injFile) Close() error { return f.f.Close() }
+
+func (f *injFile) Stat() (fs.FileInfo, error) { return f.f.Stat() }
+
+func (f *injFile) Name() string { return f.path }
+
+// String describes the injector state (handy in test failure messages).
+func (in *Injector) String() string {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return fmt.Sprintf("faultfs.Injector{muts=%d crashAt=%d crashed=%v torn=%v}",
+		in.muts, in.crashAt, in.crashed, in.torn)
+}

@@ -1,0 +1,215 @@
+package faultfs_test
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vprof/internal/faultfs"
+)
+
+func TestOSPassthrough(t *testing.T) {
+	fsys := faultfs.NewOS()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a", "f.txt")
+	if err := fsys.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := fsys.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if _, err := r.ReadAt(buf, 0); err != nil || string(buf) != "hello" {
+		t.Fatalf("ReadAt = %q, %v", buf, err)
+	}
+	r.Close()
+	if err := fsys.Truncate(path, 2); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := fsys.Stat(path)
+	if err != nil || fi.Size() != 2 {
+		t.Fatalf("after truncate: %v, %v", fi, err)
+	}
+	if err := fsys.Rename(path, path+".2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.Remove(path + ".2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fsys.ReadDir(dir); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFailNth(t *testing.T) {
+	inj := faultfs.NewInjector(nil)
+	boom := errors.New("disk on fire")
+	inj.FailNth(faultfs.OpSync, 2, boom)
+
+	path := filepath.Join(t.TempDir(), "f")
+	f, err := inj.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil { // sync #1: fine
+		t.Fatal(err)
+	}
+	if err := f.Sync(); !errors.Is(err, boom) { // sync #2: injected
+		t.Fatalf("sync 2 err = %v, want injected", err)
+	}
+	if err := f.Sync(); err != nil { // one-shot: sync #3 works again
+		t.Fatal(err)
+	}
+}
+
+func TestShortWrite(t *testing.T) {
+	inj := faultfs.NewInjector(nil)
+	inj.ShortWriteNth(2, 3)
+	path := filepath.Join(t.TempDir(), "f")
+	f, err := inj.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte("aaaa")); err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("bbbb"))
+	if !errors.Is(err, io.ErrShortWrite) || n != 3 {
+		t.Fatalf("short write = %d, %v", n, err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil || fi.Size() != 7 { // 4 + the torn 3
+		t.Fatalf("file size = %v, %v, want 7", fi.Size(), err)
+	}
+}
+
+// TestCrashDiscardsUnsynced is the crash model's contract: synced bytes
+// survive, unsynced bytes vanish (or half survive in torn mode), and every
+// operation after the crash fails with ErrCrashed.
+func TestCrashDiscardsUnsynced(t *testing.T) {
+	for _, torn := range []bool{false, true} {
+		inj := faultfs.NewInjector(nil)
+		inj.SetTorn(torn)
+		path := filepath.Join(t.TempDir(), "f")
+		f, err := inj.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write([]byte("durable!")); err != nil { // 8 bytes
+			t.Fatal(err)
+		}
+		if err := f.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write([]byte("gone")); err != nil { // unsynced 4
+			t.Fatal(err)
+		}
+		inj.Crash()
+		if _, err := f.Write([]byte("x")); !errors.Is(err, faultfs.ErrCrashed) {
+			t.Fatalf("write after crash = %v", err)
+		}
+		if err := f.Sync(); !errors.Is(err, faultfs.ErrCrashed) {
+			t.Fatalf("sync after crash = %v", err)
+		}
+		if _, err := inj.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644); !errors.Is(err, faultfs.ErrCrashed) {
+			t.Fatalf("open after crash = %v", err)
+		}
+		f.Close()
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := int64(8)
+		if torn {
+			want = 10 // 8 durable + half of the 4 unsynced
+		}
+		if fi.Size() != want {
+			t.Fatalf("torn=%v: size after crash = %d, want %d", torn, fi.Size(), want)
+		}
+	}
+}
+
+// TestCrashAtCountsMutations checks the op counter drives the crash point
+// and that pre-existing file contents are treated as durable.
+func TestCrashAtCountsMutations(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	inj := faultfs.NewInjector(nil)
+	inj.CrashAt(3) // op1 = open-create, op2 = write, op3 = write → crash
+	f, err := inj.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte("-new")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("-more")); !errors.Is(err, faultfs.ErrCrashed) {
+		t.Fatalf("write at crash point = %v", err)
+	}
+	if !inj.Crashed() {
+		t.Fatal("injector not crashed")
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "old" { // "-new" was never synced
+		t.Fatalf("surviving content = %q, want %q", b, "old")
+	}
+	if inj.Mutations() != 3 {
+		t.Fatalf("mutations = %d, want 3", inj.Mutations())
+	}
+}
+
+// TestRenameCarriesDurability: a temp file synced before rename survives a
+// crash under its new name.
+func TestRenameCarriesDurability(t *testing.T) {
+	inj := faultfs.NewInjector(nil)
+	dir := t.TempDir()
+	tmp, final := filepath.Join(dir, "f.tmp"), filepath.Join(dir, "f")
+	f, err := inj.OpenFile(tmp, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("header")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := inj.Rename(tmp, final); err != nil {
+		t.Fatal(err)
+	}
+	inj.Crash()
+	b, err := os.ReadFile(final)
+	if err != nil || string(b) != "header" {
+		t.Fatalf("renamed file after crash = %q, %v", b, err)
+	}
+}

@@ -79,7 +79,11 @@ func ReplayContinuous(dir string, workloads []*bugs.Workload) ([]ReplayRow, erro
 	go hs.Serve(ln)
 	defer hs.Close()
 	base := "http://" + ln.Addr().String()
-	client := service.NewClient(base)
+	// The replay client is the production configuration: retrying with
+	// backoff, instrumented into the same registry the service exports. A
+	// healthy replay must finish with zero retries and zero sheds — the
+	// counters exist so checkObservability can prove they stayed flat.
+	client := service.NewClient(base).Instrument(reg)
 
 	var rows []ReplayRow
 	for _, w := range workloads {
@@ -135,6 +139,11 @@ func checkObservability(base string) error {
 		"vprof_diagnose_requests_total",
 		"vprof_diagnose_memo_hits_total",
 		"vprof_pool_slots",
+		// Robustness counters: present (registered) even though a clean
+		// replay never increments them.
+		"vprof_panics_total",
+		"vprof_shed_total",
+		"vprof_client_retries_total",
 	} {
 		if !strings.Contains(exposition, series) {
 			return fmt.Errorf("metrics exposition missing %s after replay", series)

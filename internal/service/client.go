@@ -2,13 +2,18 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
+	"strconv"
+	"time"
 
+	"vprof/internal/obs"
 	"vprof/internal/profilefmt"
 	"vprof/internal/sampler"
 	"vprof/internal/store"
@@ -26,6 +31,9 @@ var (
 	// ErrBaselineMissing: the workload has no baseline corpus to diagnose
 	// against.
 	ErrBaselineMissing = errors.New("service: baseline corpus missing")
+	// ErrOverloaded: the server shed the request (429) or was draining
+	// (503) and the retry budget ran out.
+	ErrOverloaded = errors.New("service: overloaded")
 )
 
 // sentinelFor maps an error-body code (primary) or HTTP status (fallback,
@@ -38,6 +46,8 @@ func sentinelFor(code string, status int) error {
 		return ErrInvalidBundle
 	case CodeBaselineMissing:
 		return ErrBaselineMissing
+	case CodeOverloaded, CodeUnavailable:
+		return ErrOverloaded
 	}
 	if code == "" {
 		switch status {
@@ -45,21 +55,99 @@ func sentinelFor(code string, status int) error {
 			return ErrNotFound
 		case http.StatusRequestEntityTooLarge:
 			return ErrInvalidBundle
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			return ErrOverloaded
 		}
 	}
 	return nil
 }
 
-// Client talks to a running vprof service (vprof push / vprof query, and
-// the end-to-end harness).
-type Client struct {
-	Base string // server base URL, e.g. http://127.0.0.1:7070
-	HTTP *http.Client
+// RetryPolicy shapes the client's retry loop. Retries apply only to
+// idempotent-safe failures: transport errors and 429/502/503/504 responses
+// — pushes are idempotent on the server (content-addressed) and diagnoses
+// are memoized, so re-sending is harmless.
+type RetryPolicy struct {
+	// MaxAttempts bounds total tries, first included (default 4; 1
+	// disables retries).
+	MaxAttempts int
+	// BaseDelay is the first backoff step (default 50ms); each retry
+	// doubles it up to MaxDelay (default 2s).
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Jitter scatters each delay by ±Jitter (fraction, default 0.2) so
+	// shed clients do not stampede back in lockstep.
+	Jitter float64
 }
 
-// NewClient wraps a base URL with the default HTTP client.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 50 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	if p.Jitter <= 0 {
+		p.Jitter = 0.2
+	}
+	return p
+}
+
+// delay computes the backoff before attempt n (1-based count of failures
+// so far), honoring a server-provided Retry-After when larger.
+func (p RetryPolicy) delay(n int, retryAfter time.Duration) time.Duration {
+	d := p.BaseDelay << (n - 1)
+	if d > p.MaxDelay || d <= 0 {
+		d = p.MaxDelay
+	}
+	jit := 1 + p.Jitter*(2*rand.Float64()-1)
+	d = time.Duration(float64(d) * jit)
+	if retryAfter > d {
+		d = retryAfter
+	}
+	return d
+}
+
+// clientMetrics counts the retry loop's behavior (nil-safe).
+type clientMetrics struct {
+	retries   *obs.Counter
+	throttled *obs.Counter
+	giveups   *obs.Counter
+}
+
+// Client talks to a running vprof service (vprof push / vprof query, and
+// the end-to-end harness). Requests that fail transiently — transport
+// errors, 429 shed, 503 drain, 502/504 — are retried with exponential
+// backoff + jitter, honoring the server's Retry-After hint and the
+// caller's context deadline.
+type Client struct {
+	Base  string // server base URL, e.g. http://127.0.0.1:7070
+	HTTP  *http.Client
+	Retry RetryPolicy
+
+	m clientMetrics
+}
+
+// NewClient wraps a base URL with the default HTTP client and retry policy.
 func NewClient(base string) *Client {
 	return &Client{Base: base, HTTP: http.DefaultClient}
+}
+
+// Instrument registers the client's retry counters on reg (the "recovery"
+// side of the fault-tolerance instrumentation; asserted by the replay
+// harness).
+func (c *Client) Instrument(reg *obs.Registry) *Client {
+	c.m = clientMetrics{
+		retries: reg.Counter("vprof_client_retries_total",
+			"Requests re-sent after a transient failure."),
+		throttled: reg.Counter("vprof_client_throttled_total",
+			"429/503 responses received (server shedding or draining)."),
+		giveups: reg.Counter("vprof_client_giveups_total",
+			"Requests abandoned after exhausting the retry budget."),
+	}
+	return c
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -91,8 +179,86 @@ func apiError(resp *http.Response) error {
 	return err
 }
 
-func (c *Client) getJSON(path string, out any) error {
-	resp, err := c.httpClient().Get(c.Base + path)
+// retryableStatus reports whether a response status is worth re-sending
+// the request for.
+func retryableStatus(status int) bool {
+	switch status {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// retryAfter parses a Retry-After header (seconds form; HTTP dates are
+// rarer than this client needs).
+func retryAfter(resp *http.Response) time.Duration {
+	if resp == nil {
+		return 0
+	}
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second
+	}
+	return 0
+}
+
+// do runs one request with the retry loop. The body is a byte slice (not a
+// stream) precisely so every attempt can replay it. A context that is
+// already done short-circuits before anything is sent.
+func (c *Client) do(ctx context.Context, method, rawURL, contentType string, body []byte) (*http.Response, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	policy := c.Retry.withDefaults()
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		// Never dial on a dead context — an expired deadline means the
+		// caller already gave up.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		req, err := http.NewRequestWithContext(ctx, method, rawURL, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		resp, err := c.httpClient().Do(req)
+		var wait time.Duration
+		switch {
+		case err != nil:
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			lastErr = err // transport failure: retryable
+		case retryableStatus(resp.StatusCode):
+			if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+				c.m.throttled.Inc()
+			}
+			wait = retryAfter(resp)
+			lastErr = apiError(resp) // drains and closes the body
+		default:
+			return resp, nil
+		}
+		if attempt >= policy.MaxAttempts {
+			c.m.giveups.Inc()
+			return nil, fmt.Errorf("service: giving up after %d attempt(s): %w", attempt, lastErr)
+		}
+		c.m.retries.Inc()
+		t := time.NewTimer(policy.delay(attempt, wait))
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// doJSON runs a request and decodes a 200 JSON body into out.
+func (c *Client) doJSON(ctx context.Context, method, rawURL, contentType string, body []byte, out any) error {
+	resp, err := c.do(ctx, method, rawURL, contentType, body)
 	if err != nil {
 		return err
 	}
@@ -103,58 +269,76 @@ func (c *Client) getJSON(path string, out any) error {
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
-// PushBlob uploads one encoded profile bundle.
-func (c *Client) PushBlob(workload string, label store.Label, run string, blob []byte) (*PushResult, error) {
+// PushBlobContext uploads one encoded profile bundle. Safe to retry: the
+// server stores blobs content-addressed, so a duplicate delivery is a
+// no-op dedup hit.
+func (c *Client) PushBlobContext(ctx context.Context, workload string, label store.Label, run string, blob []byte) (*PushResult, error) {
 	q := url.Values{"workload": {workload}, "label": {string(label)}, "run": {run}}
-	resp, err := c.httpClient().Post(c.Base+"/v1/profiles?"+q.Encode(), "application/octet-stream", bytes.NewReader(blob))
-	if err != nil {
-		return nil, err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, apiError(resp)
-	}
-	defer resp.Body.Close()
 	var out PushResult
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+	if err := c.doJSON(ctx, http.MethodPost, c.Base+"/v1/profiles?"+q.Encode(),
+		"application/octet-stream", blob, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
 }
 
-// Push encodes and uploads a profile.
-func (c *Client) Push(workload string, label store.Label, run string, p *sampler.Profile) (*PushResult, error) {
+// PushBlob is PushBlobContext without a deadline.
+func (c *Client) PushBlob(workload string, label store.Label, run string, blob []byte) (*PushResult, error) {
+	return c.PushBlobContext(context.Background(), workload, label, run, blob)
+}
+
+// PushContext encodes and uploads a profile.
+func (c *Client) PushContext(ctx context.Context, workload string, label store.Label, run string, p *sampler.Profile) (*PushResult, error) {
 	blob, err := profilefmt.Marshal(p)
 	if err != nil {
 		return nil, err
 	}
-	return c.PushBlob(workload, label, run, blob)
+	return c.PushBlobContext(ctx, workload, label, run, blob)
 }
 
-// Workloads lists the server's stored workloads.
-func (c *Client) Workloads() ([]store.WorkloadInfo, error) {
+// Push encodes and uploads a profile.
+func (c *Client) Push(workload string, label store.Label, run string, p *sampler.Profile) (*PushResult, error) {
+	return c.PushContext(context.Background(), workload, label, run, p)
+}
+
+// WorkloadsContext lists the server's stored workloads.
+func (c *Client) WorkloadsContext(ctx context.Context) ([]store.WorkloadInfo, error) {
 	var out []store.WorkloadInfo
-	if err := c.getJSON("/v1/workloads", &out); err != nil {
+	if err := c.doJSON(ctx, http.MethodGet, c.Base+"/v1/workloads", "", nil, &out); err != nil {
 		return nil, err
 	}
 	return out, nil
 }
 
-// Diagnose requests a differential diagnosis.
-func (c *Client) Diagnose(req DiagnoseRequest) (*DiagnoseResponse, error) {
+// Workloads lists the server's stored workloads.
+func (c *Client) Workloads() ([]store.WorkloadInfo, error) {
+	return c.WorkloadsContext(context.Background())
+}
+
+// DiagnoseContext requests a differential diagnosis. Safe to retry: the
+// server memoizes diagnoses by their exact inputs, so a re-sent request
+// that already computed is a cache hit.
+func (c *Client) DiagnoseContext(ctx context.Context, req DiagnoseRequest) (*DiagnoseResponse, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.httpClient().Post(c.Base+"/v1/diagnose", "application/json", bytes.NewReader(body))
-	if err != nil {
+	var out DiagnoseResponse
+	if err := c.doJSON(ctx, http.MethodPost, c.Base+"/v1/diagnose", "application/json", body, &out); err != nil {
 		return nil, err
 	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, apiError(resp)
-	}
-	defer resp.Body.Close()
+	return &out, nil
+}
+
+// Diagnose requests a differential diagnosis.
+func (c *Client) Diagnose(req DiagnoseRequest) (*DiagnoseResponse, error) {
+	return c.DiagnoseContext(context.Background(), req)
+}
+
+// ReportContext fetches a stored diagnosis by report id.
+func (c *Client) ReportContext(ctx context.Context, id string) (*DiagnoseResponse, error) {
 	var out DiagnoseResponse
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+	if err := c.doJSON(ctx, http.MethodGet, c.Base+"/v1/report/"+url.PathEscape(id), "", nil, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -162,8 +346,13 @@ func (c *Client) Diagnose(req DiagnoseRequest) (*DiagnoseResponse, error) {
 
 // Report fetches a stored diagnosis by report id.
 func (c *Client) Report(id string) (*DiagnoseResponse, error) {
-	var out DiagnoseResponse
-	if err := c.getJSON("/v1/report/"+url.PathEscape(id), &out); err != nil {
+	return c.ReportContext(context.Background(), id)
+}
+
+// StatsContext fetches the server counters.
+func (c *Client) StatsContext(ctx context.Context) (*Stats, error) {
+	var out Stats
+	if err := c.doJSON(ctx, http.MethodGet, c.Base+"/v1/stats", "", nil, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -171,9 +360,5 @@ func (c *Client) Report(id string) (*DiagnoseResponse, error) {
 
 // Stats fetches the server counters.
 func (c *Client) Stats() (*Stats, error) {
-	var out Stats
-	if err := c.getJSON("/v1/stats", &out); err != nil {
-		return nil, err
-	}
-	return &out, nil
+	return c.StatsContext(context.Background())
 }

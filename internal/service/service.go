@@ -30,6 +30,7 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"runtime/debug"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -67,6 +68,13 @@ type Config struct {
 	Metrics *obs.Registry
 	// Logger receives structured request/diagnosis logs (nil = discard).
 	Logger *slog.Logger
+	// RequestTimeout bounds each request's total handling time, including
+	// its wait for a worker slot (0 = no per-request deadline).
+	RequestTimeout time.Duration
+	// MaxQueue bounds how many requests may wait for a worker slot; past
+	// that the service sheds load with 429 + Retry-After instead of
+	// building an unbounded backlog (default 64).
+	MaxQueue int
 }
 
 // Machine-readable error codes carried in the JSON error body alongside the
@@ -80,7 +88,14 @@ const (
 	CodeAnalysisFailed  = "analysis_failed"
 	CodeCanceled        = "canceled"
 	CodeInternal        = "internal"
+	CodeOverloaded      = "overloaded"  // admission queue full: retry later
+	CodeTimeout         = "timeout"     // per-request deadline exceeded
+	CodeUnavailable     = "unavailable" // draining for shutdown
 )
+
+// retryAfterSeconds is the Retry-After hint sent with 429/503 responses;
+// the client's backoff honors it.
+const retryAfterSeconds = "1"
 
 // StatusClientClosedRequest reports a diagnosis aborted because its client
 // disconnected (nginx's non-standard 499; never actually written to the
@@ -120,6 +135,8 @@ type serviceMetrics struct {
 	poolSlots   *obs.Gauge
 	poolInUse   *obs.Gauge
 	poolWaiting *obs.Gauge
+	panics      *obs.Counter
+	shed        *obs.Counter
 }
 
 func newServiceMetrics(reg *obs.Registry) serviceMetrics {
@@ -137,19 +154,31 @@ func newServiceMetrics(reg *obs.Registry) serviceMetrics {
 			"Worker-pool slots currently held."),
 		poolWaiting: reg.Gauge("vprof_pool_queue_depth",
 			"Requests blocked waiting for a worker-pool slot."),
+		panics: reg.Counter("vprof_panics_total",
+			"Handler panics recovered by the HTTP middleware (served as 500s)."),
+		shed: reg.Counter("vprof_shed_total",
+			"Requests shed with 429 because the admission queue was full."),
 	}
 }
 
 // Server implements the HTTP API. Create with New.
 type Server struct {
-	store    *store.Store
-	resolver Resolver
-	params   analysis.Params
-	top      int
-	sem      chan struct{}
-	reg      *obs.Registry
-	m        serviceMetrics
-	log      *slog.Logger
+	store      *store.Store
+	resolver   Resolver
+	params     analysis.Params
+	top        int
+	sem        chan struct{}
+	maxQueue   int
+	reqTimeout time.Duration
+	reg        *obs.Registry
+	m          serviceMetrics
+	log        *slog.Logger
+
+	queued atomic.Int64 // requests waiting for a worker slot
+
+	drainMu  sync.Mutex
+	draining bool
+	inFlight sync.WaitGroup // admitted requests not yet finished
 
 	mu       sync.Mutex
 	memo     map[string]*DiagnoseResponse // memo key → result
@@ -194,18 +223,24 @@ func New(cfg Config) (*Server, error) {
 	if logger == nil {
 		logger = obs.Nop()
 	}
+	maxQueue := cfg.MaxQueue
+	if maxQueue <= 0 {
+		maxQueue = 64
+	}
 	s := &Server{
-		store:    cfg.Store,
-		resolver: cfg.Resolver,
-		params:   params,
-		top:      top,
-		sem:      make(chan struct{}, workers),
-		reg:      reg,
-		m:        newServiceMetrics(reg),
-		log:      logger,
-		memo:     map[string]*DiagnoseResponse{},
-		reports:  map[string]*DiagnoseResponse{},
-		inflight: map[string]chan struct{}{},
+		store:      cfg.Store,
+		resolver:   cfg.Resolver,
+		params:     params,
+		top:        top,
+		sem:        make(chan struct{}, workers),
+		maxQueue:   maxQueue,
+		reqTimeout: cfg.RequestTimeout,
+		reg:        reg,
+		m:          newServiceMetrics(reg),
+		log:        logger,
+		memo:       map[string]*DiagnoseResponse{},
+		reports:    map[string]*DiagnoseResponse{},
+		inflight:   map[string]chan struct{}{},
 	}
 	s.m.poolSlots.Set(float64(workers))
 	return s, nil
@@ -215,12 +250,15 @@ func New(cfg Config) (*Server, error) {
 func (s *Server) Metrics() *obs.Registry { return s.reg }
 
 // Handler returns the routed HTTP handler. Every /v1 route is wrapped in
-// the HTTP metrics middleware; /metrics and /healthz are left bare so
-// scraping does not perturb the request-path series.
+// the HTTP metrics middleware plus the admission guard (drain check +
+// per-request timeout); /metrics and /healthz are left bare so scraping
+// does not perturb the request-path series and keeps working while the
+// server drains. The whole mux sits behind panic recovery, so a handler
+// bug costs one 500 (and a vprof_panics_total tick), not the process.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	route := func(pattern, label string, h http.HandlerFunc) {
-		mux.Handle(pattern, s.m.http.Wrap(label, h))
+		mux.Handle(pattern, s.m.http.Wrap(label, s.guard(h)))
 	}
 	route("POST /v1/profiles", "/v1/profiles", s.handleIngest)
 	route("GET /v1/workloads", "/v1/workloads", s.handleWorkloads)
@@ -229,23 +267,151 @@ func (s *Server) Handler() http.Handler {
 	route("GET /v1/stats", "/v1/stats", s.handleStats)
 	mux.Handle("GET /metrics", s.reg.Handler())
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	return mux
+	return s.recoverPanics(mux)
 }
 
-// acquireCtx blocks until a worker slot is free or ctx is canceled; the
-// returned func releases the slot.
-func (s *Server) acquireCtx(ctx context.Context) (func(), error) {
-	s.m.poolWaiting.Inc()
-	defer s.m.poolWaiting.Dec()
+// admittedKey marks a context that already passed the admission guard, so
+// DiagnoseContext does not double-register the request for draining.
+type admittedKey struct{}
+
+// guard is the admission middleware: reject new work while draining, track
+// the request for Shutdown, and apply the per-request deadline.
+func (s *Server) guard(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		done, err := s.beginRequest()
+		if err != nil {
+			w.Header().Set("Retry-After", retryAfterSeconds)
+			writeErr(w, http.StatusServiceUnavailable, errCode(err), "%v", err)
+			return
+		}
+		defer done()
+		ctx := context.WithValue(r.Context(), admittedKey{}, true)
+		if s.reqTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.reqTimeout)
+			defer cancel()
+		}
+		h(w, r.WithContext(ctx))
+	}
+}
+
+// recoverPanics turns a handler panic into a 500 + metric instead of a
+// dead process.
+func (s *Server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			p := recover()
+			if p == nil {
+				return
+			}
+			if p == http.ErrAbortHandler { // deliberate connection abort
+				panic(p)
+			}
+			s.m.panics.Inc()
+			s.log.Error("panic recovered", "method", r.Method, "path", r.URL.Path,
+				"panic", fmt.Sprint(p), "stack", string(debug.Stack()))
+			// Best effort: if the handler already wrote headers this is a
+			// no-op on a broken response, which is all a 500 would be too.
+			writeErr(w, http.StatusInternalServerError, CodeInternal, "internal error")
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// beginRequest admits one request for the drain accounting; it fails once
+// Shutdown has started. The returned func marks the request finished.
+func (s *Server) beginRequest() (func(), error) {
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	if s.draining {
+		return nil, withCode(CodeUnavailable, errors.New("service: shutting down"))
+	}
+	s.inFlight.Add(1)
+	return func() { s.inFlight.Done() }, nil
+}
+
+// Shutdown drains the server: new requests are rejected with 503 +
+// Retry-After, in-flight requests and diagnoses run to completion (bounded
+// by ctx), and the store is flushed. Safe to call more than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.drainMu.Lock()
+	s.draining = true
+	s.drainMu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.inFlight.Wait()
+		close(done)
+	}()
+	var drainErr error
 	select {
-	case s.sem <- struct{}{}:
+	case <-done:
+	case <-ctx.Done():
+		drainErr = fmt.Errorf("service: drain interrupted: %w", ctx.Err())
+	}
+	if err := s.store.Flush(); err != nil && drainErr == nil {
+		drainErr = err
+	}
+	return drainErr
+}
+
+// acquireCtx hands out a worker slot. A free slot is taken immediately;
+// otherwise the request queues — but only up to MaxQueue deep. Past that
+// the request is shed with CodeOverloaded (HTTP 429 + Retry-After) so an
+// overloaded server stays responsive instead of accumulating an unbounded
+// backlog. The returned func releases the slot.
+func (s *Server) acquireCtx(ctx context.Context) (func(), error) {
+	grab := func() func() {
 		s.m.poolInUse.Inc()
 		return func() {
 			s.m.poolInUse.Dec()
 			<-s.sem
-		}, nil
+		}
+	}
+	select {
+	case s.sem <- struct{}{}:
+		return grab(), nil
+	default:
+	}
+	if n := s.queued.Add(1); n > int64(s.maxQueue) {
+		s.queued.Add(-1)
+		s.m.shed.Inc()
+		return nil, withCode(CodeOverloaded,
+			fmt.Errorf("service: admission queue full (%d waiting)", n-1))
+	}
+	defer s.queued.Add(-1)
+	s.m.poolWaiting.Inc()
+	defer s.m.poolWaiting.Dec()
+	select {
+	case s.sem <- struct{}{}:
+		return grab(), nil
 	case <-ctx.Done():
-		return nil, ctx.Err()
+		return nil, cancelErr(ctx.Err())
+	}
+}
+
+// cancelErr types a context error: a blown deadline is a timeout (504), a
+// client disconnect a cancellation (499).
+func cancelErr(err error) error {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return withCode(CodeTimeout, err)
+	}
+	return withCode(CodeCanceled, err)
+}
+
+// statusFor maps a coded error to its HTTP status.
+func statusFor(err error) int {
+	switch errCode(err) {
+	case CodeOverloaded:
+		return http.StatusTooManyRequests
+	case CodeTimeout:
+		return http.StatusGatewayTimeout
+	case CodeUnavailable:
+		return http.StatusServiceUnavailable
+	case CodeCanceled:
+		return StatusClientClosedRequest
+	default:
+		return http.StatusInternalServerError
 	}
 }
 
@@ -305,7 +471,11 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	release, err := s.acquireCtx(r.Context())
 	if err != nil {
-		writeErr(w, StatusClientClosedRequest, CodeCanceled, "%v", err)
+		status := statusFor(err)
+		if status == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", retryAfterSeconds)
+		}
+		writeErr(w, status, errCode(err), "%v", err)
 		return
 	}
 	entry, dup, err := s.store.PutBlob(workload, label, run, blob)
@@ -381,6 +551,9 @@ func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 	// request aborts its analysis fan-out and releases its pool slot.
 	resp, status, err := s.DiagnoseContext(r.Context(), req)
 	if err != nil {
+		if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+			w.Header().Set("Retry-After", retryAfterSeconds)
+		}
 		writeErr(w, status, errCode(err), "%v", err)
 		return
 	}
@@ -400,6 +573,15 @@ func (s *Server) Diagnose(req DiagnoseRequest) (*DiagnoseResponse, int, error) {
 func (s *Server) DiagnoseContext(ctx context.Context, req DiagnoseRequest) (*DiagnoseResponse, int, error) {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	// Direct callers (CLI, harness) register with the drain accounting
+	// here; HTTP requests already did in the admission guard.
+	if ctx.Value(admittedKey{}) == nil {
+		done, err := s.beginRequest()
+		if err != nil {
+			return nil, statusFor(err), err
+		}
+		defer done()
 	}
 	if req.Workload == "" {
 		return nil, http.StatusBadRequest, withCode(CodeBadRequest, fmt.Errorf("workload is required"))
@@ -454,12 +636,13 @@ func (s *Server) DiagnoseContext(ctx context.Context, req DiagnoseRequest) (*Dia
 		select {
 		case <-ch:
 		case <-ctx.Done():
-			s.m.diagnoses.With("canceled").Inc()
-			return nil, StatusClientClosedRequest, withCode(CodeCanceled, ctx.Err())
+			cerr := cancelErr(ctx.Err())
+			s.m.diagnoses.With(outcomeFor(cerr)).Inc()
+			return nil, statusFor(cerr), cerr
 		}
 	}
 	start := time.Now()
-	resp, status, err := s.compute(ctx, req.Workload, top, key, baselines, candidates)
+	resp, status, err := s.computeGuarded(ctx, req.Workload, top, key, baselines, candidates)
 	s.mu.Lock()
 	if err == nil {
 		s.memo[key] = resp
@@ -470,11 +653,7 @@ func (s *Server) DiagnoseContext(ctx context.Context, req DiagnoseRequest) (*Dia
 	s.mu.Unlock()
 	close(ch)
 	if err != nil {
-		outcome := "error"
-		if errCode(err) == CodeCanceled {
-			outcome = "canceled"
-		}
-		s.m.diagnoses.With(outcome).Inc()
+		s.m.diagnoses.With(outcomeFor(err)).Inc()
 		s.log.Warn("diagnose failed", "workload", req.Workload, "status", status, "err", err)
 		return nil, status, err
 	}
@@ -487,6 +666,40 @@ func (s *Server) DiagnoseContext(ctx context.Context, req DiagnoseRequest) (*Dia
 	out := *resp
 	out.MemoHits = s.memoHits.Load()
 	return &out, http.StatusOK, nil
+}
+
+// outcomeFor buckets a diagnose failure for the outcome counter.
+func outcomeFor(err error) string {
+	switch errCode(err) {
+	case CodeCanceled:
+		return "canceled"
+	case CodeTimeout:
+		return "timeout"
+	case CodeOverloaded:
+		return "shed"
+	default:
+		return "error"
+	}
+}
+
+// computeGuarded runs compute with the in-flight dedup entry protected
+// against panics: whatever happens, waiters on this key are released and
+// the key freed for the next attempt before the panic continues up to the
+// recovery middleware.
+func (s *Server) computeGuarded(ctx context.Context, workload string, top int, key string, baselines, candidates []*store.Entry) (resp *DiagnoseResponse, status int, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			s.mu.Lock()
+			ch := s.inflight[key]
+			delete(s.inflight, key)
+			s.mu.Unlock()
+			if ch != nil {
+				close(ch)
+			}
+			panic(p)
+		}
+	}()
+	return s.compute(ctx, workload, top, key, baselines, candidates)
 }
 
 func (s *Server) cachedCopy(resp *DiagnoseResponse) *DiagnoseResponse {
@@ -514,16 +727,17 @@ func memoKey(workload string, top int, baselines, candidates []*store.Entry) str
 func (s *Server) compute(ctx context.Context, workload string, top int, key string, baselines, candidates []*store.Entry) (*DiagnoseResponse, int, error) {
 	release, err := s.acquireCtx(ctx)
 	if err != nil {
-		return nil, StatusClientClosedRequest, withCode(CodeCanceled, err)
+		return nil, statusFor(err), err
 	}
 	defer release()
 
-	debug, sch, err := s.resolver.Resolve(workload)
+	dbg, sch, err := s.resolver.Resolve(workload)
 	if err != nil {
 		return nil, http.StatusNotFound, withCode(CodeNotFound, fmt.Errorf("resolve workload %q: %w", workload, err))
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, StatusClientClosedRequest, withCode(CodeCanceled, err)
+		cerr := cancelErr(err)
+		return nil, statusFor(cerr), cerr
 	}
 	load := func(entries []*store.Entry) ([]*sampler.Profile, []string, error) {
 		var ps []*sampler.Profile
@@ -547,14 +761,15 @@ func (s *Server) compute(ctx context.Context, workload string, top int, key stri
 		return nil, http.StatusInternalServerError, withCode(CodeInternal, err)
 	}
 	report, err := analysis.AnalyzeContext(ctx, analysis.Input{
-		Debug:  debug,
+		Debug:  dbg,
 		Schema: sch,
 		Normal: normal,
 		Buggy:  buggy,
 	}, s.params)
 	if err != nil {
 		if ctx.Err() != nil {
-			return nil, StatusClientClosedRequest, withCode(CodeCanceled, err)
+			cerr := cancelErr(ctx.Err())
+			return nil, statusFor(cerr), cerr
 		}
 		return nil, http.StatusUnprocessableEntity, withCode(CodeAnalysisFailed, fmt.Errorf("analyze %q: %w", workload, err))
 	}

@@ -1,0 +1,73 @@
+package store
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzManifestDecode hammers the manifest record parser with valid,
+// truncated and bit-flipped lines. The invariants: parsing never panics,
+// anything that parses re-encodes to a line that parses back to the same
+// record (round trip), and damaging a valid line's payload is caught by
+// its CRC framing.
+func FuzzManifestDecode(f *testing.F) {
+	seed := &Entry{
+		ID:       strings.Repeat("ab", 32),
+		Workload: "redis get/set",
+		Label:    LabelNormal,
+		Run:      "run 7",
+	}
+	valid := formatManifestLine(seed, blobRef{segment: 1, offset: 16, size: 128})
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2]) // truncated mid-record
+	flipped := []byte(valid)
+	flipped[4] ^= 0x20 // bit flip inside the payload
+	f.Add(string(flipped))
+	f.Add("")
+	f.Add("v2\n")
+	f.Add("v1 deadbeef 0 12 w normal r\n") // pre-CRC format: must be rejected
+	f.Add(strings.TrimSuffix(valid, "\n")) // missing terminator is fine for the parser
+
+	f.Fuzz(func(t *testing.T, line string) {
+		e, ref, err := parseManifestLine(line)
+		if err != nil {
+			return
+		}
+		re := formatManifestLine(e, ref)
+		e2, ref2, err := parseManifestLine(re)
+		if err != nil {
+			t.Fatalf("re-encoded record rejected: %v\n in: %q\nout: %q", err, line, re)
+		}
+		// Seq is assigned at index time, not parse time.
+		if e2.ID != e.ID || e2.Workload != e.Workload || e2.Label != e.Label ||
+			e2.Run != e.Run || e2.Size != e.Size || ref2 != ref {
+			t.Fatalf("round trip changed the record:\n%+v %+v\n%+v %+v", e, ref, e2, ref2)
+		}
+	})
+}
+
+// TestManifestDecodeRejectsDamage spot-checks the CRC framing outside the
+// fuzzer: every single-byte corruption of a valid record must be rejected
+// or decode to the identical record (a flip inside escaped padding can be
+// benign only if the CRC still matches, which it cannot).
+func TestManifestDecodeRejectsDamage(t *testing.T) {
+	e := &Entry{ID: strings.Repeat("cd", 32), Workload: "w", Label: LabelCandidate, Run: "3", Size: 42}
+	line := formatManifestLine(e, blobRef{segment: 2, offset: 24, size: 42})
+	if _, _, err := parseManifestLine(line); err != nil {
+		t.Fatalf("valid line rejected: %v", err)
+	}
+	for i := 0; i < len(line)-1; i++ { // spare the trailing newline
+		raw := []byte(line)
+		raw[i] ^= 0x01
+		if _, _, err := parseManifestLine(string(raw)); err == nil {
+			t.Fatalf("corruption at byte %d accepted: %q", i, raw)
+		}
+	}
+	// Truncations must be rejected too — except dropping only the trailing
+	// newline, which the parser tolerates.
+	for cut := 1; cut < len(line)-1; cut++ {
+		if _, _, err := parseManifestLine(line[:cut]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", cut)
+		}
+	}
+}

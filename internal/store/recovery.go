@@ -1,0 +1,457 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"vprof/internal/faultfs"
+)
+
+// FsckReport is the outcome of a recovery pass over a store directory —
+// run implicitly by Open, or explicitly by Fsck / Repair / `vprof fsck`.
+type FsckReport struct {
+	Dir     string
+	Records int // valid manifest records that survived
+
+	// Issues lists every problem found; empty means the store was clean.
+	Issues []string
+	// Repaired lists the actions actually taken (only Repair/Open take
+	// action; Fsck reports what it would do).
+	Repaired []string
+	// DroppedRecords counts manifest records discarded because their line
+	// was corrupt, trailed a corrupt line, or referenced a bad segment.
+	DroppedRecords int
+	// Quarantined lists segment files that failed verification and were
+	// (or would be) moved into quarantine/ instead of loaded.
+	Quarantined []string
+	// TruncatedBytes is the torn-tail debris trimmed from the manifest and
+	// segments.
+	TruncatedBytes int64
+}
+
+// Clean reports whether the pass found nothing wrong.
+func (r *FsckReport) Clean() bool { return len(r.Issues) == 0 }
+
+// Render formats the report for humans (the `vprof fsck` output).
+func (r *FsckReport) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "store %s: %d record(s)", r.Dir, r.Records)
+	if r.Clean() {
+		b.WriteString(", clean\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, ", %d issue(s)\n", len(r.Issues))
+	for _, is := range r.Issues {
+		fmt.Fprintf(&b, "  issue: %s\n", is)
+	}
+	for _, q := range r.Quarantined {
+		fmt.Fprintf(&b, "  quarantine: %s\n", q)
+	}
+	if r.DroppedRecords > 0 {
+		fmt.Fprintf(&b, "  dropped records: %d\n", r.DroppedRecords)
+	}
+	if r.TruncatedBytes > 0 {
+		fmt.Fprintf(&b, "  truncated bytes: %d\n", r.TruncatedBytes)
+	}
+	for _, rep := range r.Repaired {
+		fmt.Fprintf(&b, "  repaired: %s\n", rep)
+	}
+	return b.String()
+}
+
+// Fsck checks a store directory without modifying it: the report lists the
+// damage a Repair (or Open) would fix. The returned error means the store
+// is unrecoverable — the directory or manifest cannot even be read.
+func Fsck(dir string) (*FsckReport, error) {
+	rep, _, err := recoverDir(faultfs.NewOS(), dir, recoverOpts{verify: true})
+	return rep, err
+}
+
+// Repair checks a store directory and fixes what it finds: truncates torn
+// tails, removes temp debris, quarantines corrupt segments, and rewrites
+// the manifest without records that pointed into them.
+func Repair(dir string) (*FsckReport, error) {
+	rep, _, err := recoverDir(faultfs.NewOS(), dir, recoverOpts{apply: true, verify: true})
+	return rep, err
+}
+
+// recoverOpts: apply=false is a dry run (Fsck); verify=false skips the
+// per-blob checksum pass (structural checks still run).
+type recoverOpts struct {
+	apply  bool
+	verify bool
+}
+
+// recoveredRecord is one manifest record that survived recovery.
+type recoveredRecord struct {
+	entry *Entry
+	ref   blobRef
+}
+
+// recoverDir is the single recovery path shared by Open, Fsck and Repair:
+//
+//  1. remove stray *.tmp files (a crash mid segment-creation);
+//  2. replay the manifest up to its first corrupt record and truncate the
+//     rest — records are CRC-framed, so a torn or flipped line is caught;
+//  3. verify every referenced segment: magic header, every referenced
+//     frame in bounds with a matching size field (and, with verify, a
+//     matching payload CRC32C). A segment that fails is quarantined and
+//     its records dropped; a segment with bytes past its last referenced
+//     frame (an append whose manifest record never landed) is truncated;
+//  4. truncate unreferenced segments back to their header, or quarantine
+//     them if even the header is bad;
+//  5. if step 3 dropped records, rewrite the manifest (temp + rename) so
+//     the next replay is clean.
+//
+// A non-nil error means unrecoverable: the directory, manifest or a
+// segment could not even be read/moved, so no consistent state can be
+// produced.
+func recoverDir(fsys faultfs.FS, dir string, o recoverOpts) (*FsckReport, []recoveredRecord, error) {
+	rep := &FsckReport{Dir: dir}
+	if _, err := fsys.Stat(dir); err != nil {
+		return rep, nil, fmt.Errorf("store: unrecoverable: %w", err)
+	}
+
+	des, err := fsys.ReadDir(dir)
+	if err != nil {
+		return rep, nil, fmt.Errorf("store: unrecoverable: %w", err)
+	}
+	onDisk := map[string]bool{} // segment files present in the directory
+	for _, de := range des {
+		name := de.Name()
+		switch {
+		case strings.HasSuffix(name, ".tmp"):
+			rep.Issues = append(rep.Issues, fmt.Sprintf("stray temp file %s", name))
+			if o.apply {
+				if err := fsys.Remove(filepath.Join(dir, name)); err != nil {
+					return rep, nil, fmt.Errorf("store: unrecoverable: remove %s: %w", name, err)
+				}
+				rep.Repaired = append(rep.Repaired, fmt.Sprintf("removed %s", name))
+			}
+		case strings.HasPrefix(name, "segment-") && strings.HasSuffix(name, ".seg"):
+			onDisk[name] = true
+		}
+	}
+
+	records, err := replayManifest(fsys, dir, rep, o)
+	if err != nil {
+		return rep, nil, err
+	}
+
+	// Group surviving records by the segment they point into.
+	bySeg := map[int][]recoveredRecord{}
+	for _, rec := range records {
+		bySeg[rec.ref.segment] = append(bySeg[rec.ref.segment], rec)
+	}
+	segIDs := make([]int, 0, len(bySeg))
+	for id := range bySeg {
+		segIDs = append(segIDs, id)
+	}
+	sort.Ints(segIDs)
+
+	badSeg := map[int]bool{}
+	for _, id := range segIDs {
+		ok, err := checkSegment(fsys, dir, id, bySeg[id], rep, o)
+		if err != nil {
+			return rep, nil, err
+		}
+		if !ok {
+			badSeg[id] = true
+			rep.DroppedRecords += len(bySeg[id])
+		}
+		delete(onDisk, segmentName(id))
+	}
+
+	// Unreferenced segments: a fresh (or fully-unacked) segment is fine
+	// once trimmed to its header; anything headerless is quarantined.
+	var unref []string
+	for name := range onDisk {
+		unref = append(unref, name)
+	}
+	sort.Strings(unref)
+	for _, name := range unref {
+		if err := checkUnreferencedSegment(fsys, dir, name, rep, o); err != nil {
+			return rep, nil, err
+		}
+	}
+
+	// Drop records that pointed into quarantined/missing segments, and
+	// persist that decision so the next replay does not resurrect them.
+	if len(badSeg) > 0 {
+		kept := records[:0]
+		for _, rec := range records {
+			if !badSeg[rec.ref.segment] {
+				kept = append(kept, rec)
+			}
+		}
+		records = kept
+		if o.apply {
+			if err := rewriteManifest(fsys, dir, records); err != nil {
+				return rep, nil, fmt.Errorf("store: unrecoverable: rewrite manifest: %w", err)
+			}
+			rep.Repaired = append(rep.Repaired,
+				fmt.Sprintf("rewrote manifest without %d dropped record(s)", rep.DroppedRecords))
+		}
+	}
+	rep.Records = len(records)
+	return rep, records, nil
+}
+
+// readFileVia reads a whole file through the faultfs seam (nil, nil when it
+// does not exist).
+func readFileVia(fsys faultfs.FS, path string) ([]byte, error) {
+	fi, err := fsys.Stat(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	f, err := fsys.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, fi.Size())
+	if _, err := io.ReadFull(io.NewSectionReader(f, 0, fi.Size()), buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// replayManifest parses the manifest up to its first invalid record. Any
+// bytes past that point — a torn final line after a crash, or a flipped
+// record and everything behind it — are truncated away (when applying).
+func replayManifest(fsys faultfs.FS, dir string, rep *FsckReport, o recoverOpts) ([]recoveredRecord, error) {
+	path := filepath.Join(dir, "MANIFEST")
+	data, err := readFileVia(fsys, path)
+	if err != nil {
+		return nil, fmt.Errorf("store: unrecoverable: read manifest: %w", err)
+	}
+	var records []recoveredRecord
+	validLen := int64(0)
+	rest := data
+	for len(rest) > 0 {
+		nl := -1
+		for i, b := range rest {
+			if b == '\n' {
+				nl = i
+				break
+			}
+		}
+		if nl < 0 {
+			break // trailing fragment without newline: torn tail
+		}
+		line := string(rest[:nl+1])
+		e, ref, perr := parseManifestLine(line)
+		if perr != nil {
+			break
+		}
+		records = append(records, recoveredRecord{entry: e, ref: ref})
+		validLen += int64(nl + 1)
+		rest = rest[nl+1:]
+	}
+	if validLen < int64(len(data)) {
+		torn := int64(len(data)) - validLen
+		// Complete lines beyond the corrupt one are records being dropped.
+		for _, b := range data[validLen:] {
+			if b == '\n' {
+				rep.DroppedRecords++
+			}
+		}
+		rep.TruncatedBytes += torn
+		rep.Issues = append(rep.Issues,
+			fmt.Sprintf("manifest: %d corrupt/torn byte(s) after %d valid record(s)", torn, len(records)))
+		if o.apply {
+			if err := fsys.Truncate(path, validLen); err != nil {
+				return nil, fmt.Errorf("store: unrecoverable: truncate manifest: %w", err)
+			}
+			rep.Repaired = append(rep.Repaired, fmt.Sprintf("truncated manifest to %d bytes", validLen))
+		}
+	}
+	return records, nil
+}
+
+// checkSegment verifies one referenced segment. Returns ok=false when the
+// segment cannot be trusted (missing, bad header, frame mismatch, payload
+// checksum failure) — the caller drops its records; the file itself is
+// quarantined. A trustworthy segment with torn bytes past its last
+// referenced frame is truncated back to that frame's end.
+func checkSegment(fsys faultfs.FS, dir string, id int, recs []recoveredRecord, rep *FsckReport, o recoverOpts) (bool, error) {
+	name := segmentName(id)
+	path := filepath.Join(dir, name)
+	fi, err := fsys.Stat(path)
+	if errors.Is(err, os.ErrNotExist) {
+		rep.Issues = append(rep.Issues, fmt.Sprintf("%s: missing (%d record(s) point into it)", name, len(recs)))
+		return false, nil
+	}
+	if err != nil {
+		return false, fmt.Errorf("store: unrecoverable: stat %s: %w", name, err)
+	}
+	f, err := fsys.Open(path)
+	if err != nil {
+		return false, fmt.Errorf("store: unrecoverable: open %s: %w", name, err)
+	}
+	bad := func(format string, args ...any) (bool, error) {
+		f.Close()
+		rep.Issues = append(rep.Issues, fmt.Sprintf("%s: ", name)+fmt.Sprintf(format, args...))
+		if err := quarantine(fsys, dir, name, rep, o); err != nil {
+			return false, err
+		}
+		return false, nil
+	}
+
+	hdr := make([]byte, segHeaderSize)
+	if _, err := f.ReadAt(hdr, 0); err != nil {
+		return bad("unreadable header: %v", err)
+	}
+	if string(hdr[:4]) != segMagic || binary.LittleEndian.Uint32(hdr[4:]) != segVersion {
+		return bad("bad header %q", hdr)
+	}
+
+	maxEnd := int64(segHeaderSize)
+	for _, rec := range recs {
+		end := rec.ref.offset + rec.ref.size
+		if end > maxEnd {
+			maxEnd = end
+		}
+		if rec.ref.offset < segHeaderSize+frameHeaderSize {
+			return bad("record %s points into the header", rec.entry.ID[:8])
+		}
+		if end > fi.Size() {
+			return bad("record %s reaches byte %d but the file has %d", rec.entry.ID[:8], end, fi.Size())
+		}
+		fh := make([]byte, frameHeaderSize)
+		if _, err := f.ReadAt(fh, rec.ref.offset-frameHeaderSize); err != nil {
+			return bad("unreadable frame header at %d: %v", rec.ref.offset-frameHeaderSize, err)
+		}
+		if got := int64(binary.LittleEndian.Uint32(fh[0:4])); got != rec.ref.size {
+			return bad("frame at %d sized %d, manifest says %d", rec.ref.offset-frameHeaderSize, got, rec.ref.size)
+		}
+		if o.verify {
+			payload := make([]byte, rec.ref.size)
+			if _, err := f.ReadAt(payload, rec.ref.offset); err != nil {
+				return bad("unreadable blob at %d: %v", rec.ref.offset, err)
+			}
+			if got, want := crc32.Checksum(payload, castagnoli), binary.LittleEndian.Uint32(fh[4:8]); got != want {
+				return bad("blob at %d fails CRC32C (%08x != %08x)", rec.ref.offset, got, want)
+			}
+		}
+	}
+	f.Close()
+
+	if fi.Size() > maxEnd {
+		torn := fi.Size() - maxEnd
+		rep.TruncatedBytes += torn
+		rep.Issues = append(rep.Issues,
+			fmt.Sprintf("%s: %d unreferenced byte(s) past the last acked frame", name, torn))
+		if o.apply {
+			if err := fsys.Truncate(path, maxEnd); err != nil {
+				return false, fmt.Errorf("store: unrecoverable: truncate %s: %w", name, err)
+			}
+			rep.Repaired = append(rep.Repaired, fmt.Sprintf("truncated %s to %d bytes", name, maxEnd))
+		}
+	}
+	return true, nil
+}
+
+// checkUnreferencedSegment handles a segment file no manifest record points
+// into: keep it if its header is sound (trimming unacked bytes), otherwise
+// quarantine it.
+func checkUnreferencedSegment(fsys faultfs.FS, dir, name string, rep *FsckReport, o recoverOpts) error {
+	path := filepath.Join(dir, name)
+	fi, err := fsys.Stat(path)
+	if err != nil {
+		return fmt.Errorf("store: unrecoverable: stat %s: %w", name, err)
+	}
+	headerOK := false
+	if fi.Size() >= segHeaderSize {
+		f, err := fsys.Open(path)
+		if err != nil {
+			return fmt.Errorf("store: unrecoverable: open %s: %w", name, err)
+		}
+		hdr := make([]byte, segHeaderSize)
+		if _, rerr := f.ReadAt(hdr, 0); rerr == nil &&
+			string(hdr[:4]) == segMagic && binary.LittleEndian.Uint32(hdr[4:]) == segVersion {
+			headerOK = true
+		}
+		f.Close()
+	}
+	if !headerOK {
+		rep.Issues = append(rep.Issues, fmt.Sprintf("%s: unreferenced with a bad header", name))
+		return quarantine(fsys, dir, name, rep, o)
+	}
+	if fi.Size() > segHeaderSize {
+		torn := fi.Size() - segHeaderSize
+		rep.TruncatedBytes += torn
+		rep.Issues = append(rep.Issues,
+			fmt.Sprintf("%s: %d unacked byte(s) in an unreferenced segment", name, torn))
+		if o.apply {
+			if err := fsys.Truncate(path, segHeaderSize); err != nil {
+				return fmt.Errorf("store: unrecoverable: truncate %s: %w", name, err)
+			}
+			rep.Repaired = append(rep.Repaired, fmt.Sprintf("truncated %s to its header", name))
+		}
+	}
+	return nil
+}
+
+// quarantine moves a condemned segment into <dir>/quarantine/, picking a
+// fresh name if a previous incarnation is already there.
+func quarantine(fsys faultfs.FS, dir, name string, rep *FsckReport, o recoverOpts) error {
+	rep.Quarantined = append(rep.Quarantined, name)
+	if !o.apply {
+		return nil
+	}
+	qdir := filepath.Join(dir, "quarantine")
+	if err := fsys.MkdirAll(qdir, 0o755); err != nil {
+		return fmt.Errorf("store: unrecoverable: create quarantine dir: %w", err)
+	}
+	dst := filepath.Join(qdir, name)
+	for i := 1; ; i++ {
+		if _, err := fsys.Stat(dst); errors.Is(err, os.ErrNotExist) {
+			break
+		}
+		dst = filepath.Join(qdir, fmt.Sprintf("%s.%d", name, i))
+	}
+	if err := fsys.Rename(filepath.Join(dir, name), dst); err != nil {
+		return fmt.Errorf("store: unrecoverable: quarantine %s: %w", name, err)
+	}
+	rep.Repaired = append(rep.Repaired, fmt.Sprintf("moved %s to %s", name, dst))
+	return nil
+}
+
+// rewriteManifest persists the surviving records as a fresh manifest via
+// temp-file + rename, so a crash mid-rewrite leaves the old file intact.
+func rewriteManifest(fsys faultfs.FS, dir string, records []recoveredRecord) error {
+	path := filepath.Join(dir, "MANIFEST")
+	tmp := path + ".rewrite.tmp"
+	f, err := fsys.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	for _, rec := range records {
+		if _, err := io.WriteString(f, formatManifestLine(rec.entry, rec.ref)); err != nil {
+			f.Close()
+			fsys.Remove(tmp)
+			return err
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		fsys.Remove(tmp)
+		return err
+	}
+	return fsys.Rename(tmp, path)
+}

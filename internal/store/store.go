@@ -3,17 +3,33 @@
 // profilefmt bundles, with an in-memory index that is rebuilt from a
 // manifest on open.
 //
-// Layout on disk (all files append-only):
+// Layout on disk:
 //
-//	<dir>/MANIFEST            — one line per entry: links (workload, label,
-//	                            run) keys to a content hash + segment offset
-//	<dir>/segment-000000.seg  — raw bundle blobs, concatenated
+//	<dir>/MANIFEST            — one CRC32C-framed record per line: links a
+//	                            (workload, label, run) key to a content hash
+//	                            + segment offset
+//	<dir>/segment-000000.seg  — 8-byte header, then framed bundle blobs
 //	<dir>/segment-000001.seg  — next segment after rollover, …
+//	<dir>/quarantine/         — segments recovery refused to trust
 //
 // Blobs are keyed by their SHA-256: pushing the same profile twice stores
 // one copy, and a re-read blob is verified against its hash before being
 // decoded. Entries (the (workload, label, run) → hash links) are what the
-// manifest accumulates; a duplicate entry is a no-op. The store also keeps
+// manifest accumulates; a duplicate entry is a no-op.
+//
+// Crash safety. Every append follows the same discipline: the blob frame is
+// written and fsynced to its segment, then the manifest record is written
+// and fsynced, and only then is the push acknowledged. A crash at any point
+// therefore loses at most unacknowledged work: recovery (run inside Open,
+// or explicitly via Fsck/Repair) replays the manifest, stops at the first
+// record that fails its CRC, truncates the torn tail of both the manifest
+// and the active segment, and quarantines — never loads — any segment whose
+// framed blobs fail their checksums. New segment files are born via
+// temp-file + rename so a half-created segment can never be mistaken for a
+// real one. All file operations go through a faultfs.FS, so the
+// crash-replay test matrix can cut the power at every single write.
+//
+// The store also keeps
 //   - a rolling baseline corpus per workload: the most recent BaselineCap
 //     normal runs, what the diagnosis endpoint compares candidates against;
 //   - a bounded cache of decoded profiles, so repeated diagnoses of the
@@ -21,18 +37,22 @@
 package store
 
 import (
-	"bufio"
 	"crypto/sha256"
+	"encoding/binary"
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"hash/crc32"
+	"io"
 	"net/url"
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 
+	"vprof/internal/faultfs"
 	"vprof/internal/obs"
 	"vprof/internal/profilefmt"
 	"vprof/internal/sampler"
@@ -41,6 +61,20 @@ import (
 // ErrInvalidProfile wraps every decode rejection at ingest, so API layers
 // can map "the uploaded bundle is garbage" to a typed client error.
 var ErrInvalidProfile = errors.New("store: invalid profile bundle")
+
+// castagnoli is the CRC32C table shared by manifest records and blob frames.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+const (
+	// segHeaderSize bytes open every segment file: the magic "VSEG" plus a
+	// little-endian format version.
+	segHeaderSize = 8
+	segMagic      = "VSEG"
+	segVersion    = 1
+	// frameHeaderSize bytes precede every blob in a segment: payload size
+	// and CRC32C, both little-endian uint32.
+	frameHeaderSize = 8
+)
 
 // Label classifies an entry: part of the normal baseline corpus, or a
 // candidate (suspected-buggy) run to diagnose against it.
@@ -90,9 +124,20 @@ type Options struct {
 	// SegmentSize triggers rollover to a new segment file once the
 	// current one exceeds it (default 64 MiB).
 	SegmentSize int64
+	// FS is the filesystem the store persists through (default: the real
+	// one). The crash-replay tests substitute a faultfs.Injector.
+	FS faultfs.FS
+	// NoSync skips the per-append fsyncs. Acknowledged pushes are then no
+	// longer crash-durable; only benchmarks should set this.
+	NoSync bool
+	// SkipOpenVerify skips the blob checksum pass during Open's recovery
+	// (structural checks — torn tails, frame sizes — still run). Get still
+	// verifies every blob's SHA-256 on read.
+	SkipOpenVerify bool
 	// Metrics, when non-nil, receives the store's instrumentation
 	// (segments written, ingest bytes, dedup hits, decoded-cache
-	// hits/misses). A nil registry costs nil-receiver no-ops.
+	// hits/misses, recovery counters). A nil registry costs nil-receiver
+	// no-ops.
 	Metrics *obs.Registry
 }
 
@@ -105,6 +150,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.SegmentSize <= 0 {
 		o.SegmentSize = 64 << 20
+	}
+	if o.FS == nil {
+		o.FS = faultfs.NewOS()
 	}
 	return o
 }
@@ -119,17 +167,22 @@ type CacheStats struct {
 type Store struct {
 	dir  string
 	opts Options
+	fsys faultfs.FS
 
-	mu       sync.RWMutex
-	blobs    map[string]blobRef  // content hash → location
-	entries  map[string]*Entry   // entry key (workload|label|run) → entry
-	byWl     map[string][]*Entry // workload → entries in Seq order
-	seq      int
-	manifest *os.File
-	segID    int
-	seg      *os.File // current segment, append handle
-	segSize  int64
-	readers  map[int]*os.File // read handles per segment
+	mu           sync.RWMutex
+	blobs        map[string]blobRef  // content hash → location
+	entries      map[string]*Entry   // entry key (workload|label|run) → entry
+	byWl         map[string][]*Entry // workload → entries in Seq order
+	seq          int
+	manifest     faultfs.File
+	manifestSize int64
+	segID        int
+	seg          faultfs.File // current segment, append handle
+	segSize      int64
+	readers      map[int]faultfs.File // read handles per segment
+	broken       error                // sticky: set when a failed rollback leaves disk state untracked
+
+	recovery *FsckReport // what Open's recovery found and fixed
 
 	cache      map[string]*sampler.Profile
 	cacheOrder []string // FIFO eviction
@@ -141,12 +194,15 @@ type Store struct {
 
 // storeMetrics holds the store's nil-safe instrumentation handles.
 type storeMetrics struct {
-	segments     *obs.Counter
-	ingestBytes  *obs.Counter
-	dedupHits    *obs.Counter
-	cacheHits    *obs.Counter
-	cacheMisses  *obs.Counter
-	cacheEntries *obs.Gauge
+	segments       *obs.Counter
+	ingestBytes    *obs.Counter
+	dedupHits      *obs.Counter
+	cacheHits      *obs.Counter
+	cacheMisses    *obs.Counter
+	cacheEntries   *obs.Gauge
+	quarantined    *obs.Counter
+	recoveredDrops *obs.Counter
+	recoveredBytes *obs.Counter
 }
 
 func newStoreMetrics(reg *obs.Registry) storeMetrics {
@@ -166,106 +222,192 @@ func newStoreMetrics(reg *obs.Registry) storeMetrics {
 			"Profile reads that had to re-read and decode a blob."),
 		cacheEntries: reg.Gauge("vprof_store_decoded_cache_entries",
 			"Profiles currently held by the decoded-profile cache."),
+		quarantined: reg.Counter("vprof_store_quarantined_segments_total",
+			"Segment files recovery moved to quarantine/ instead of loading."),
+		recoveredDrops: reg.Counter("vprof_store_recovery_dropped_records_total",
+			"Manifest records dropped during recovery (torn tail or quarantined segment)."),
+		recoveredBytes: reg.Counter("vprof_store_recovery_truncated_bytes_total",
+			"Torn bytes trimmed from the manifest and segments during recovery."),
 	}
 }
 
-// Open creates or reopens a store rooted at dir, rebuilding the index by
-// replaying the manifest.
+// Open creates or reopens a store rooted at dir. Recovery runs first: the
+// manifest is replayed up to its first corrupt record, torn tails are
+// truncated, and corrupt segments are quarantined rather than loaded — an
+// unclean shutdown never prevents opening. What recovery found is available
+// via Recovery.
 func Open(dir string, opts Options) (*Store, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	opts = opts.withDefaults()
+	fsys := opts.FS
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	rep, records, err := recoverDir(fsys, dir, recoverOpts{apply: true, verify: !opts.SkipOpenVerify})
+	if err != nil {
 		return nil, err
 	}
 	s := &Store{
-		dir:     dir,
-		opts:    opts.withDefaults(),
-		blobs:   map[string]blobRef{},
-		entries: map[string]*Entry{},
-		byWl:    map[string][]*Entry{},
-		readers: map[int]*os.File{},
-		cache:   map[string]*sampler.Profile{},
-		m:       newStoreMetrics(opts.Metrics),
+		dir:      dir,
+		opts:     opts,
+		fsys:     fsys,
+		blobs:    map[string]blobRef{},
+		entries:  map[string]*Entry{},
+		byWl:     map[string][]*Entry{},
+		readers:  map[int]faultfs.File{},
+		cache:    map[string]*sampler.Profile{},
+		recovery: rep,
+		m:        newStoreMetrics(opts.Metrics),
 	}
-	if err := s.replayManifest(); err != nil {
-		return nil, err
+	s.m.quarantined.Add(float64(len(rep.Quarantined)))
+	s.m.recoveredDrops.Add(float64(rep.DroppedRecords))
+	s.m.recoveredBytes.Add(float64(rep.TruncatedBytes))
+	for _, rec := range records {
+		s.indexLocked(rec.entry, rec.ref)
+		if rec.ref.segment > s.segID {
+			s.segID = rec.ref.segment
+		}
 	}
-	mf, err := os.OpenFile(s.manifestPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if onDisk := maxSegmentID(fsys, dir); onDisk > s.segID {
+		s.segID = onDisk
+	}
+	mf, err := fsys.OpenFile(s.manifestPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, err
 	}
+	if fi, err := mf.Stat(); err == nil {
+		s.manifestSize = fi.Size()
+	}
 	s.manifest = mf
-	if err := s.openSegmentForAppend(); err != nil {
+	seg, size, err := s.openSegment(s.segID)
+	if err != nil {
 		mf.Close()
 		return nil, err
 	}
+	s.seg, s.segSize = seg, size
+	s.m.segments.Inc()
 	return s, nil
 }
 
+// Recovery reports what Open's recovery pass found and repaired. A cleanly
+// shut down store yields a clean report.
+func (s *Store) Recovery() *FsckReport { return s.recovery }
+
 func (s *Store) manifestPath() string { return filepath.Join(s.dir, "MANIFEST") }
 
-func (s *Store) segmentPath(id int) string {
-	return filepath.Join(s.dir, fmt.Sprintf("segment-%06d.seg", id))
+func (s *Store) segmentPath(id int) string { return filepath.Join(s.dir, segmentName(id)) }
+
+func segmentName(id int) string { return fmt.Sprintf("segment-%06d.seg", id) }
+
+// segmentHeader is the 8 bytes opening every segment file.
+func segmentHeader() []byte {
+	h := make([]byte, segHeaderSize)
+	copy(h, segMagic)
+	binary.LittleEndian.PutUint32(h[4:], segVersion)
+	return h
 }
 
-// replayManifest rebuilds the in-memory index. A torn final line (crash
-// mid-append) is skipped; everything before it is intact because both files
-// are append-only.
-func (s *Store) replayManifest() error {
-	f, err := os.Open(s.manifestPath())
-	if os.IsNotExist(err) {
-		return nil
-	}
+// maxSegmentID scans dir for the highest-numbered segment file, so a
+// rollover that crashed between creating the file and referencing it does
+// not get overwritten by a lower-numbered append.
+func maxSegmentID(fsys faultfs.FS, dir string) int {
+	max := 0
+	des, err := fsys.ReadDir(dir)
 	if err != nil {
-		return err
+		return 0
 	}
-	defer f.Close()
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	for sc.Scan() {
-		line := sc.Text()
-		if strings.TrimSpace(line) == "" {
-			continue
-		}
-		e, ref, err := parseManifestLine(line)
-		if err != nil {
-			// Torn or foreign trailing data: stop replaying, the
-			// append offset continues after what we have.
-			break
-		}
-		s.indexLocked(e, ref)
-		if ref.segment > s.segID {
-			s.segID = ref.segment
+	for _, de := range des {
+		var id int
+		if _, err := fmt.Sscanf(de.Name(), "segment-%06d.seg", &id); err == nil &&
+			de.Name() == segmentName(id) && id > max {
+			max = id
 		}
 	}
-	return sc.Err()
+	return max
 }
 
-func (s *Store) openSegmentForAppend() error {
-	f, err := os.OpenFile(s.segmentPath(s.segID), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+// openSegment opens segment id for append, creating it if necessary, and
+// returns the handle plus its current size.
+func (s *Store) openSegment(id int) (faultfs.File, int64, error) {
+	path := s.segmentPath(id)
+	if _, err := s.fsys.Stat(path); err != nil {
+		if !errors.Is(err, os.ErrNotExist) {
+			return nil, 0, err
+		}
+		if err := s.createSegment(path); err != nil {
+			return nil, 0, err
+		}
+	}
+	f, err := s.fsys.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
-		return err
+		return nil, 0, err
 	}
 	st, err := f.Stat()
 	if err != nil {
 		f.Close()
-		return err
+		return nil, 0, err
 	}
-	s.seg, s.segSize = f, st.Size()
-	s.m.segments.Inc()
-	return nil
+	return f, st.Size(), nil
 }
 
-// manifest line: v1 <hash> <segment> <offset> <size> <workload> <label> <run>
-// with workload/run query-escaped so they cannot smuggle separators.
+// createSegment births a segment file via temp-file + rename: the header is
+// written and fsynced under a .tmp name first, so a crash can never leave a
+// half-created file that looks like a segment.
+func (s *Store) createSegment(path string) (err error) {
+	tmp := path + ".tmp"
+	defer func() {
+		if err != nil {
+			s.fsys.Remove(tmp) // best effort: do not leave temp debris
+		}
+	}()
+	f, err := s.fsys.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err = f.Write(segmentHeader()); err != nil {
+		f.Close()
+		return err
+	}
+	if err = f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	return s.fsys.Rename(tmp, path)
+}
+
+// Manifest record (one line):
+//
+//	v2 <hash> <segment> <offset> <size> <workload> <label> <run> <crc32c>
+//
+// workload/run are query-escaped so they cannot smuggle separators, and the
+// trailing CRC32C (of everything before it) frames the record: a torn or
+// bit-flipped line fails its checksum and recovery stops there.
 func formatManifestLine(e *Entry, ref blobRef) string {
-	return fmt.Sprintf("v1 %s %d %d %d %s %s %s\n",
+	payload := fmt.Sprintf("v2 %s %d %d %d %s %s %s",
 		e.ID, ref.segment, ref.offset, ref.size,
 		url.QueryEscape(e.Workload), e.Label, url.QueryEscape(e.Run))
+	return fmt.Sprintf("%s %08x\n", payload, crc32.Checksum([]byte(payload), castagnoli))
 }
 
 func parseManifestLine(line string) (*Entry, blobRef, error) {
-	fields := strings.Fields(line)
-	if len(fields) != 8 || fields[0] != "v1" {
-		return nil, blobRef{}, fmt.Errorf("store: bad manifest line %q", line)
+	line = strings.TrimSuffix(line, "\n")
+	i := strings.LastIndexByte(line, ' ')
+	if i < 0 {
+		return nil, blobRef{}, fmt.Errorf("store: unframed manifest record %q", line)
+	}
+	payload, crcHex := line[:i], line[i+1:]
+	want, err := strconv.ParseUint(crcHex, 16, 32)
+	if err != nil || len(crcHex) != 8 {
+		return nil, blobRef{}, fmt.Errorf("store: bad manifest record checksum field %q", crcHex)
+	}
+	if got := crc32.Checksum([]byte(payload), castagnoli); got != uint32(want) {
+		return nil, blobRef{}, fmt.Errorf("store: manifest record checksum mismatch (%08x != %08x)", got, want)
+	}
+	fields := strings.Fields(payload)
+	if len(fields) != 8 || fields[0] != "v2" {
+		return nil, blobRef{}, fmt.Errorf("store: bad manifest record %q", line)
 	}
 	var ref blobRef
 	if _, err := fmt.Sscanf(fields[2]+" "+fields[3]+" "+fields[4], "%d %d %d",
@@ -284,7 +426,7 @@ func parseManifestLine(line string) (*Entry, blobRef, error) {
 	if err != nil {
 		return nil, blobRef{}, err
 	}
-	if ref.segment < 0 || ref.offset < 0 || ref.size <= 0 {
+	if ref.segment < 0 || ref.offset < frameHeaderSize || ref.size <= 0 {
 		return nil, blobRef{}, fmt.Errorf("store: bad blob ref in %q", line)
 	}
 	return &Entry{ID: fields[1], Workload: wl, Label: label, Run: run, Size: ref.size}, ref, nil
@@ -312,9 +454,11 @@ func (s *Store) indexLocked(e *Entry, ref blobRef) {
 	s.byWl[e.Workload] = append(s.byWl[e.Workload], e)
 }
 
-// PutBlob validates, stores and indexes one encoded profile bundle.
-// The returned bool is true when an identical entry (same key, same
-// content) already existed and nothing was written.
+// PutBlob validates, stores and indexes one encoded profile bundle. It
+// returns only after the blob and its manifest record are fsynced — an
+// acknowledged push survives a crash. The returned bool is true when an
+// identical entry (same key, same content) already existed and nothing was
+// written.
 func (s *Store) PutBlob(workload string, label Label, run string, blob []byte) (*Entry, bool, error) {
 	if workload == "" || run == "" {
 		return nil, false, fmt.Errorf("store: workload and run are required")
@@ -328,6 +472,9 @@ func (s *Store) PutBlob(workload string, label Label, run string, blob []byte) (
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.broken != nil {
+		return nil, false, fmt.Errorf("store: refusing writes after unrecoverable rollback failure: %w", s.broken)
+	}
 	key := entryKey(workload, label, run)
 	if old, ok := s.entries[key]; ok && old.ID == id {
 		s.m.dedupHits.Inc()
@@ -335,23 +482,74 @@ func (s *Store) PutBlob(workload string, label Label, run string, blob []byte) (
 		return &cp, true, nil
 	}
 	ref, ok := s.blobs[id]
+	fresh := false
 	if !ok {
 		ref, err = s.appendBlobLocked(blob)
 		if err != nil {
 			return nil, false, err
 		}
+		fresh = true
 		s.m.ingestBytes.Add(float64(len(blob)))
 	} else {
 		s.m.dedupHits.Inc()
 	}
 	e := &Entry{ID: id, Workload: workload, Label: label, Run: run, Size: int64(len(blob))}
-	if _, err := s.manifest.WriteString(formatManifestLine(e, ref)); err != nil {
+	if err := s.appendManifestLocked(e, ref, fresh); err != nil {
 		return nil, false, err
 	}
 	s.indexLocked(e, ref)
 	s.cacheAddLocked(id, p)
 	cp := *s.entries[key]
 	return &cp, false, nil
+}
+
+// appendManifestLocked writes and fsyncs one manifest record. On any
+// failure the partial record — and, when the blob was freshly appended for
+// this push, the blob frame itself — is rolled back, so an error leaves the
+// files byte-identical to before the call.
+func (s *Store) appendManifestLocked(e *Entry, ref blobRef, freshBlob bool) error {
+	rollback := func() {
+		s.truncateManifestLocked(s.manifestSize)
+		if freshBlob {
+			s.truncateSegmentLocked(ref.offset - frameHeaderSize)
+			delete(s.blobs, e.ID)
+		}
+	}
+	line := formatManifestLine(e, ref)
+	if n, err := io.WriteString(s.manifest, line); err != nil || n != len(line) {
+		rollback()
+		if err == nil {
+			err = io.ErrShortWrite
+		}
+		return fmt.Errorf("store: append manifest record: %w", err)
+	}
+	if !s.opts.NoSync {
+		if err := s.manifest.Sync(); err != nil {
+			rollback()
+			return fmt.Errorf("store: sync manifest: %w", err)
+		}
+	}
+	s.manifestSize += int64(len(line))
+	return nil
+}
+
+// truncateManifestLocked rolls the manifest back to size; if even that
+// fails the in-memory offset no longer matches the file and the store
+// refuses further writes rather than corrupt silently.
+func (s *Store) truncateManifestLocked(size int64) {
+	if err := s.manifest.Truncate(size); err != nil && s.broken == nil {
+		s.broken = fmt.Errorf("manifest rollback to %d: %w", size, err)
+	}
+}
+
+func (s *Store) truncateSegmentLocked(size int64) {
+	if err := s.seg.Truncate(size); err != nil {
+		if s.broken == nil {
+			s.broken = fmt.Errorf("segment rollback to %d: %w", size, err)
+		}
+		return
+	}
+	s.segSize = size
 }
 
 // Put encodes and stores a profile (convenience over PutBlob).
@@ -363,23 +561,64 @@ func (s *Store) Put(workload string, label Label, run string, p *sampler.Profile
 	return s.PutBlob(workload, label, run, blob)
 }
 
+// appendBlobLocked frames a blob (size + CRC32C header) onto the active
+// segment and fsyncs it before the manifest may reference it. Every error
+// path truncates the partial frame away, so a failed append leaves no
+// garbage behind.
 func (s *Store) appendBlobLocked(blob []byte) (blobRef, error) {
 	if s.segSize >= s.opts.SegmentSize {
-		if err := s.seg.Close(); err != nil {
-			return blobRef{}, err
-		}
-		s.segID++
-		if err := s.openSegmentForAppend(); err != nil {
+		if err := s.rolloverLocked(); err != nil {
 			return blobRef{}, err
 		}
 	}
-	ref := blobRef{segment: s.segID, offset: s.segSize, size: int64(len(blob))}
-	n, err := s.seg.Write(blob)
-	s.segSize += int64(n)
+	frame := make([]byte, frameHeaderSize+len(blob))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(blob)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(blob, castagnoli))
+	copy(frame[frameHeaderSize:], blob)
+	start := s.segSize
+	if n, err := s.seg.Write(frame); err != nil || n != len(frame) {
+		s.truncateSegmentLocked(start)
+		if err == nil {
+			err = io.ErrShortWrite
+		}
+		return blobRef{}, fmt.Errorf("store: append blob: %w", err)
+	}
+	if !s.opts.NoSync {
+		if err := s.seg.Sync(); err != nil {
+			s.truncateSegmentLocked(start)
+			return blobRef{}, fmt.Errorf("store: sync segment: %w", err)
+		}
+	}
+	s.segSize = start + int64(len(frame))
+	return blobRef{segment: s.segID, offset: start + frameHeaderSize, size: int64(len(blob))}, nil
+}
+
+// rolloverLocked seals the active segment and starts the next one. The
+// next segment is created and opened before the old one is released, so a
+// failure at any step leaves the old segment active and the store
+// consistent — the rollover simply retries on the next append.
+func (s *Store) rolloverLocked() error {
+	next, size, err := s.openSegment(s.segID + 1)
 	if err != nil {
-		return blobRef{}, err
+		return fmt.Errorf("store: rollover: %w", err)
 	}
-	return ref, nil
+	if err := s.seg.Sync(); err != nil {
+		next.Close()
+		return fmt.Errorf("store: rollover: seal segment: %w", err)
+	}
+	if err := s.seg.Close(); err != nil {
+		next.Close()
+		// The old handle is gone either way; without a usable append
+		// handle the store cannot safely continue.
+		if s.broken == nil {
+			s.broken = fmt.Errorf("close sealed segment: %w", err)
+		}
+		return fmt.Errorf("store: rollover: %w", err)
+	}
+	s.segID++
+	s.seg, s.segSize = next, size
+	s.m.segments.Inc()
+	return nil
 }
 
 // Get returns the decoded profile stored under id, via the decoded cache.
@@ -422,13 +661,13 @@ func (s *Store) Get(id string) (*sampler.Profile, error) {
 	return p, nil
 }
 
-// readerLocked returns a shared read handle for a segment; *os.File.ReadAt
-// is safe for concurrent readers.
-func (s *Store) readerLocked(segment int) (*os.File, error) {
+// readerLocked returns a shared read handle for a segment; ReadAt is safe
+// for concurrent readers.
+func (s *Store) readerLocked(segment int) (faultfs.File, error) {
 	if r, ok := s.readers[segment]; ok {
 		return r, nil
 	}
-	r, err := os.Open(s.segmentPath(segment))
+	r, err := s.fsys.Open(s.segmentPath(segment))
 	if err != nil {
 		return nil, err
 	}
@@ -549,6 +788,24 @@ func (s *Store) CacheStats() CacheStats {
 	return CacheStats{Hits: s.cacheHits, Misses: s.cacheMiss, Entries: len(s.cache)}
 }
 
+// Flush forces both append handles to stable storage — the final step of a
+// graceful shutdown. With the default options every acknowledged push is
+// already durable; Flush covers NoSync stores and belt-and-braces drains.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.manifest == nil || s.seg == nil {
+		return errors.New("store: closed")
+	}
+	if err := s.seg.Sync(); err != nil {
+		return fmt.Errorf("store: flush segment: %w", err)
+	}
+	if err := s.manifest.Sync(); err != nil {
+		return fmt.Errorf("store: flush manifest: %w", err)
+	}
+	return nil
+}
+
 // Health verifies the store is writable: both append handles are open, the
 // manifest syncs, and the directory is still present. It is the substance
 // behind the service's /healthz check.
@@ -558,10 +815,13 @@ func (s *Store) Health() error {
 	if s.manifest == nil || s.seg == nil {
 		return errors.New("store: closed")
 	}
+	if s.broken != nil {
+		return fmt.Errorf("store: wedged by failed rollback: %w", s.broken)
+	}
 	if err := s.manifest.Sync(); err != nil {
 		return fmt.Errorf("store: manifest not writable: %w", err)
 	}
-	if _, err := os.Stat(s.dir); err != nil {
+	if _, err := s.fsys.Stat(s.dir); err != nil {
 		return fmt.Errorf("store: directory missing: %w", err)
 	}
 	return nil
@@ -588,6 +848,6 @@ func (s *Store) Close() error {
 	for _, r := range s.readers {
 		keep(r.Close())
 	}
-	s.readers = map[int]*os.File{}
+	s.readers = map[int]faultfs.File{}
 	return first
 }
