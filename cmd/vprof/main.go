@@ -31,6 +31,7 @@ func main() {
 var commands = map[string]func([]string) error{
 	"schema":   cmdSchema,
 	"lint":     cmdLint,
+	"check":    cmdCheck,
 	"run":      cmdRun,
 	"profile":  cmdProfile,
 	"disasm":   cmdDisasm,
@@ -140,8 +141,9 @@ func parseFlags(fs *flag.FlagSet, args []string) error {
 func usage() {
 	fmt.Fprint(os.Stderr, `usage:
   vprof schema <prog.vp> [-funcs f1,f2] [-no-globals] [-score] [-verify]
-                         [-min-score x] [-max-entries n]
+                         [-min-score x] [-max-entries n] [-static-priors]
   vprof lint <prog.vp>
+  vprof check <prog.vp> [prog2.vp ...] [-costs]
   vprof run <prog.vp> [-inputs a,b,...] [-seed n] [-max-ticks n]
   vprof profile <prog.vp> [-inputs ...] [-out dir] [-interval n]
   vprof disasm <prog.vp>
@@ -219,6 +221,7 @@ func cmdSchema(args []string) error {
 	verify := fs.Bool("verify", false, "report per-variable debug-location coverage (gaps, dropped entries)")
 	minScore := fs.Float64("min-score", 0, "drop entries scoring below this bound")
 	maxEntries := fs.Int("max-entries", 0, "keep only the N highest-scoring entries (0 = all)")
+	staticPriors := fs.Bool("static-priors", false, "fold abstract-interpretation value evidence into the relevance scores")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -233,6 +236,7 @@ func cmdSchema(args []string) error {
 	opts := schemaOpts(*funcs, *noGlobals)
 	opts.MinScore = *minScore
 	opts.MaxEntries = *maxEntries
+	opts.StaticPriors = *staticPriors
 	sch := prog.GenerateSchema(opts)
 	if *score {
 		fmt.Print(vprof.FormatSchemaScored(sch))
@@ -267,7 +271,70 @@ func cmdLint(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Print(prog.Lint().Render())
+	rep := prog.Lint()
+	fmt.Print(rep.Render())
+	if rep.ExitCode() != 0 {
+		return exitError{code: rep.ExitCode()}
+	}
+	return nil
+}
+
+// cmdCheck runs the abstract-interpretation perf-smell checker over one or
+// more programs and prints one merged report. Exit codes follow the shared
+// lint/check convention: 0 clean, 1 findings at warning severity or above,
+// 2 usage errors.
+func cmdCheck(args []string) error {
+	file, args := splitFileArg(args)
+	fs := flag.NewFlagSet("check", flag.ContinueOnError)
+	costs := fs.Bool("costs", false, "print per-function static cost bounds")
+	// Files and flags may interleave (flag parsing stops at the first
+	// non-flag argument): gather non-flag args, re-parse the remainder.
+	var files []string
+	if file != "" {
+		files = append(files, file)
+	}
+	for len(args) > 0 {
+		if !strings.HasPrefix(args[0], "-") {
+			files = append(files, args[0])
+			args = args[1:]
+			continue
+		}
+		if err := parseFlags(fs, args); err != nil {
+			return err
+		}
+		if rest := fs.Args(); len(rest) < len(args) {
+			args = rest
+		} else { // bare "-": flag parsing consumed nothing
+			files = append(files, args[0])
+			args = args[1:]
+		}
+	}
+	if len(files) == 0 {
+		return usageError{fmt.Errorf("check: need at least one program file")}
+	}
+	merged := &vprof.CheckReport{Tool: "check"}
+	var costLines []string
+	for _, path := range files {
+		prog, err := compileFile(path)
+		if err != nil {
+			return err
+		}
+		merged.Merge(prog.Check())
+		if *costs {
+			bounds := prog.CostBounds()
+			for _, fn := range prog.Functions() {
+				costLines = append(costLines, fmt.Sprintf("%s: cost %s: %s", path, fn, bounds[fn]))
+			}
+		}
+	}
+	merged.Sort()
+	fmt.Print(merged.Render())
+	for _, l := range costLines {
+		fmt.Println(l)
+	}
+	if merged.ExitCode() != 0 {
+		return exitError{code: merged.ExitCode()}
+	}
 	return nil
 }
 

@@ -17,6 +17,17 @@ import (
 // captureStdout runs fn with os.Stdout redirected and returns what it wrote.
 func captureStdout(t *testing.T, fn func() error) string {
 	t.Helper()
+	out, err := captureStdoutErr(t, fn)
+	if err != nil {
+		t.Fatalf("command failed: %v", err)
+	}
+	return out
+}
+
+// captureStdoutErr is captureStdout for commands whose error carries an
+// intentional exit code (lint/check convention).
+func captureStdoutErr(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
 	r, w, err := os.Pipe()
 	if err != nil {
 		t.Fatal(err)
@@ -29,10 +40,7 @@ func captureStdout(t *testing.T, fn func() error) string {
 	ferr := <-errCh
 	w.Close()
 	out, _ := io.ReadAll(r)
-	if ferr != nil {
-		t.Fatalf("command failed: %v", ferr)
-	}
-	return string(out)
+	return string(out), ferr
 }
 
 func TestParseInputs(t *testing.T) {
@@ -173,7 +181,7 @@ func TestSchemaScoreAndVerify(t *testing.T) {
 }
 
 func TestLintCommand(t *testing.T) {
-	out := captureStdout(t, func() error {
+	out, err := captureStdoutErr(t, func() error {
 		return cmdLint([]string{"../../testdata/spill.vp"})
 	})
 	if !strings.Contains(out, "lint:") {
@@ -183,8 +191,56 @@ func TestLintCommand(t *testing.T) {
 	if !strings.Contains(out, "no-location") || !strings.Contains(out, "location-gap") {
 		t.Errorf("lint missed coverage findings:\n%s", out)
 	}
+	// Findings drive the exit code now, like check: 1 when warnings fired.
+	var xe exitError
+	if !errors.As(err, &xe) || xe.code != 1 {
+		t.Errorf("lint with findings returned %v, want exit code 1", err)
+	}
 	if err := cmdLint(nil); err == nil {
 		t.Error("lint without a file accepted")
+	}
+}
+
+func TestCheckCommand(t *testing.T) {
+	// The smells demo trips warning-severity rules: exit code 1.
+	out, err := captureStdoutErr(t, func() error {
+		return cmdCheck([]string{"../../testdata/smells.vp", "-costs"})
+	})
+	var xe exitError
+	if !errors.As(err, &xe) || xe.code != 1 {
+		t.Fatalf("check on smells.vp returned %v, want exit code 1", err)
+	}
+	if !strings.Contains(out, "check:") || !strings.Contains(out, "quadratic-nest") {
+		t.Errorf("check output missing findings:\n%s", out)
+	}
+	if !strings.Contains(out, ": cost ") {
+		t.Errorf("-costs printed no cost bounds:\n%s", out)
+	}
+
+	// Multi-file runs merge into one report.
+	multi, _ := captureStdoutErr(t, func() error {
+		return cmdCheck([]string{"../../testdata/smells.vp", "../../testdata/recovery.vp"})
+	})
+	if strings.Count(multi, "check:") != 1 {
+		t.Errorf("multi-file check printed %d headers, want 1:\n%s", strings.Count(multi, "check:"), multi)
+	}
+	if !strings.Contains(multi, "recovery.vp") || !strings.Contains(multi, "smells.vp") {
+		t.Errorf("merged report missing a file:\n%s", multi)
+	}
+
+	// Flags may trail the file list: flag parsing must resume after files.
+	trail, err := captureStdoutErr(t, func() error {
+		return cmdCheck([]string{"../../testdata/smells.vp", "../../testdata/recovery.vp", "-costs"})
+	})
+	if !errors.As(err, &xe) || xe.code != 1 {
+		t.Fatalf("trailing -costs: err = %v, want exit code 1", err)
+	}
+	if !strings.Contains(trail, "recovery.vp: cost ") || !strings.Contains(trail, "smells.vp: cost ") {
+		t.Errorf("trailing -costs printed no bounds for both files:\n%s", trail)
+	}
+
+	if err := cmdCheck(nil); err == nil {
+		t.Error("check without a file accepted")
 	}
 }
 

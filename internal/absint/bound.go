@@ -1,0 +1,350 @@
+package absint
+
+import (
+	"fmt"
+
+	"vprof/internal/cfa"
+	"vprof/internal/compiler"
+	"vprof/internal/lang"
+)
+
+// BoundKind classifies a loop trip bound.
+type BoundKind int
+
+const (
+	// BoundConst: the trip count has a concrete upper bound (Trips).
+	BoundConst BoundKind = iota
+	// BoundSym: the trip count is bounded by a symbolic quantity (Name),
+	// e.g. a loop-invariant variable or an input(k) parameter. Var holds
+	// the variable id the symbol tracks, -1 for input-derived symbols.
+	BoundSym
+	// BoundOpaque: the loop terminates on a condition the analyzer cannot
+	// name but whose limit is loop-invariant; treated as an anonymous
+	// symbol in cost polynomials.
+	BoundOpaque
+	// BoundUnknown: no trip bound could be established (no conditional
+	// exit, no recognizable stride, or a moving limit).
+	BoundUnknown
+)
+
+// Bound is one loop's inferred trip-count bound.
+type Bound struct {
+	Kind  BoundKind
+	Trips int64  // BoundConst: max iterations (>= 0)
+	Var   int    // BoundSym: variable id of the limit, -1 if input-derived
+	Name  string // BoundSym/BoundOpaque: display symbol
+	Why   string // BoundUnknown: reason, for diagnostics
+}
+
+// Symbolic reports whether the bound is data-dependent (not a constant).
+func (b Bound) Symbolic() bool { return b.Kind == BoundSym || b.Kind == BoundOpaque }
+
+func (b Bound) String() string {
+	switch b.Kind {
+	case BoundConst:
+		return fmt.Sprint(b.Trips)
+	case BoundSym, BoundOpaque:
+		return b.Name
+	}
+	return "?"
+}
+
+// stride describes the uniform additive update of a variable inside a loop:
+// every store to it in the loop matches `v = v ± c` (either operand order
+// for +). Detected on the IR pattern the structured compiler emits for
+// `v = v + c` / `v += c` / `v++`:
+//
+//	LoadL v; Const c; Bin Add; StoreL v    (also Const c; LoadL v for +)
+//	LoadL v; Const c; Bin Sub; StoreL v
+type stride struct {
+	delta  int64 // signed per-iteration change
+	stores int   // number of matching stores seen
+}
+
+// strideOf returns the uniform stride of var v inside loop l, or ok=false
+// when v has a non-stride store (or no store at all) in the loop.
+func (an *Analysis) strideOf(a *cfa.FuncAnalysis, l *cfa.Loop, v int) (stride, bool) {
+	var s stride
+	prog := an.Prog
+	for _, b := range l.Blocks {
+		for pc := a.Blocks[b].Start; pc < a.Blocks[b].End; pc++ {
+			ins := prog.Instrs[pc]
+			if !isStoreOf(a, ins, v) {
+				continue
+			}
+			d, ok := strideAt(an, a, pc, v)
+			if !ok {
+				return stride{}, false
+			}
+			if s.stores > 0 && d != s.delta {
+				return stride{}, false
+			}
+			s.delta = d
+			s.stores++
+		}
+	}
+	return s, s.stores > 0
+}
+
+func isStoreOf(a *cfa.FuncAnalysis, ins compiler.Instr, v int) bool {
+	switch ins.Op {
+	case compiler.OpStoreL:
+		return int(ins.A) == v
+	case compiler.OpStoreG:
+		return a.GlobalVar(int(ins.A)) == v
+	}
+	return false
+}
+
+func isLoadOf(a *cfa.FuncAnalysis, ins compiler.Instr, v int) bool {
+	switch ins.Op {
+	case compiler.OpLoadL:
+		return int(ins.A) == v
+	case compiler.OpLoadG:
+		return a.GlobalVar(int(ins.A)) == v
+	}
+	return false
+}
+
+// strideAt matches the three instructions preceding the store at pc against
+// the additive-update pattern and returns the signed delta.
+func strideAt(an *Analysis, a *cfa.FuncAnalysis, pc, v int) (int64, bool) {
+	prog := an.Prog
+	if pc < 3 {
+		return 0, false
+	}
+	bin := prog.Instrs[pc-1]
+	if bin.Op != compiler.OpBin {
+		return 0, false
+	}
+	op := lang.BinaryOp(bin.A)
+	if op != lang.BinAdd && op != lang.BinSub {
+		return 0, false
+	}
+	i1, i2 := prog.Instrs[pc-3], prog.Instrs[pc-2]
+	// LoadL v; Const c
+	if isLoadOf(a, i1, v) && i2.Op == compiler.OpConst {
+		c := prog.Consts[i2.A]
+		if op == lang.BinSub {
+			c = -c
+		}
+		return c, true
+	}
+	// Const c; LoadL v — commutative, so addition only.
+	if i1.Op == compiler.OpConst && isLoadOf(a, i2, v) && op == lang.BinAdd {
+		return prog.Consts[i1.A], true
+	}
+	return 0, false
+}
+
+// inferBounds computes the trip bound of every loop of r from the settled
+// abstract states: the conditional exit's terminal comparison, the tested
+// variable's uniform stride, and the limit operand's invariance.
+func (an *Analysis) inferBounds(r *FuncResult) {
+	a := r.A
+	for _, l := range a.Loops {
+		r.Bounds[l.Header] = an.loopBound(r, l)
+	}
+}
+
+func (an *Analysis) loopBound(r *FuncResult, l *cfa.Loop) Bound {
+	a := r.A
+	exit := a.CondExit(l)
+	if exit < 0 {
+		return Bound{Kind: BoundUnknown, Why: "no conditional exit test"}
+	}
+	if r.In[exit] == nil {
+		// Exit test itself unreachable: the loop never runs.
+		return Bound{Kind: BoundConst, Trips: 0}
+	}
+	branch := r.Facts[exit].Branch
+	if branch.cmp == nil {
+		return Bound{Kind: BoundUnknown, Why: "exit condition is not a comparison"}
+	}
+
+	// Orient the comparison so the continuing direction is "cond true":
+	// the exit's terminal jump leaves the loop either on the jump target
+	// (condition false for JZ / true for JNZ) or on the fallthrough.
+	last := an.Prog.Instrs[a.Blocks[exit].End-1]
+	target := a.BlockOf(int(last.A))
+	exitOnJump := !l.Contains(target)
+	continueOnTrue := (last.Op == compiler.OpJZ) == exitOnJump
+	c := *branch.cmp
+	op := c.op
+	if !continueOnTrue {
+		op = op.Negate()
+	}
+
+	// Normalize to "tested < limit" style: tested var on the left.
+	tested, limit := c.x, c.y
+	if tested.varID < 0 && limit.varID >= 0 {
+		tested, limit = limit, tested
+		op = mirror(op)
+	}
+	if tested.varID < 0 {
+		return Bound{Kind: BoundUnknown, Why: "exit test does not read a variable"}
+	}
+	v := tested.varID
+
+	s, ok := an.strideOf(a, l, v)
+	if !ok || s.delta == 0 {
+		return Bound{Kind: BoundUnknown, Why: fmt.Sprintf("no constant stride for %s", symOf(tested))}
+	}
+	// The stride must move the variable toward the exit.
+	switch op {
+	case CmpLt, CmpLe:
+		if s.delta <= 0 {
+			return Bound{Kind: BoundUnknown, Why: fmt.Sprintf("%s moves away from its limit", symOf(tested))}
+		}
+	case CmpGt, CmpGe:
+		if s.delta >= 0 {
+			return Bound{Kind: BoundUnknown, Why: fmt.Sprintf("%s moves away from its limit", symOf(tested))}
+		}
+	case CmpNeq:
+		// != only terminates when the stride cannot step over the limit.
+		if s.delta != 1 && s.delta != -1 {
+			return Bound{Kind: BoundUnknown, Why: "stride may step over a != limit"}
+		}
+	default: // CmpEq: `while (v == k)` — at most the run of equality; opaque.
+		return Bound{Kind: BoundUnknown, Why: "exit test is an equality"}
+	}
+
+	// The limit must be invariant inside the loop.
+	if !an.invariantIn(r, l, limit) {
+		return Bound{Kind: BoundUnknown, Why: "loop limit changes inside the loop"}
+	}
+
+	// Constant trip count when both the limit and the entry value of the
+	// tested variable are known.
+	if k, ok := limit.iv.ConstValue(); ok {
+		if t, ok := constTrips(r.In[l.Header].vars[v], k, s.delta, op); ok {
+			return Bound{Kind: BoundConst, Trips: t}
+		}
+	}
+
+	// Symbolic: name the limit — unless the limit is a constant (a
+	// counting loop whose entry value is unknown, e.g. `while (level > 0)`
+	// with level from a parameter), where the tested variable's entry
+	// value is what governs the trip count, so its name is the bound.
+	if _, isConst := limit.iv.ConstValue(); isConst {
+		if name := symOf(tested); name != "" {
+			return Bound{Kind: BoundSym, Var: v, Name: name}
+		}
+	} else if name := symOf(limit); name != "" {
+		dep := limit.depVar
+		if dep < 0 && !limit.stable {
+			dep = limit.varID
+		}
+		return Bound{Kind: BoundSym, Var: dep, Name: name}
+	}
+	return Bound{Kind: BoundOpaque, Var: -1, Name: fmt.Sprintf("expr@L%d", a.Blocks[l.Header].Line)}
+}
+
+// invariantIn reports whether the value val is invariant across iterations
+// of l: constants and run-stable (input-derived) values always are; a
+// variable-derived value is invariant when the variable is not stored in
+// the loop and, for globals, no call in the loop can store globals.
+func (an *Analysis) invariantIn(r *FuncResult, l *cfa.Loop, val absVal) bool {
+	if _, ok := val.iv.ConstValue(); ok {
+		return true
+	}
+	if val.stable {
+		return true
+	}
+	v := val.depVar
+	if v < 0 {
+		return false
+	}
+	a := r.A
+	for _, b := range l.Blocks {
+		for pc := a.Blocks[b].Start; pc < a.Blocks[b].End; pc++ {
+			ins := an.Prog.Instrs[pc]
+			if isStoreOf(a, ins, v) {
+				return false
+			}
+			if v >= a.Fn.NumSlots && ins.Op == compiler.OpCall && an.impure[int(ins.A)] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// constTrips computes the maximum trip count of a counting loop: entry
+// value interval init, constant limit k, stride delta, continuing
+// comparison op (already oriented as `v op k`).
+func constTrips(init Interval, k, delta int64, op CmpOp) (int64, bool) {
+	if init.IsBottom() {
+		return 0, true
+	}
+	// Choose the entry bound that maximizes iterations.
+	var start int64
+	if delta > 0 {
+		start = init.Lo
+		if start == NegInf {
+			return 0, false
+		}
+	} else {
+		start = init.Hi
+		if start == PosInf {
+			return 0, false
+		}
+	}
+	// limitEx: first value of v (moving along delta) that exits the loop.
+	var limitEx int64
+	switch op {
+	case CmpLt:
+		limitEx = k
+	case CmpLe:
+		if k == PosInf {
+			return 0, false
+		}
+		limitEx = k + 1
+	case CmpGt:
+		limitEx = k
+	case CmpGe:
+		if k == NegInf {
+			return 0, false
+		}
+		limitEx = k - 1
+	case CmpNeq:
+		limitEx = k
+	default:
+		return 0, false
+	}
+	var span int64
+	if delta > 0 {
+		span = limitEx - start
+		if limitEx > 0 && start < 0 && span < 0 { // overflow
+			return 0, false
+		}
+	} else {
+		span = start - limitEx
+		if start > 0 && limitEx < 0 && span < 0 { // overflow
+			return 0, false
+		}
+		delta = -delta
+	}
+	if span <= 0 {
+		return 0, true
+	}
+	if op == CmpNeq && span%delta != 0 {
+		return 0, false // steps over the limit: never exits
+	}
+	return (span + delta - 1) / delta, true
+}
+
+// mirror swaps the operand order of a comparison: x op y == y mirror(op) x.
+func mirror(op CmpOp) CmpOp {
+	switch op {
+	case CmpLt:
+		return CmpGt
+	case CmpLe:
+		return CmpGe
+	case CmpGt:
+		return CmpLt
+	case CmpGe:
+		return CmpLe
+	}
+	return op // Eq, Neq symmetric
+}

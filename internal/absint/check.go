@@ -1,0 +1,408 @@
+package absint
+
+import (
+	"fmt"
+	"strings"
+
+	"vprof/internal/cfa"
+	"vprof/internal/compiler"
+	"vprof/internal/diag"
+)
+
+// hoistCostThreshold is the minimum constant callee cost for an
+// invariant-call finding: hoisting a cheap helper out of a loop is noise,
+// hoisting one that burns real ticks (or a data-dependent amount) is not.
+const hoistCostThreshold = 50
+
+// CheckProgram runs the perf-smell rules over every analyzed function of
+// prog and returns the findings as a sorted report (Tool "check"). Rules:
+//
+//	quadratic-nest       loop with a data-dependent bound nested inside
+//	                     loops with data-dependent bounds
+//	unbounded-loop       exitable loop whose trip count cannot be bounded
+//	growing-accumulation variable with a positive per-iteration stride,
+//	                     untested by the exit condition, driving work()
+//	dead-prune           CFG-reachable early exit that constant ranges
+//	                     prove can never fire
+//	const-cond           branch condition with a statically constant value
+//	invariant-call       loop-body call of a pure costly function with
+//	                     loop-invariant arguments
+//	dead-store           store to a named local that no load observes
+func CheckProgram(prog *compiler.Program) *diag.Report {
+	an := AnalyzeProgram(prog)
+	return an.Check()
+}
+
+// Check runs the rules over an already-built analysis.
+func (an *Analysis) Check() *diag.Report {
+	rep := &diag.Report{Tool: "check"}
+	for _, r := range an.Funcs {
+		an.checkQuadraticNest(r, rep)
+		an.checkUnboundedLoop(r, rep)
+		an.checkGrowingAccumulation(r, rep)
+		an.checkDeadPrune(r, rep)
+		an.checkConstCond(r, rep)
+		an.checkInvariantCall(r, rep)
+		an.checkDeadStore(r, rep)
+	}
+	rep.Sort()
+	return rep
+}
+
+func (an *Analysis) finding(r *FuncResult, rule string, sev diag.Severity, line int, variable, msg string) diag.Finding {
+	return diag.Finding{
+		Rule:     rule,
+		Severity: sev,
+		File:     an.Prog.File,
+		Line:     line,
+		Function: r.A.Fn.Name,
+		Variable: variable,
+		Message:  msg,
+	}
+}
+
+// checkQuadraticNest flags loops whose own trip bound is data-dependent and
+// that sit inside one or more loops with data-dependent bounds: the nest's
+// cost is the product of the bounds. When the inner bound is derived from
+// an ancestor's induction variable the bounds are correlated — the
+// triangular-scan shape — and the message says so.
+func (an *Analysis) checkQuadraticNest(r *FuncResult, rep *diag.Report) {
+	a := r.A
+	for _, l := range a.Loops {
+		bd := r.Bounds[l.Header]
+		if !bd.Symbolic() {
+			continue
+		}
+		var outer []string
+		correlated := false
+		for p := l.Parent; p != nil; p = p.Parent {
+			pb := r.Bounds[p.Header]
+			if !pb.Symbolic() {
+				continue
+			}
+			outer = append(outer, pb.Name)
+			if bd.Var >= 0 && an.writtenInLoop(a, p, bd.Var) {
+				correlated = true
+			}
+		}
+		if len(outer) == 0 {
+			continue
+		}
+		product := strings.Join(append(append([]string{}, outer...), bd.Name), "*")
+		msg := fmt.Sprintf("loop bounded by %s nested inside loop(s) bounded by %s: ~%s iterations total",
+			bd.Name, strings.Join(outer, ", "), product)
+		if correlated {
+			msg += " (inner bound grows with the outer loop's progress)"
+		}
+		rep.Add(an.finding(r, "quadratic-nest", diag.SevWarn, a.Blocks[l.Header].Line, "", msg))
+	}
+}
+
+func (an *Analysis) writtenInLoop(a *cfa.FuncAnalysis, l *cfa.Loop, v int) bool {
+	for _, b := range l.Blocks {
+		for pc := a.Blocks[b].Start; pc < a.Blocks[b].End; pc++ {
+			if isStoreOf(a, an.Prog.Instrs[pc], v) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkUnboundedLoop flags loops that do exit somewhere but whose trip
+// count the analyzer cannot bound. Exit-less loops are `vprof lint`'s
+// loop-no-exit; this rule is about loops that terminate on conditions cost
+// analysis cannot see through.
+func (an *Analysis) checkUnboundedLoop(r *FuncResult, rep *diag.Report) {
+	a := r.A
+	for _, l := range a.Loops {
+		bd := r.Bounds[l.Header]
+		if bd.Kind != BoundUnknown || len(l.Exits) == 0 {
+			continue
+		}
+		msg := "loop trip count cannot be bounded"
+		if bd.Why != "" {
+			msg += ": " + bd.Why
+		}
+		rep.Add(an.finding(r, "unbounded-loop", diag.SevWarn, a.Blocks[l.Header].Line, "", msg))
+	}
+}
+
+// checkGrowingAccumulation flags the accumulator shape: a named variable
+// with a uniform positive stride inside a loop, not consulted by the
+// loop's exit test, whose value drives a work()/block() amount in the same
+// loop — per-iteration cost grows with iterations already run, so total
+// cost is quadratic in the trip count.
+func (an *Analysis) checkGrowingAccumulation(r *FuncResult, rep *diag.Report) {
+	a := r.A
+	for _, l := range a.Loops {
+		tested := an.exitTestVars(r, l)
+		for _, b := range l.Blocks {
+			if r.In[b] == nil {
+				continue
+			}
+			for _, w := range r.Facts[b].Works {
+				v := w.Arg.depVar
+				if v < 0 || tested[v] {
+					continue
+				}
+				name, _ := a.VarName(v)
+				if name == "" {
+					continue
+				}
+				s, ok := an.strideOf(a, l, v)
+				if !ok || s.delta <= 0 {
+					continue
+				}
+				line := int(an.Prog.Instrs[w.PC].Line)
+				msg := fmt.Sprintf("%s grows by +%d every iteration and drives work here: per-iteration cost rises as the loop runs", name, s.delta)
+				rep.Add(an.finding(r, "growing-accumulation", diag.SevWarn, line, name, msg))
+			}
+		}
+	}
+}
+
+// exitTestVars returns the variables read by l's conditional exit test.
+func (an *Analysis) exitTestVars(r *FuncResult, l *cfa.Loop) map[int]bool {
+	out := map[int]bool{}
+	exit := r.A.CondExit(l)
+	if exit < 0 || r.In[exit] == nil {
+		return out
+	}
+	c := r.Facts[exit].Branch.cmp
+	if c == nil {
+		return out
+	}
+	for _, side := range []absVal{c.x, c.y} {
+		if side.varID >= 0 {
+			out[side.varID] = true
+		}
+		if side.depVar >= 0 {
+			out[side.depVar] = true
+		}
+	}
+	return out
+}
+
+// checkDeadPrune flags early exits inside loops that value analysis proves
+// can never fire: the block is CFG-reachable, but every path to it requires
+// an interval-contradictory branch — the pruning/short-circuit condition a
+// patch was supposed to enable is statically off.
+func (an *Analysis) checkDeadPrune(r *FuncResult, rep *diag.Report) {
+	a := r.A
+	reach := a.Graph.Reachable()
+	for b := range a.Blocks {
+		if !reach[b] || r.In[b] != nil {
+			continue
+		}
+		// The exit itself is not a loop member (a return or break block
+		// cannot reach the latch); its guard must sit inside a loop.
+		depth := a.Depths[b]
+		for _, p := range a.Graph.Preds[b] {
+			if a.Depths[p] > depth {
+				depth = a.Depths[p]
+			}
+		}
+		if depth == 0 || !an.blockExitsEarly(a, b, depth) {
+			continue
+		}
+		rep.Add(an.finding(r, "dead-prune", diag.SevWarn, a.Blocks[b].Line, "",
+			"early exit can never fire: its guard is statically always false"))
+	}
+}
+
+// blockExitsEarly reports whether block b returns or jumps to a shallower
+// nesting depth than its guard — the shape of a pruning `return`/`break`.
+func (an *Analysis) blockExitsEarly(a *cfa.FuncAnalysis, b, depth int) bool {
+	for pc := a.Blocks[b].Start; pc < a.Blocks[b].End; pc++ {
+		ins := an.Prog.Instrs[pc]
+		if ins.Op == compiler.OpRet || ins.Op == compiler.OpHalt {
+			return true
+		}
+		if ins.Op == compiler.OpJump {
+			if t := a.BlockOf(int(ins.A)); t >= 0 && a.Depths[t] < depth {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkConstCond flags real conditional branches whose operand is a
+// statically constant value: the test always goes the same way. Info
+// severity — constant guards are sometimes deliberate configuration.
+// Short-circuit plumbing blocks (the compiler's &&/|| const-materialization
+// targets) are skipped; the *outer* branch consuming the combined value is
+// the one reported when it folds.
+func (an *Analysis) checkConstCond(r *FuncResult, rep *diag.Report) {
+	a := r.A
+	for b := range a.Blocks {
+		if r.In[b] == nil || !r.Facts[b].HasBranch {
+			continue
+		}
+		if an.isShortCircuitBranch(a, b) {
+			continue
+		}
+		v, ok := r.Facts[b].Branch.iv.ConstValue()
+		if !ok {
+			continue
+		}
+		way := "true"
+		if v == 0 {
+			way = "false"
+		}
+		line := int(an.Prog.Instrs[a.Blocks[b].End-1].Line)
+		rep.Add(an.finding(r, "const-cond", diag.SevInfo, line,
+			"", fmt.Sprintf("branch condition is always %s", way)))
+	}
+}
+
+// isShortCircuitBranch detects the JZ/JNZ the compiler emits for && / ||:
+// its jump target is a const-materialization block — a single pushed
+// constant, either falling through or jumping to the expression's join
+// point. A constant leg of a short-circuit chain is part of the normal
+// lowering (and often deliberate configuration), so only the *combined*
+// value's branch is worth a const-cond report.
+func (an *Analysis) isShortCircuitBranch(a *cfa.FuncAnalysis, b int) bool {
+	last := an.Prog.Instrs[a.Blocks[b].End-1]
+	t := a.BlockOf(int(last.A))
+	if t < 0 {
+		return false
+	}
+	blk := a.Blocks[t]
+	switch blk.End - blk.Start {
+	case 1:
+		return an.Prog.Instrs[blk.Start].Op == compiler.OpConst
+	case 2:
+		return an.Prog.Instrs[blk.Start].Op == compiler.OpConst &&
+			an.Prog.Instrs[blk.Start+1].Op == compiler.OpJump
+	}
+	return false
+}
+
+// checkInvariantCall flags loop-body calls of hoistable functions (pure,
+// deterministic, global-free, transitively) with loop-invariant arguments
+// and non-trivial cost: the call recomputes the same value every iteration.
+// Each call site fires once, for its innermost loop.
+func (an *Analysis) checkInvariantCall(r *FuncResult, rep *diag.Report) {
+	a := r.A
+	fired := map[int]bool{}
+	// Innermost loops first: sort by depth descending, header ascending
+	// for determinism.
+	loops := append([]*cfa.Loop(nil), a.Loops...)
+	for i := 0; i < len(loops); i++ {
+		for j := i + 1; j < len(loops); j++ {
+			li, lj := loops[i], loops[j]
+			if lj.Depth > li.Depth || (lj.Depth == li.Depth && lj.Header < li.Header) {
+				loops[i], loops[j] = loops[j], loops[i]
+			}
+		}
+	}
+	for _, l := range loops {
+		for _, b := range l.Blocks {
+			if r.In[b] == nil {
+				continue
+			}
+			for _, c := range r.Facts[b].Calls {
+				if fired[c.PC] || !an.hoistable[c.Callee] {
+					continue
+				}
+				callee := an.Prog.Funcs[c.Callee]
+				cr := an.byName[callee.Name]
+				if cr == nil {
+					continue
+				}
+				costly := cr.Cost.ConstTicks() >= hoistCostThreshold ||
+					cr.Cost.Degree() > 0 || cr.Cost.Unbounded
+				if !costly {
+					continue
+				}
+				invariant := true
+				for _, arg := range c.Args {
+					if !an.invariantIn(r, l, arg) {
+						invariant = false
+						break
+					}
+				}
+				if !invariant {
+					continue
+				}
+				fired[c.PC] = true
+				line := int(an.Prog.Instrs[c.PC].Line)
+				msg := fmt.Sprintf("call to %s (cost %s) has loop-invariant arguments: hoist it out of the loop", callee.Name, cr.Cost)
+				rep.Add(an.finding(r, "invariant-call", diag.SevWarn, line, "", msg))
+			}
+		}
+	}
+}
+
+// checkDeadStore flags stores to named locals that no load can observe:
+// the def reaches no use before being killed or the function returning.
+// Locals only — a global's readers may live in other functions.
+func (an *Analysis) checkDeadStore(r *FuncResult, rep *diag.Report) {
+	a := r.A
+	sites, in, _ := a.ReachingDefs()
+	if len(sites) == 0 {
+		return
+	}
+	used := make([]bool, len(sites))
+	// Def sites of each var, for intra-block kill tracking.
+	byVar := map[int][]int{}
+	for i, s := range sites {
+		byVar[s.Var] = append(byVar[s.Var], i)
+	}
+	for b := range a.Blocks {
+		cur := in[b].Clone()
+		siteAt := map[int]int{}
+		for i, s := range sites {
+			if s.Block == b {
+				siteAt[s.PC] = i
+			}
+		}
+		for pc := a.Blocks[b].Start; pc < a.Blocks[b].End; pc++ {
+			ins := an.Prog.Instrs[pc]
+			switch ins.Op {
+			case compiler.OpLoadL, compiler.OpLoadG:
+				v := loadVar(a, ins)
+				for _, i := range byVar[v] {
+					if cur.Has(i) {
+						used[i] = true
+					}
+				}
+			case compiler.OpStoreL, compiler.OpStoreG:
+				i, ok := siteAt[pc]
+				if !ok {
+					continue
+				}
+				for _, j := range byVar[sites[i].Var] {
+					cur.Clear(j)
+				}
+				cur.Set(i)
+			}
+		}
+	}
+	for i, s := range sites {
+		if used[i] || s.Var >= a.Fn.NumSlots {
+			continue
+		}
+		name, _ := a.VarName(s.Var)
+		if name == "" {
+			continue
+		}
+		// Skip stores in value-unreachable blocks (dead-prune territory)
+		// and the implicit zero-init of declarations without initializers.
+		if r.In[s.Block] == nil {
+			continue
+		}
+		line := int(an.Prog.Instrs[s.PC].Line)
+		rep.Add(an.finding(r, "dead-store", diag.SevWarn, line, name,
+			fmt.Sprintf("value stored to %s is never read", name)))
+	}
+}
+
+func loadVar(a *cfa.FuncAnalysis, ins compiler.Instr) int {
+	if ins.Op == compiler.OpLoadG {
+		return a.GlobalVar(int(ins.A))
+	}
+	return int(ins.A)
+}

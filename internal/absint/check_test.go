@@ -1,0 +1,190 @@
+package absint_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"vprof/internal/absint"
+	"vprof/internal/bugs"
+	"vprof/internal/compiler"
+	"vprof/internal/diag"
+	"vprof/internal/lang"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func compileSrc(t testing.TB, file, src string) *compiler.Program {
+	t.Helper()
+	f, err := lang.Parse(file, src)
+	if err != nil {
+		t.Fatalf("parse %s: %v", file, err)
+	}
+	prog, err := compiler.Compile(f)
+	if err != nil {
+		t.Fatalf("compile %s: %v", file, err)
+	}
+	return prog
+}
+
+// allWorkloads returns all 18 reproduced issues: the 15 resolved bugs plus
+// the 3 unresolved (Table 4) ones.
+func allWorkloads() []*bugs.Workload {
+	return append(bugs.All(), bugs.UnresolvedIssues()...)
+}
+
+// checkPrograms enumerates every analyzer input the goldens cover: all
+// testdata/*.vp programs plus the raw (noise-free) source of each of the 18
+// reproduced bugs — and, for the three upgrade regressions with distinct
+// patched sources, the patched variant as "<id>-normal".
+func checkPrograms(t testing.TB) (names []string, progs map[string]*compiler.Program) {
+	t.Helper()
+	progs = map[string]*compiler.Program{}
+	vps, err := filepath.Glob(filepath.Join("..", "..", "testdata", "*.vp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(vps)
+	for _, path := range vps {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		name := strings.TrimSuffix(filepath.Base(path), ".vp")
+		names = append(names, name)
+		progs[name] = compileSrc(t, filepath.Base(path), string(src))
+	}
+	for _, w := range allWorkloads() {
+		file := w.SourceFile
+		if file == "" {
+			file = w.ID + ".vp"
+		}
+		names = append(names, w.ID)
+		progs[w.ID] = compileSrc(t, file, w.Source)
+		if w.NormalSource != "" {
+			name := w.ID + "-normal"
+			names = append(names, name)
+			progs[name] = compileSrc(t, file, w.NormalSource)
+		}
+	}
+	return names, progs
+}
+
+func goldenPath(name string) string {
+	return filepath.Join("testdata", "golden", name+".txt")
+}
+
+// TestCheckGolden locks the checker's report for every program byte-for-byte.
+func TestCheckGolden(t *testing.T) {
+	names, progs := checkPrograms(t)
+	for _, name := range names {
+		got := absint.CheckProgram(progs[name]).Render()
+		path := goldenPath(name)
+		if *update {
+			if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v (run with -update to create goldens)", name, err)
+		}
+		if got != string(want) {
+			t.Errorf("%s: check output drifted\n--- got ---\n%s--- want ---\n%s", name, got, want)
+		}
+	}
+}
+
+// TestCheckDeterminism reruns the analyzer on fresh compilations and
+// asserts byte-identical output: no map-iteration order or pointer identity
+// may reach the report.
+func TestCheckDeterminism(t *testing.T) {
+	names, progs := checkPrograms(t)
+	first := map[string]string{}
+	for _, name := range names {
+		first[name] = absint.CheckProgram(progs[name]).Render()
+	}
+	for round := 0; round < 3; round++ {
+		_, again := checkPrograms(t)
+		for _, name := range names {
+			if got := absint.CheckProgram(again[name]).Render(); got != first[name] {
+				t.Fatalf("round %d: %s output not deterministic\n--- first ---\n%s--- now ---\n%s",
+					round, name, first[name], got)
+			}
+		}
+	}
+}
+
+// TestCheckFlagsKnownBugs asserts the acceptance floor: the checker
+// statically flags the known-inefficient pattern (a warning-severity
+// finding) in at least 6 of the 18 reproduced issue programs.
+func TestCheckFlagsKnownBugs(t *testing.T) {
+	var flagged []string
+	for _, w := range allWorkloads() {
+		file := w.SourceFile
+		if file == "" {
+			file = w.ID + ".vp"
+		}
+		prog := compileSrc(t, file, w.Source)
+		if absint.CheckProgram(prog).ExitCode() != 0 {
+			flagged = append(flagged, w.ID)
+		}
+	}
+	t.Logf("flagged %d/18: %v", len(flagged), flagged)
+	if len(flagged) < 6 {
+		t.Fatalf("checker flagged only %d of 18 bug programs (%v), want >= 6", len(flagged), flagged)
+	}
+}
+
+// TestCheckCleanOnPatched asserts zero false positives on the patched
+// variants: the three upgrade-regression workloads whose normal source
+// differs from the buggy one must produce no warning-severity findings.
+func TestCheckCleanOnPatched(t *testing.T) {
+	for _, w := range allWorkloads() {
+		if w.NormalSource == "" {
+			continue
+		}
+		file := w.SourceFile
+		if file == "" {
+			file = w.ID + ".vp"
+		}
+		prog := compileSrc(t, file, w.NormalSource)
+		rep := absint.CheckProgram(prog)
+		var warns []diag.Finding
+		for _, f := range rep.Findings {
+			if f.Severity >= diag.SevWarn {
+				warns = append(warns, f)
+			}
+		}
+		if len(warns) > 0 {
+			t.Errorf("%s patched variant has %d warning findings (want 0):\n%s",
+				w.ID, len(warns), rep.Render())
+		}
+	}
+}
+
+// BenchmarkCheckAllBugs measures analyzer throughput over all 18 bug
+// programs (compilation excluded).
+func BenchmarkCheckAllBugs(b *testing.B) {
+	var progs []*compiler.Program
+	for _, w := range allWorkloads() {
+		file := w.SourceFile
+		if file == "" {
+			file = w.ID + ".vp"
+		}
+		progs = append(progs, compileSrc(b, file, w.Source))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range progs {
+			absint.CheckProgram(p)
+		}
+	}
+}

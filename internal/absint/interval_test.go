@@ -1,0 +1,244 @@
+package absint
+
+import (
+	"math"
+	"testing"
+)
+
+func TestIntervalBasics(t *testing.T) {
+	if !Bottom().IsBottom() || Top().IsBottom() {
+		t.Fatal("bottom/top confusion")
+	}
+	if v, ok := Const(7).ConstValue(); !ok || v != 7 {
+		t.Fatalf("Const(7).ConstValue() = %d, %v", v, ok)
+	}
+	if _, ok := (Interval{PosInf, PosInf}).ConstValue(); ok {
+		t.Fatal("sentinel singleton must not report const")
+	}
+	if got := Range(3, 1); !got.IsBottom() {
+		t.Fatalf("Range(3,1) = %v, want bottom", got)
+	}
+	if s := Range(NegInf, 5).String(); s != "[-inf,5]" {
+		t.Fatalf("String = %q", s)
+	}
+	if s := Const(3).String(); s != "[3]" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestJoinMeet(t *testing.T) {
+	a, b := Range(0, 5), Range(3, 9)
+	if got := Join(a, b); got != Range(0, 9) {
+		t.Fatalf("Join = %v", got)
+	}
+	if got := Meet(a, b); got != Range(3, 5) {
+		t.Fatalf("Meet = %v", got)
+	}
+	if got := Meet(Range(0, 1), Range(5, 9)); !got.IsBottom() {
+		t.Fatalf("disjoint Meet = %v, want bottom", got)
+	}
+	if got := Join(Bottom(), a); got != a {
+		t.Fatalf("Join(bot, a) = %v", got)
+	}
+}
+
+func TestWidenNarrow(t *testing.T) {
+	prev, next := Range(0, 3), Range(0, 4)
+	w := Widen(prev, next)
+	if w != Range(0, PosInf) {
+		t.Fatalf("Widen = %v", w)
+	}
+	// Narrowing recovers the recomputed bound on the widened side only.
+	if got := Narrow(w, Range(0, 10)); got != Range(0, 10) {
+		t.Fatalf("Narrow = %v", got)
+	}
+	if got := Narrow(Range(0, 3), Range(1, 2)); got != Range(0, 3) {
+		t.Fatalf("Narrow must not touch finite bounds, got %v", got)
+	}
+}
+
+func TestDivTrap(t *testing.T) {
+	if got := Div(Range(1, 10), Const(0)); !got.IsBottom() {
+		t.Fatalf("x/0 = %v, want bottom (trap)", got)
+	}
+	if got := Div(Range(10, 10), Range(2, 5)); got != Range(2, 5) {
+		t.Fatalf("10/[2,5] = %v", got)
+	}
+	if got := Div(Range(-10, 10), Range(1, 1)); got != Range(-10, 10) {
+		t.Fatalf("[-10,10]/1 = %v", got)
+	}
+}
+
+func TestRefine(t *testing.T) {
+	// i < n with i in [0, +inf], n in [5, 5]
+	x, y := Refine(CmpLt, Range(0, PosInf), Const(5))
+	if x != Range(0, 4) {
+		t.Fatalf("refined x = %v", x)
+	}
+	if y != Const(5) {
+		t.Fatalf("refined y = %v", y)
+	}
+	// Contradiction yields bottom.
+	x, _ = Refine(CmpLt, Const(9), Const(5))
+	if !x.IsBottom() {
+		t.Fatalf("9 < 5 refinement = %v, want bottom", x)
+	}
+}
+
+// clampInto maps an arbitrary concrete value into iv.
+func clampInto(v int64, iv Interval) int64 {
+	return max64(iv.Lo, min64(iv.Hi, v))
+}
+
+func mkInterval(a, b int64) Interval {
+	if a > b {
+		a, b = b, a
+	}
+	return Interval{a, b}
+}
+
+// concreteBin mirrors the VM's binop semantics (wrapping int64; division
+// and modulo by zero trap). ok=false marks a trap.
+func concreteBin(op byte, x, y int64) (int64, bool) {
+	switch op % 5 {
+	case 0:
+		return x + y, true
+	case 1:
+		return x - y, true
+	case 2:
+		return x * y, true
+	case 3:
+		if y == 0 {
+			return 0, false
+		}
+		if x == math.MinInt64 && y == -1 {
+			return 0, false // Go panics; the analyzer reports Top there anyway
+		}
+		return x / y, true
+	default:
+		if y == 0 {
+			return 0, false
+		}
+		return x % y, true
+	}
+}
+
+func abstractBin(op byte, x, y Interval) Interval {
+	switch op % 5 {
+	case 0:
+		return Add(x, y)
+	case 1:
+		return Sub(x, y)
+	case 2:
+		return Mul(x, y)
+	case 3:
+		return Div(x, y)
+	default:
+		return Mod(x, y)
+	}
+}
+
+func concreteCmp(op CmpOp, x, y int64) int64 {
+	var b bool
+	switch op {
+	case CmpEq:
+		b = x == y
+	case CmpNeq:
+		b = x != y
+	case CmpLt:
+		b = x < y
+	case CmpLe:
+		b = x <= y
+	case CmpGt:
+		b = x > y
+	case CmpGe:
+		b = x >= y
+	}
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// FuzzIntervalOps checks the domain's soundness invariants on arbitrary
+// intervals and concrete points:
+//
+//   - Join is an upper bound of both operands.
+//   - Widening terminates (reaches a fixpoint in a bounded number of
+//     steps) and stays an upper bound.
+//   - Arithmetic and comparison transfer functions never exclude the
+//     concrete result of the VM's (wrapping) semantics.
+//   - Refine keeps every concrete pair that satisfies the relation.
+func FuzzIntervalOps(f *testing.F) {
+	f.Add(byte(0), int64(0), int64(10), int64(-5), int64(5), int64(3), int64(2))
+	f.Add(byte(2), int64(NegInf), int64(0), int64(1), int64(PosInf), int64(-7), int64(9))
+	f.Add(byte(3), int64(-100), int64(100), int64(0), int64(0), int64(50), int64(0))
+	f.Add(byte(4), int64(math.MinInt64), int64(-1), int64(-1), int64(-1), int64(math.MinInt64), int64(-1))
+	f.Fuzz(func(t *testing.T, op byte, alo, ahi, blo, bhi, px, py int64) {
+		a, b := mkInterval(alo, ahi), mkInterval(blo, bhi)
+		x, y := clampInto(px, a), clampInto(py, b)
+
+		// Join upper bound.
+		j := Join(a, b)
+		if !j.Contains(x) || !j.Contains(y) {
+			t.Fatalf("Join(%v, %v) = %v excludes %d or %d", a, b, j, x, y)
+		}
+
+		// Widening terminates and covers.
+		w := a
+		for i := 0; ; i++ {
+			nw := Widen(w, Join(w, b))
+			if nw == w {
+				break
+			}
+			w = nw
+			if i > 4 {
+				t.Fatalf("widening chain from %v with %v did not stabilize", a, b)
+			}
+		}
+		if !w.Contains(x) || !w.Contains(y) {
+			t.Fatalf("widened %v excludes a concrete member", w)
+		}
+
+		// Arithmetic transfer soundness vs concrete wrapping semantics.
+		if cz, ok := concreteBin(op, x, y); ok {
+			az := abstractBin(op, a, b)
+			if az.IsBottom() {
+				// Bottom is only sound when every concrete pair traps:
+				// possible solely for division/modulo with y = {0}.
+				if v, isConst := b.ConstValue(); !(isConst && v == 0 && op%5 >= 3) {
+					t.Fatalf("op %d over %v, %v returned bottom despite concrete result %d", op%5, a, b, cz)
+				}
+			} else if !az.Contains(cz) {
+				t.Fatalf("op %d: %d op %d = %d not in %v (from %v, %v)", op%5, x, y, cz, az, a, b)
+			}
+		}
+
+		// Comparison transfer + refinement soundness.
+		cop := CmpOp(int(op) % 6)
+		cv := Cmp(cop, a, b)
+		got := concreteCmp(cop, x, y)
+		if !cv.Contains(got) {
+			t.Fatalf("Cmp(%v, %v, %v) = %v excludes %d", cop, a, b, cv, got)
+		}
+		if got == 1 {
+			rx, ry := Refine(cop, a, b)
+			if !rx.Contains(x) || !ry.Contains(y) {
+				t.Fatalf("Refine(%v, %v, %v) = %v, %v drops satisfying pair (%d, %d)",
+					cop, a, b, rx, ry, x, y)
+			}
+		}
+
+		// Meet soundness: a value in both operands stays in the meet.
+		if a.Contains(y) {
+			if m := Meet(a, b); !m.Contains(y) {
+				t.Fatalf("Meet(%v, %v) = %v excludes common member %d", a, b, m, y)
+			}
+		}
+
+		// Negation soundness.
+		if nz := Neg(a); !nz.Contains(-x) && x != math.MinInt64 {
+			t.Fatalf("Neg(%v) = %v excludes %d", a, nz, -x)
+		}
+	})
+}

@@ -1,0 +1,109 @@
+package absint
+
+import (
+	"vprof/internal/debuginfo"
+)
+
+// StaticPrior summarizes the analyzer's per-variable evidence for schema
+// relevance scoring (the paper's §3.1 variable selection, sharpened with
+// value ranges):
+//
+//   - TripBound: the variable names a symbolic loop trip bound somewhere —
+//     its value directly scales a loop's iteration count, the strongest
+//     static signal that monitoring it explains cost.
+//   - FeedsWork: the variable (or a value derived from it alone) reaches a
+//     work()/block() argument — its magnitude is CPU or wall time.
+//   - Singleton: every reachable abstract state pins the variable to one
+//     constant — its value cannot correlate with anything.
+type StaticPrior struct {
+	TripBound bool
+	FeedsWork bool
+	Singleton bool
+}
+
+// Priors returns the per-variable static facts, keyed like schema entries:
+// "function\x00variable" with debuginfo.GlobalScope as the function of
+// globals. Only named variables appear.
+func (an *Analysis) Priors() map[string]StaticPrior {
+	out := map[string]StaticPrior{}
+	// Globals are analyzed once per function; a global is a singleton only
+	// when every function's states agree, so join across the program.
+	globalRange := map[string]Interval{}
+
+	for _, r := range an.Funcs {
+		a := r.A
+		key := func(v int) (string, bool) {
+			name, isGlobal := a.VarName(v)
+			if name == "" {
+				return "", false
+			}
+			fn := a.Fn.Name
+			if isGlobal {
+				fn = debuginfo.GlobalScope
+			}
+			return fn + "\x00" + name, true
+		}
+		mark := func(v int, f func(*StaticPrior)) {
+			if v < 0 || v >= a.NumVars() {
+				return
+			}
+			if k, ok := key(v); ok {
+				p := out[k]
+				f(&p)
+				out[k] = p
+			}
+		}
+
+		for _, bd := range r.Bounds {
+			if bd.Symbolic() {
+				mark(bd.Var, func(p *StaticPrior) { p.TripBound = true })
+			}
+		}
+		for b := range r.Facts {
+			for _, w := range r.Facts[b].Works {
+				v := w.Arg.varID
+				if v < 0 {
+					v = w.Arg.depVar
+				}
+				mark(v, func(p *StaticPrior) { p.FeedsWork = true })
+			}
+		}
+
+		// Singleton: join the variable's interval over every value-reachable
+		// block entry; a constant join means the value never varies.
+		for v := 0; v < a.NumVars(); v++ {
+			k, ok := key(v)
+			if !ok {
+				continue
+			}
+			joined := Bottom()
+			for _, st := range r.In {
+				if st == nil {
+					continue
+				}
+				joined = Join(joined, st.vars[v])
+			}
+			if v >= a.Fn.NumSlots {
+				if prev, seen := globalRange[k]; seen {
+					joined = Join(joined, prev)
+				}
+				globalRange[k] = joined
+				continue
+			}
+			if _, isConst := joined.ConstValue(); isConst {
+				p := out[k]
+				p.Singleton = true
+				out[k] = p
+			}
+		}
+	}
+
+	for k, iv := range globalRange {
+		if _, isConst := iv.ConstValue(); isConst {
+			p := out[k]
+			p.Singleton = true
+			out[k] = p
+		}
+	}
+	return out
+}

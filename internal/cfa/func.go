@@ -231,6 +231,12 @@ func (a *FuncAnalysis) InductionVars() []InductionVar {
 	return out
 }
 
+// CondExit returns the index of l's conditional exiting block dominated by
+// the header — the block evaluating the loop condition's final test — or -1
+// when the loop has none. Trip-count inference in internal/absint keys on
+// this block's terminal comparison.
+func (a *FuncAnalysis) CondExit(l *Loop) int { return a.condExit(l) }
+
 // condExit returns the index of l's conditional exiting block dominated by
 // the header — the block evaluating the loop condition's final test — or -1
 // when the loop has none.

@@ -1,0 +1,132 @@
+// Package diag is the shared diagnostic vocabulary of vprof's static
+// checkers. Both `vprof lint` (IR hygiene and debug-location coverage) and
+// `vprof check` (the abstract-interpretation perf-smell checker) produce the
+// same Finding shape — a stable rule ID, a severity, a source position and a
+// message — and render through the same deterministic Report, so tooling
+// that consumes one consumes the other. The exit-code convention is shared
+// too: 0 clean, 1 findings at warning severity or above, 2 usage errors
+// (the caller's concern).
+package diag
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Severity classifies a finding. Info findings are advisory and do not
+// affect the exit code; Warn and Error do.
+type Severity int
+
+const (
+	SevInfo Severity = iota
+	SevWarn
+	SevError
+)
+
+func (s Severity) String() string {
+	switch s {
+	case SevInfo:
+		return "info"
+	case SevWarn:
+		return "warn"
+	case SevError:
+		return "error"
+	}
+	return fmt.Sprintf("severity(%d)", int(s))
+}
+
+// Finding is one diagnostic: a rule identifier (kebab-case, stable across
+// releases — CI goldens key on it), where it fired, and a human message.
+type Finding struct {
+	Rule     string
+	Severity Severity
+	File     string
+	Line     int
+	Function string // enclosing function, "" for file-level findings
+	Variable string // subject variable, "" for CFG-level findings
+	Message  string
+}
+
+// Subject renders the function/variable qualifier of the finding.
+func (f Finding) Subject() string {
+	s := f.Function
+	if f.Variable != "" {
+		if s != "" {
+			s += "."
+		}
+		s += f.Variable
+	}
+	return s
+}
+
+func (f Finding) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:%d: %s %s", f.File, f.Line, f.Severity, f.Rule)
+	if s := f.Subject(); s != "" {
+		b.WriteString(": " + s)
+	}
+	b.WriteString(": " + f.Message)
+	return b.String()
+}
+
+// Report is an ordered collection of findings from one tool run.
+type Report struct {
+	Tool     string // "lint" or "check"; the renderer's header
+	Findings []Finding
+}
+
+// Add appends a finding. Call Sort before rendering.
+func (r *Report) Add(f Finding) { r.Findings = append(r.Findings, f) }
+
+// Sort orders findings deterministically: file, line, rule, subject,
+// message. Analyzer passes may emit in any order (including map-iteration
+// order); sorting here is what makes the rendered report byte-stable.
+func (r *Report) Sort() {
+	sort.SliceStable(r.Findings, func(i, j int) bool {
+		a, b := r.Findings[i], r.Findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		if a.Function != b.Function {
+			return a.Function < b.Function
+		}
+		if a.Variable != b.Variable {
+			return a.Variable < b.Variable
+		}
+		return a.Message < b.Message
+	})
+}
+
+// Merge appends another report's findings (multi-file runs).
+func (r *Report) Merge(other *Report) {
+	r.Findings = append(r.Findings, other.Findings...)
+}
+
+// Render prints the summary header and one finding per line. Deterministic
+// given sorted findings.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d findings\n", r.Tool, len(r.Findings))
+	for _, f := range r.Findings {
+		b.WriteString("  " + f.String() + "\n")
+	}
+	return b.String()
+}
+
+// ExitCode maps the report to the CLI convention: 1 when any finding is at
+// warning severity or above, 0 otherwise (clean, or info-only).
+func (r *Report) ExitCode() int {
+	for _, f := range r.Findings {
+		if f.Severity >= SevWarn {
+			return 1
+		}
+	}
+	return 0
+}

@@ -7,6 +7,7 @@ import (
 	"vprof/internal/bugs"
 	"vprof/internal/compiler"
 	"vprof/internal/debuginfo"
+	"vprof/internal/diag"
 	"vprof/internal/lang"
 	"vprof/internal/schema"
 )
@@ -454,9 +455,9 @@ func main() {
 		t.Fatal(err)
 	}
 	rep := schema.Lint(f, p)
-	kinds := map[string][]schema.Finding{}
+	kinds := map[string][]diag.Finding{}
 	for _, fd := range rep.Findings {
-		kinds[fd.Kind] = append(kinds[fd.Kind], fd)
+		kinds[fd.Rule] = append(kinds[fd.Rule], fd)
 	}
 	if got := kinds["loop-no-exit"]; len(got) != 1 || got[0].Function != "spin" {
 		t.Errorf("loop-no-exit = %+v, want one in spin", got)
@@ -487,5 +488,69 @@ func main() {
 	out := rep.Render()
 	if !strings.Contains(out, "lint:") || !strings.Contains(out, "loop-no-exit") {
 		t.Errorf("render:\n%s", out)
+	}
+}
+
+// --- static priors ---
+
+// TestStaticPriors checks the abstract-interpretation score adjustments:
+// trip-bound and work-feeding variables double, provably-constant ones
+// halve, and with priors disabled (the default) scores are untouched.
+func TestStaticPriors(t *testing.T) {
+	src := `
+func main() {
+	var n = input(0);
+	var amount = input(1);
+	var seed;
+	var flag = seed;
+	var i = 0;
+	while (i < n) {
+		work(amount);
+		if (flag > 0) { work(1); }
+		i = i + 1;
+	}
+}`
+	f, err := lang.Parse("t.vp", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := compiler.Compile(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := schema.GenerateIR(f, p, schema.Options{})
+	with := schema.GenerateIR(f, p, schema.Options{StaticPriors: true})
+	if len(base.Entries) != len(with.Entries) {
+		t.Fatalf("priors changed the entry set: %d vs %d", len(base.Entries), len(with.Entries))
+	}
+	ratio := func(fn, v string) float64 {
+		b, w := base.Lookup(fn, v), with.Lookup(fn, v)
+		if b == nil || w == nil {
+			t.Fatalf("%s.%s missing from schema", fn, v)
+		}
+		return w.Score / b.Score
+	}
+	if r := ratio("main", "n"); r != 2 {
+		t.Errorf("n (trip bound) score ratio = %v, want 2", r)
+	}
+	if r := ratio("main", "amount"); r != 2 {
+		t.Errorf("amount (feeds work) score ratio = %v, want 2", r)
+	}
+	// flag copies a zero-initialized local, so the interpreter pins it to 0
+	// everywhere — a constancy proof the literal-store heuristic (varFacts,
+	// which only folds `var x = <literal>`) cannot make.
+	if r := ratio("main", "flag"); r != 0.5 {
+		t.Errorf("flag (provably constant) score ratio = %v, want 0.5", r)
+	}
+	// The induction variable i is a trip-bound *counter*, not the bound
+	// symbol; it must not be rewarded as one, but it is also not constant.
+	if r := ratio("main", "i"); r != 1 && r != 2 {
+		t.Errorf("i score ratio = %v, want unchanged or work-fed", r)
+	}
+
+	// Disabled priors must be byte-for-byte the heuristic scorer's output.
+	again := schema.GenerateIR(f, p, schema.Options{})
+	if schema.FormatScored(base) != schema.FormatScored(again) {
+		t.Error("default (priors off) schema not stable")
 	}
 }

@@ -1,6 +1,7 @@
 package schema
 
 import (
+	"vprof/internal/absint"
 	"vprof/internal/cfa"
 	"vprof/internal/compiler"
 	"vprof/internal/debuginfo"
@@ -101,6 +102,36 @@ func (g *generator) scoreEntries(s *Schema) {
 			continue
 		}
 		e.Score = w * float64(1+g.accessDepth(e))
+	}
+}
+
+// applyStaticPriors folds the abstract interpreter's evidence into the
+// relevance scores (Options.StaticPriors): a variable that names a symbolic
+// loop trip bound directly scales iteration counts, and one feeding a
+// work()/block() argument is CPU or wall time — both double. A variable
+// every reachable abstract state pins to one constant cannot correlate with
+// cost and halves. The multipliers are powers of two, exact in float64, so
+// scoring stays deterministic across platforms.
+func (g *generator) applyStaticPriors(s *Schema) {
+	priors := absint.AnalyzeProgram(g.prog).Priors()
+	for i := range s.Entries {
+		e := &s.Entries[i]
+		if e.Score == 0 {
+			continue
+		}
+		p, ok := priors[e.Key()]
+		if !ok {
+			continue
+		}
+		if p.TripBound {
+			e.Score *= 2
+		}
+		if p.FeedsWork {
+			e.Score *= 2
+		}
+		if p.Singleton && !p.TripBound && !p.FeedsWork {
+			e.Score *= 0.5
+		}
 	}
 }
 

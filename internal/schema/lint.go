@@ -2,44 +2,12 @@ package schema
 
 import (
 	"fmt"
-	"sort"
-	"strings"
 
 	"vprof/internal/cfa"
 	"vprof/internal/compiler"
+	"vprof/internal/diag"
 	"vprof/internal/lang"
 )
-
-// Finding is one lint diagnostic.
-type Finding struct {
-	Kind     string // unreachable-code, loop-no-exit, const-var, dead-var, no-location, location-gap
-	Function string
-	Variable string // empty for CFG-level findings
-	Detail   string
-}
-
-func (f Finding) String() string {
-	subject := f.Function
-	if f.Variable != "" {
-		subject += "." + f.Variable
-	}
-	return fmt.Sprintf("%s: %s: %s", f.Kind, subject, f.Detail)
-}
-
-// LintReport collects the static-analysis diagnostics of Lint.
-type LintReport struct {
-	Findings []Finding
-}
-
-// Render prints one finding per line, with a summary header. Deterministic.
-func (r *LintReport) Render() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "lint: %d findings\n", len(r.Findings))
-	for _, f := range r.Findings {
-		b.WriteString("  " + f.String() + "\n")
-	}
-	return b.String()
-}
 
 // Lint runs the IR-level static checks over a compiled program and its
 // default schema:
@@ -52,8 +20,17 @@ func (r *LintReport) Render() string {
 //   - no-location: schema entries the debug information cannot locate
 //     anywhere (silently dropped by Translate);
 //   - location-gap: schema entries with PC ranges lacking any location.
-func Lint(f *lang.File, prog *compiler.Program) *LintReport {
-	r := &LintReport{}
+//
+// Findings share the diag vocabulary with `vprof check`, so both tools
+// render and exit identically.
+func Lint(f *lang.File, prog *compiler.Program) *diag.Report {
+	r := &diag.Report{Tool: "lint"}
+	add := func(rule string, line int, function, variable, msg string) {
+		r.Add(diag.Finding{
+			Rule: rule, Severity: diag.SevWarn, File: prog.File, Line: line,
+			Function: function, Variable: variable, Message: msg,
+		})
+	}
 	s := GenerateIR(f, prog, Options{})
 
 	for _, fn := range prog.Funcs {
@@ -76,20 +53,14 @@ func Lint(f *lang.File, prog *compiler.Program) *LintReport {
 			if blk.Start == fn.End-2 {
 				continue
 			}
-			r.add(Finding{
-				Kind:     "unreachable-code",
-				Function: fn.Name,
-				Detail:   fmt.Sprintf("block %s (line %d, pc 0x%x-0x%x) is never reached", blk.Label, blk.Line, blk.Start, blk.End),
-			})
+			add("unreachable-code", blk.Line, fn.Name, "",
+				fmt.Sprintf("block %s (pc 0x%x-0x%x) is never reached", blk.Label, blk.Start, blk.End))
 		}
 		for _, l := range a.Loops {
 			if len(l.Exits) == 0 {
 				blk := a.Blocks[l.Header]
-				r.add(Finding{
-					Kind:     "loop-no-exit",
-					Function: fn.Name,
-					Detail:   fmt.Sprintf("loop headed at %s (line %d) has no exit edge", blk.Label, blk.Line),
-				})
+				add("loop-no-exit", blk.Line, fn.Name, "",
+					fmt.Sprintf("loop headed at %s has no exit edge", blk.Label))
 			}
 		}
 	}
@@ -98,15 +69,11 @@ func Lint(f *lang.File, prog *compiler.Program) *LintReport {
 	for _, e := range s.Entries {
 		switch {
 		case dead[e.Key()]:
-			r.add(Finding{
-				Kind: "dead-var", Function: e.Function, Variable: e.Variable,
-				Detail: fmt.Sprintf("monitored variable (line %d) is never read", e.Line),
-			})
+			add("dead-var", e.Line, e.Function, e.Variable,
+				"monitored variable is never read")
 		case constant[e.Key()]:
-			r.add(Finding{
-				Kind: "const-var", Function: e.Function, Variable: e.Variable,
-				Detail: fmt.Sprintf("monitored variable (line %d) never varies", e.Line),
-			})
+			add("const-var", e.Line, e.Function, e.Variable,
+				"monitored variable never varies")
 		}
 	}
 
@@ -115,29 +82,14 @@ func Lint(f *lang.File, prog *compiler.Program) *LintReport {
 		v := &cov.Vars[i]
 		switch {
 		case v.NoLocation:
-			r.add(Finding{
-				Kind: "no-location", Function: v.Entry.Function, Variable: v.Entry.Variable,
-				Detail: fmt.Sprintf("no debug location anywhere in pc 0x%x-0x%x", v.SpanStart, v.SpanEnd),
-			})
+			add("no-location", v.Entry.Line, v.Entry.Function, v.Entry.Variable,
+				fmt.Sprintf("no debug location anywhere in pc 0x%x-0x%x", v.SpanStart, v.SpanEnd))
 		case len(v.Gaps) > 0:
-			r.add(Finding{
-				Kind: "location-gap", Function: v.Entry.Function, Variable: v.Entry.Variable,
-				Detail: fmt.Sprintf("%d location gaps, %.0f%% of pc 0x%x-0x%x covered", len(v.Gaps), 100*v.Covered(), v.SpanStart, v.SpanEnd),
-			})
+			add("location-gap", v.Entry.Line, v.Entry.Function, v.Entry.Variable,
+				fmt.Sprintf("%d location gaps, %.0f%% of pc 0x%x-0x%x covered", len(v.Gaps), 100*v.Covered(), v.SpanStart, v.SpanEnd))
 		}
 	}
 
-	sort.SliceStable(r.Findings, func(i, j int) bool {
-		a, b := r.Findings[i], r.Findings[j]
-		if a.Kind != b.Kind {
-			return a.Kind < b.Kind
-		}
-		if a.Function != b.Function {
-			return a.Function < b.Function
-		}
-		return a.Variable < b.Variable
-	})
+	r.Sort()
 	return r
 }
-
-func (r *LintReport) add(f Finding) { r.Findings = append(r.Findings, f) }

@@ -152,6 +152,12 @@ type Options struct {
 	// DisableIR forces the AST-only heuristic even when the program
 	// compiles; mainly for cross-checking the two analyses.
 	DisableIR bool
+	// StaticPriors folds the abstract interpreter's value evidence into
+	// the relevance scores: variables naming a symbolic loop trip bound or
+	// feeding work()/block() double their score, provably-constant
+	// variables halve it. Off by default — the default schema stays
+	// byte-for-byte identical to the heuristic scorer's.
+	StaticPriors bool
 }
 
 // Generate runs the static analysis over a parsed file and returns the
@@ -215,6 +221,9 @@ func generate(f *lang.File, prog *compiler.Program, opts Options) *Schema {
 		s.Entries = append(s.Entries, *e)
 	}
 	g.scoreEntries(s)
+	if opts.StaticPriors && prog != nil {
+		g.applyStaticPriors(s)
+	}
 	prune(s, opts)
 	sortEntries(s.Entries)
 	return s

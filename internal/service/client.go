@@ -335,6 +335,25 @@ func (c *Client) Diagnose(req DiagnoseRequest) (*DiagnoseResponse, error) {
 	return c.DiagnoseContext(context.Background(), req)
 }
 
+// CheckContext requests a static perf-smell analysis of a workload or an
+// inline program.
+func (c *Client) CheckContext(ctx context.Context, req CheckRequest) (*CheckResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	var out CheckResponse
+	if err := c.doJSON(ctx, http.MethodPost, c.Base+"/v1/check", "application/json", body, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Check requests a static perf-smell analysis.
+func (c *Client) Check(req CheckRequest) (*CheckResponse, error) {
+	return c.CheckContext(context.Background(), req)
+}
+
 // ReportContext fetches a stored diagnosis by report id.
 func (c *Client) ReportContext(ctx context.Context, id string) (*DiagnoseResponse, error) {
 	var out DiagnoseResponse

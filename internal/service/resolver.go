@@ -25,6 +25,15 @@ type Resolver interface {
 	Known() []string
 }
 
+// SourceResolver is an optional Resolver extension: endpoints that analyze
+// the program itself rather than its profiles (POST /v1/check) need the
+// workload's source text. Resolvers that cannot provide it simply do not
+// implement the interface.
+type SourceResolver interface {
+	// Source returns the workload's source path and text.
+	Source(workload string) (path, src string, err error)
+}
+
 // bugsResolver serves the built-in bug registry: workload name = bug id
 // (b1..b15, u1..u3). Builds are cached; building compiles and
 // schema-analyzes the workload exactly as the offline harness does.
@@ -55,6 +64,20 @@ func (r *bugsResolver) Resolve(workload string) (*debuginfo.Info, *schema.Schema
 		r.built[workload] = b
 	}
 	return b.Prog.Debug, b.Schema, nil
+}
+
+// Source returns the workload's buggy source (the reproduced issue, noise
+// injection excluded — the same text the offline checker goldens cover).
+func (r *bugsResolver) Source(workload string) (string, string, error) {
+	w := bugs.ByID(workload)
+	if w == nil {
+		return "", "", fmt.Errorf("no bug workload %q", workload)
+	}
+	path := w.SourceFile
+	if path == "" {
+		path = w.ID + ".vp"
+	}
+	return path, w.Source, nil
 }
 
 func (r *bugsResolver) Known() []string {
@@ -125,6 +148,21 @@ func (r *programResolver) Resolve(workload string) (*debuginfo.Info, *schema.Sch
 	return c.debug, c.sch, nil
 }
 
+// Source re-reads the workload's registered file.
+func (r *programResolver) Source(workload string) (string, string, error) {
+	r.mu.Lock()
+	path, ok := r.paths[workload]
+	r.mu.Unlock()
+	if !ok {
+		return "", "", fmt.Errorf("no program registered for workload %q", workload)
+	}
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return "", "", err
+	}
+	return path, string(src), nil
+}
+
 func (r *programResolver) Known() []string {
 	var out []string
 	for name := range r.paths {
@@ -158,6 +196,29 @@ func (m multiResolver) Resolve(workload string) (*debuginfo.Info, *schema.Schema
 		firstErr = fmt.Errorf("no resolver for workload %q", workload)
 	}
 	return nil, nil, firstErr
+}
+
+// Source delegates to the first chained resolver that both implements
+// SourceResolver and knows the workload.
+func (m multiResolver) Source(workload string) (string, string, error) {
+	var firstErr error
+	for _, r := range m {
+		sr, ok := r.(SourceResolver)
+		if !ok {
+			continue
+		}
+		path, src, err := sr.Source(workload)
+		if err == nil {
+			return path, src, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr == nil {
+		firstErr = fmt.Errorf("no source for workload %q", workload)
+	}
+	return "", "", firstErr
 }
 
 func (m multiResolver) Known() []string {

@@ -10,6 +10,7 @@
 //	     body: one profilefmt bundle (binary). Validated, deduplicated.
 //	GET  /v1/workloads
 //	POST /v1/diagnose        {"workload": w, "candidates": ["0"], "top": 10}
+//	POST /v1/check           {"workload": w} or {"source": text, "path": p}
 //	GET  /v1/report/{id}
 //	GET  /v1/stats
 //
@@ -263,6 +264,7 @@ func (s *Server) Handler() http.Handler {
 	route("POST /v1/profiles", "/v1/profiles", s.handleIngest)
 	route("GET /v1/workloads", "/v1/workloads", s.handleWorkloads)
 	route("POST /v1/diagnose", "/v1/diagnose", s.handleDiagnose)
+	route("POST /v1/check", "/v1/check", s.handleCheck)
 	route("GET /v1/report/{id}", "/v1/report", s.handleReport)
 	route("GET /v1/stats", "/v1/stats", s.handleStats)
 	mux.Handle("GET /metrics", s.reg.Handler())

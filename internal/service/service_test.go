@@ -2,6 +2,7 @@ package service_test
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -195,6 +196,68 @@ func TestServiceDiagnoseMatchesOffline(t *testing.T) {
 	}
 	if st.Diagnoses != 2 || st.DiagnoseCacheHits != 1 || st.Ingested != normals+candidates+1 {
 		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCheckEndpoint(t *testing.T) {
+	c, hs := newTestServer(t)
+
+	// A registered workload, resolved to its buggy source. b9's quadratic
+	// scan is one of the statically caught patterns.
+	resp, err := c.Check(service.CheckRequest{Workload: "b9"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ExitCode != 1 || len(resp.Findings) == 0 {
+		t.Fatalf("b9 check = exit %d, %d findings; want flagged", resp.ExitCode, len(resp.Findings))
+	}
+	found := false
+	for _, f := range resp.Findings {
+		if f.Rule == "quadratic-nest" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("b9 findings missing quadratic-nest: %+v", resp.Findings)
+	}
+	if len(resp.Costs) == 0 {
+		t.Error("no cost bounds returned")
+	}
+
+	// Inline source: clean program, exit 0, named by the request path.
+	resp, err = c.Check(service.CheckRequest{
+		Source: "func main() { work(5); return 0; }",
+		Path:   "tiny.vp",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ExitCode != 0 || len(resp.Findings) != 0 || resp.Path != "tiny.vp" {
+		t.Fatalf("inline check = %+v, want clean", resp)
+	}
+	if resp.Costs["main"] == "" {
+		t.Errorf("inline check missing main's cost bound: %+v", resp.Costs)
+	}
+
+	// Error paths: unknown workload, source that does not compile, neither.
+	if _, err := c.Check(service.CheckRequest{Workload: "nope"}); !errors.Is(err, service.ErrNotFound) {
+		t.Errorf("unknown workload: err = %v, want ErrNotFound", err)
+	}
+	if _, err := c.Check(service.CheckRequest{Source: "func {"}); err == nil {
+		t.Error("uncompilable source accepted")
+	}
+	if _, err := c.Check(service.CheckRequest{}); err == nil {
+		t.Error("empty check request accepted")
+	}
+
+	// Malformed JSON body.
+	hresp, err := http.Post(hs.URL+"/v1/check", "application/json", bytes.NewReader([]byte("{")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body: HTTP %d, want 400", hresp.StatusCode)
 	}
 }
 

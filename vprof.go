@@ -37,9 +37,11 @@ import (
 	"fmt"
 	"strings"
 
+	"vprof/internal/absint"
 	"vprof/internal/analysis"
 	"vprof/internal/compiler"
 	"vprof/internal/debuginfo"
+	"vprof/internal/diag"
 	"vprof/internal/lang"
 	"vprof/internal/parallel"
 	"vprof/internal/sampler"
@@ -66,9 +68,15 @@ type (
 	// CoverageReport is the schema/debuginfo coverage verification result:
 	// per-variable location counts, PC spans, gaps, and dropped entries.
 	CoverageReport = schema.CoverageReport
-	// LintReport collects IR-level static diagnostics (unreachable code,
-	// exit-less loops, constant/dead monitored variables, DWARF gaps).
-	LintReport = schema.LintReport
+	// CheckReport is the shared diagnostic report of the static checkers:
+	// `vprof lint` (IR hygiene, debug-location coverage) and `vprof check`
+	// (abstract-interpretation perf smells) both produce it.
+	CheckReport = diag.Report
+	// LintReport is the lint checker's report.
+	//
+	// Deprecated: lint and check share one report shape now; use
+	// CheckReport. The alias is kept so existing callers compile unchanged.
+	LintReport = diag.Report
 	// Profile is a recorded execution profile (PC histogram + value
 	// samples + layout log).
 	Profile = sampler.Profile
@@ -102,6 +110,7 @@ func Compile(path, source string) (*Program, error) {
 	if err != nil {
 		return nil, err
 	}
+	absint.Annotate(p)
 	return &Program{ast: f, compiled: p}, nil
 }
 
@@ -134,6 +143,11 @@ type SchemaOptions struct {
 	// MaxEntries caps the schema at the N highest-scoring entries
 	// (0 = unlimited).
 	MaxEntries int
+	// StaticPriors folds the abstract interpreter's value evidence into
+	// the relevance scores: trip-bound and work-feeding variables double,
+	// provably-constant ones halve. Off by default; the default schema is
+	// byte-for-byte unchanged.
+	StaticPriors bool
 }
 
 // GenerateSchema runs the static analysis that selects variables to monitor:
@@ -151,10 +165,11 @@ func (p *Program) GenerateSchema(opts SchemaOptions) *Schema {
 		filter = func(name string) bool { return set[name] }
 	}
 	return schema.GenerateIR(p.ast, p.compiled, schema.Options{
-		FuncFilter:  filter,
-		SkipGlobals: opts.SkipGlobals,
-		MinScore:    opts.MinScore,
-		MaxEntries:  opts.MaxEntries,
+		FuncFilter:   filter,
+		SkipGlobals:  opts.SkipGlobals,
+		MinScore:     opts.MinScore,
+		MaxEntries:   opts.MaxEntries,
+		StaticPriors: opts.StaticPriors,
 	})
 }
 
@@ -171,6 +186,30 @@ func (p *Program) VerifySchema(sch *Schema) *CoverageReport {
 // variables, and debug-location coverage problems.
 func (p *Program) Lint() *LintReport {
 	return schema.Lint(p.ast, p.compiled)
+}
+
+// Check runs the abstract-interpretation perf-smell checker over the
+// program: quadratic (or deeper) loop nests over correlated bounds,
+// loops with no inferable trip bound, unbounded accumulation into work(),
+// loop-invariant calls worth hoisting, value-level dead branches, and dead
+// stores. Exit-code convention matches Lint: Report.ExitCode() is 1 when
+// any warning-severity finding fired.
+func (p *Program) Check() *CheckReport {
+	return absint.CheckProgram(p.compiled)
+}
+
+// CostBounds returns the statically inferred worst-case cost bound of every
+// function, rendered as a polynomial over symbolic loop bounds ("unbounded"
+// marks costs the analyzer could not bound), keyed by function name.
+func (p *Program) CostBounds() map[string]string {
+	return absint.AnalyzeProgram(p.compiled).FunctionCosts()
+}
+
+// StaticCosts exposes the per-basic-block static cost annotations computed
+// at Compile time (absint.Annotate): instruction-count floors plus work()
+// contributions, with the symbolic bound rendered per block.
+func (p *Program) StaticCosts() []compiler.StaticCost {
+	return p.compiled.StaticCosts
 }
 
 // RunSpec parameterizes one execution of the target program.
