@@ -1,0 +1,151 @@
+package main
+
+import (
+	"io"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vprof/internal/service"
+	"vprof/internal/store"
+)
+
+// captureStderrText runs fn with os.Stderr redirected and returns what it wrote
+// plus fn's return value.
+func captureStderrText(t *testing.T, fn func() int) (string, int) {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stderr
+	os.Stderr = w
+	defer func() { os.Stderr = old }()
+	codeCh := make(chan int, 1)
+	go func() { codeCh <- fn() }()
+	code := <-codeCh
+	w.Close()
+	out, _ := io.ReadAll(r)
+	return string(out), code
+}
+
+func writeCausalFixture(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "twophase.vp")
+	src := `
+func hot() { work(8000); return 0; }
+func cold() { work(5000); return 0; }
+func driver() {
+  var i = 0;
+  while (i < 5) { hot(); i = i + 1; }
+  cold(); cold();
+}
+func main() { driver(); }`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCausalCommandLocalFile(t *testing.T) {
+	path := writeCausalFixture(t)
+	out := captureStdout(t, func() error {
+		return cmdCausal([]string{path, "-speedups", "50,95", "-workers", "1", "-curve", "hot"})
+	})
+	if !strings.Contains(out, "hot") || !strings.Contains(out, "causal profile") {
+		t.Fatalf("local sweep output missing ranking:\n%s", out)
+	}
+	if !strings.Contains(out, "optimize") || !strings.Contains(out, "end-to-end") {
+		t.Fatalf("missing rendered speedup curve:\n%s", out)
+	}
+}
+
+func TestCausalCommandBugID(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return cmdCausal([]string{"b3", "-speedups", "95", "-top", "3"})
+	})
+	if !strings.Contains(out, "row_upd_check_references") {
+		t.Fatalf("b3 sweep does not surface the root cause:\n%s", out)
+	}
+}
+
+func TestCausalCommandServer(t *testing.T) {
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	srv, err := service.New(service.Config{Store: st, Resolver: service.NewBugsResolver(), Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+
+	out := captureStdout(t, func() error {
+		return cmdCausal([]string{"b3", "-server", hs.URL, "-speedups", "95", "-top", "3"})
+	})
+	if !strings.Contains(out, "row_upd_check_references") {
+		t.Fatalf("server sweep does not surface the root cause:\n%s", out)
+	}
+}
+
+func TestCausalExitCodes(t *testing.T) {
+	path := writeCausalFixture(t)
+
+	// 0: a successful sweep.
+	if _, code := captureStderrText(t, func() int {
+		out, _ := captureStdoutErr(t, func() error {
+			return cmdCausal([]string{path, "-speedups", "95", "-workers", "1"})
+		})
+		if out == "" {
+			t.Error("successful sweep printed nothing")
+		}
+		return run([]string{"causal", path, "-speedups", "95", "-workers", "1"})
+	}); code != 0 {
+		t.Errorf("successful sweep: exit %d, want 0", code)
+	}
+
+	// 2: command-line mistakes.
+	for _, args := range [][]string{
+		{"causal"},                               // no target
+		{"causal", path, "-speedups", "150"},     // percentage out of range
+		{"causal", path, "-granularity", "line"}, // unknown granularity
+		{"causal", path, "-no-such-flag"},        // unknown flag
+	} {
+		if _, code := captureStderrText(t, func() int { return run(args) }); code != 2 {
+			t.Errorf("%v: exit %d, want 2", args, code)
+		}
+	}
+
+	// 1: execution failures (missing file, unreachable server).
+	if _, code := captureStderrText(t, func() int {
+		return run([]string{"causal", filepath.Join(t.TempDir(), "missing.vp")})
+	}); code != 1 {
+		t.Errorf("missing file: exit %d, want 1", code)
+	}
+	if _, code := captureStderrText(t, func() int {
+		return run([]string{"causal", "b3", "-server", "http://127.0.0.1:1"})
+	}); code != 1 {
+		t.Errorf("unreachable server: exit %d, want 1", code)
+	}
+}
+
+func TestUnknownCommandListsCausal(t *testing.T) {
+	stderr, code := captureStderrText(t, func() int { return run([]string{"nosuchcmd"}) })
+	if code != 2 {
+		t.Fatalf("unknown command: exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr, `unknown command "nosuchcmd"`) {
+		t.Errorf("missing unknown-command diagnostic:\n%s", stderr)
+	}
+	if !strings.Contains(stderr, "causal") || !strings.Contains(stderr, "diagnose") {
+		t.Errorf("command list missing causal/diagnose:\n%s", stderr)
+	}
+	// The usage text advertises the subcommand too.
+	if !strings.Contains(stderr, "vprof causal <prog.vp|bug-id>") {
+		t.Errorf("usage text missing causal line:\n%s", stderr)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -37,10 +38,22 @@ var commands = map[string]func([]string) error{
 	"disasm":   cmdDisasm,
 	"analyze":  cmdAnalyze,
 	"diagnose": cmdDiagnose,
+	"causal":   cmdCausal,
 	"serve":    cmdServe,
 	"push":     cmdPush,
 	"query":    cmdQuery,
 	"fsck":     cmdFsck,
+}
+
+// commandNames lists the dispatch table's keys, sorted, for the
+// unknown-command diagnostic.
+func commandNames() []string {
+	names := make([]string, 0, len(commands))
+	for name := range commands {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // usageError marks failures that are the caller's command line rather than
@@ -83,7 +96,8 @@ func run(args []string) int {
 	}
 	cmd, ok := commands[args[0]]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "vprof: unknown command %q\n", args[0])
+		fmt.Fprintf(os.Stderr, "vprof: unknown command %q (commands: %s)\n",
+			args[0], strings.Join(commandNames(), ", "))
 		usage()
 		return 2
 	}
@@ -149,6 +163,9 @@ func usage() {
   vprof disasm <prog.vp>
   vprof analyze <prog.vp> -normal dir[,dir...] -buggy dir[,dir...] [-top n] [-workers n]
   vprof diagnose <prog.vp> -normal a,b -buggy a,b [-runs n] [-top n] [-funcs f1,f2] [-workers n]
+  vprof causal <prog.vp|bug-id> [-speedups 10,50,95] [-granularity func|block]
+               [-funcs f1,f2] [-workers n] [-top n] [-curve f] [-server url]
+               [-inputs a,b] [-seed n]
   vprof serve [-addr host:port] [-store dir] [-bugs] [-workers n]
               [-analysis-workers n] [-request-timeout d] [-max-queue n]
               [-drain-timeout d] [-log-level l] [-log-format text|json]

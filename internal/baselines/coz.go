@@ -1,7 +1,7 @@
 package baselines
 
 import (
-	"vprof/internal/compiler"
+	"vprof/internal/causal"
 	"vprof/internal/vm"
 )
 
@@ -14,6 +14,10 @@ const CozSpeedup = 0.5
 // whose speedup shortens the run the most are where optimization pays off;
 // functions are ranked by their best block.
 //
+// The per-block virtual-speedup machinery is the shared engine in
+// internal/causal (causal.SpanScaler / causal.RootCPUTicks), with COZ's
+// historical truncating arithmetic preserved so Table 2 is unchanged.
+//
 // Failure modes from the paper are reproduced: COZ only observes the parent
 // process (its runtime injects into one process), so a root cause that
 // executes solely in children yields FailChild for the harness to notice;
@@ -23,7 +27,7 @@ func Coz(t *Target) *Result {
 		return &Result{Tool: "COZ", Failure: FailCrash}
 	}
 	cfg := cfgWithPhase(t.BuggyCfg, 0)
-	baseline := rootRuntime(t.Prog, cfg, nil)
+	baseline := causal.RootCPUTicks(t.Prog, cfg)
 
 	// COZ's runtime injects into one process and does not follow forks:
 	// when the bulk of execution happens in children, its experiments see
@@ -40,14 +44,10 @@ func Coz(t *Target) *Result {
 			continue
 		}
 		for _, blk := range fn.Blocks {
-			start, end := blk.Start, blk.End
-			scale := func(pc int, cost int64) int64 {
-				if pc >= start && pc < end {
-					return int64(float64(cost) * CozSpeedup)
-				}
-				return cost
-			}
-			runtime := rootRuntime(t.Prog, cfg, scale)
+			ecfg := cfg
+			ecfg.CostScale = causal.SpanScaler(
+				[]causal.Span{{Start: blk.Start, End: blk.End}}, CozSpeedup)
+			runtime := causal.RootCPUTicks(t.Prog, ecfg)
 			gain := float64(baseline - runtime)
 			// Gains within measurement noise are not findings: a
 			// tick-budget-bounded (hung) workload has the same
@@ -69,13 +69,4 @@ func Coz(t *Target) *Result {
 
 func isSyntheticName(name string) bool {
 	return len(name) >= 2 && name[0] == '_' && name[1] == '_'
-}
-
-// rootRuntime runs only the root process (COZ does not follow forks) and
-// returns its tick count.
-func rootRuntime(prog *compiler.Program, cfg vm.Config, scale func(int, int64) int64) int64 {
-	cfg.CostScale = scale
-	m := vm.New(prog, cfg)
-	_ = m.Run() // tick-budget exits are fine; the measured time stands
-	return m.Ticks()
 }

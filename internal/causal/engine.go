@@ -1,0 +1,107 @@
+// Package causal runs COZ-style virtual-speedup experiments on the
+// deterministic tick VM: re-execute a workload with one candidate's cost
+// scaled down by a sweep of speedup factors and measure the end-to-end
+// runtime delta, producing "optimizing f by p% yields q% speedup" curves
+// and an impact ranking.
+//
+// Where the original COZ perturbs a live execution with sampling-based
+// delays (and therefore reports noisy estimates), the deterministic VM
+// makes every experiment exact and byte-for-byte reproducible: the
+// experiment schedule is a pure function of the workload and candidate
+// set — no wall clock, no RNG — so results are cacheable and identical at
+// any worker count.
+//
+// Two granularities are supported:
+//
+//   - GranBlock scales the ticks charged at PCs inside one basic block
+//     (classic COZ attribution: "this code runs faster"). The Table 2
+//     COZ baseline (internal/baselines) runs on this engine.
+//   - GranFunc scales every tick charged while the candidate function is
+//     on the call stack (inclusive attribution: "optimizing f, including
+//     the work it delegates, shrinks its whole dynamic extent"). This is
+//     the mode that answers the developer's question for the paper's
+//     bugs, where a cheap root-cause function drives a costly callee.
+package causal
+
+import (
+	"context"
+	"errors"
+
+	"vprof/internal/compiler"
+	"vprof/internal/vm"
+)
+
+// Span is a half-open PC range [Start, End).
+type Span struct {
+	Start, End int
+}
+
+// SpanScaler returns a vm.Config.CostScale hook that rescales every tick
+// charged at a PC inside any span by factor, leaving other PCs untouched.
+// The arithmetic (int64(float64(cost)*factor)) is the one the hand-rolled
+// COZ baseline always used, so rewired callers stay byte-for-byte.
+func SpanScaler(spans []Span, factor float64) func(pc int, cost int64) int64 {
+	return func(pc int, cost int64) int64 {
+		for _, s := range spans {
+			if pc >= s.Start && pc < s.End {
+				return int64(float64(cost) * factor)
+			}
+		}
+		return cost
+	}
+}
+
+// RootCPUTicks runs only the root process — the view COZ's single-process
+// runtime has (it does not follow forks) — and returns its CPU tick count.
+// Budget exhaustion is not an error: the measured time stands, exactly as
+// an operator killing a hung run keeps the profile gathered so far.
+func RootCPUTicks(prog *compiler.Program, cfg vm.Config) int64 {
+	m := vm.New(prog, cfg)
+	_ = m.Run()
+	return m.Ticks()
+}
+
+// Measurement is the end-to-end outcome of one experiment run.
+type Measurement struct {
+	// CPU and Wall are tick totals summed over the whole process tree
+	// (wall = CPU + off-CPU blocked time).
+	CPU, Wall int64
+	// Capped reports that at least one process exhausted its tick budget,
+	// so Wall is a floor, not the true runtime.
+	Capped bool
+}
+
+// cancelCheckInterval is how often (in ticks) an experiment polls its
+// context. Alarms consume no ticks, so the poll never perturbs the
+// measured runtime.
+const cancelCheckInterval = 4096
+
+// MeasureTree executes prog's full process tree under cfg and measures
+// end-to-end runtime. A cancelable ctx is polled at a tick-free alarm so a
+// canceled caller aborts mid-experiment; the partial measurement is then
+// meaningless and ctx.Err() is returned.
+func MeasureTree(ctx context.Context, prog *compiler.Program, cfg vm.Config) (Measurement, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if ctx.Done() != nil && cfg.OnAlarm == nil {
+		cfg.AlarmInterval = cancelCheckInterval
+		cfg.OnAlarm = func(m *vm.VM) {
+			if err := ctx.Err(); err != nil {
+				m.Interrupt(err)
+			}
+		}
+	}
+	var m Measurement
+	for _, p := range vm.RunProcesses(prog, func(int) vm.Config { return cfg }) {
+		m.CPU += p.VM.Ticks()
+		m.Wall += p.VM.WallTicks()
+		if errors.Is(p.Err, vm.ErrTicksExceeded) {
+			m.Capped = true
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return Measurement{}, err
+	}
+	return m, nil
+}

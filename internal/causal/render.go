@@ -1,0 +1,83 @@
+package causal
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render formats the impact ranking as a fixed-width table, one row per
+// candidate, limited to the top n curves (n <= 0 means all). Output is a
+// pure function of the report, so goldens can gate it byte-for-byte.
+func Render(r *Report, top int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "causal profile (%s granularity): baseline %d wall ticks, %d experiments",
+		r.Granularity, r.BaselineWall, r.Experiments)
+	if r.Capped {
+		fmt.Fprintf(&b, " [baseline capped at %d-tick budget]", r.Budget)
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "%4s  %-28s %9s  %s\n", "rank", "candidate", "impact", "speedup curve")
+	n := len(r.Curves)
+	if top > 0 && top < n {
+		n = top
+	}
+	for i := 0; i < n; i++ {
+		c := &r.Curves[i]
+		fmt.Fprintf(&b, "%4d  %-28s %8.1f%%  %s\n", i+1, c.Name, c.Impact*100, sparkline(c))
+	}
+	if n < len(r.Curves) {
+		fmt.Fprintf(&b, "      ... %d more candidates\n", len(r.Curves)-n)
+	}
+	return b.String()
+}
+
+// RenderCurve formats one candidate's full speedup curve, one experiment
+// per line with a proportional bar — the "optimizing %s by p%% yields q%%
+// end-to-end speedup" view.
+func RenderCurve(c *Curve) string {
+	var b strings.Builder
+	loc := ""
+	if c.File != "" {
+		loc = fmt.Sprintf(" (%s:%d)", c.File, c.Line)
+	}
+	fmt.Fprintf(&b, "%s%s\n", c.Name, loc)
+	for i := range c.Points {
+		p := &c.Points[i]
+		capped := ""
+		if p.Capped {
+			capped = " [capped]"
+		}
+		fmt.Fprintf(&b, "  optimize %3.0f%% -> %+6.1f%% end-to-end  %s%s\n",
+			p.Speedup*100, p.Delta*100, bar(p.Delta), capped)
+	}
+	return b.String()
+}
+
+// sparkline compresses a curve into one glyph per point for table rows.
+func sparkline(c *Curve) string {
+	glyphs := []rune("._-=*#")
+	out := make([]rune, len(c.Points))
+	for i := range c.Points {
+		d := c.Points[i].Delta
+		switch {
+		case d <= 0:
+			out[i] = glyphs[0]
+		case d >= 1:
+			out[i] = glyphs[len(glyphs)-1]
+		default:
+			out[i] = glyphs[1+int(d*float64(len(glyphs)-2))]
+		}
+	}
+	return string(out)
+}
+
+// bar draws a 40-column proportional bar for one curve point.
+func bar(delta float64) string {
+	if delta <= 0 {
+		return ""
+	}
+	if delta > 1 {
+		delta = 1
+	}
+	return strings.Repeat("#", int(delta*40+0.5))
+}

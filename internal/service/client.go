@@ -354,6 +354,26 @@ func (c *Client) Check(req CheckRequest) (*CheckResponse, error) {
 	return c.CheckContext(context.Background(), req)
 }
 
+// CausalContext requests a Coz-style virtual-speedup sweep. Safe to retry:
+// the server memoizes sweeps by their exact inputs, so a re-sent request
+// that already computed is a cache hit.
+func (c *Client) CausalContext(ctx context.Context, req CausalRequest) (*CausalResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	var out CausalResponse
+	if err := c.doJSON(ctx, http.MethodPost, c.Base+"/v1/causal", "application/json", body, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Causal requests a Coz-style virtual-speedup sweep.
+func (c *Client) Causal(req CausalRequest) (*CausalResponse, error) {
+	return c.CausalContext(context.Background(), req)
+}
+
 // ReportContext fetches a stored diagnosis by report id.
 func (c *Client) ReportContext(ctx context.Context, id string) (*DiagnoseResponse, error) {
 	var out DiagnoseResponse

@@ -13,6 +13,7 @@ import (
 	"vprof/internal/debuginfo"
 	"vprof/internal/lang"
 	"vprof/internal/schema"
+	"vprof/internal/vm"
 )
 
 // Resolver maps a workload name to the debug info and monitoring schema its
@@ -32,6 +33,15 @@ type Resolver interface {
 type SourceResolver interface {
 	// Source returns the workload's source path and text.
 	Source(workload string) (path, src string, err error)
+}
+
+// RunnableResolver is an optional Resolver extension: endpoints that
+// re-execute the workload (POST /v1/causal's virtual-speedup experiments)
+// need the compiled program and the VM configuration it runs under, not
+// just its debug info.
+type RunnableResolver interface {
+	// Runnable returns the workload's compiled program and run config.
+	Runnable(workload string) (*compiler.Program, vm.Config, error)
 }
 
 // bugsResolver serves the built-in bug registry: workload name = bug id
@@ -80,6 +90,27 @@ func (r *bugsResolver) Source(workload string) (string, string, error) {
 	return path, w.Source, nil
 }
 
+// Runnable returns the bug's compiled program and its buggy run config
+// (run 0), the same pair the harness's causal validation uses.
+func (r *bugsResolver) Runnable(workload string) (*compiler.Program, vm.Config, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w := bugs.ByID(workload)
+	if w == nil {
+		return nil, vm.Config{}, fmt.Errorf("no bug workload %q", workload)
+	}
+	b, ok := r.built[workload]
+	if !ok {
+		var err error
+		b, err = w.Build()
+		if err != nil {
+			return nil, vm.Config{}, err
+		}
+		r.built[workload] = b
+	}
+	return b.Prog, w.BuggyConfig(0), nil
+}
+
 func (r *bugsResolver) Known() []string {
 	var out []string
 	for _, w := range bugs.All() {
@@ -100,6 +131,7 @@ type programResolver struct {
 }
 
 type compiledProgram struct {
+	prog  *compiler.Program
 	debug *debuginfo.Info
 	sch   *schema.Schema
 }
@@ -122,30 +154,49 @@ func NewProgramResolver(files []string) (Resolver, error) {
 }
 
 func (r *programResolver) Resolve(workload string) (*debuginfo.Info, *schema.Schema, error) {
+	c, err := r.compile(workload)
+	if err != nil {
+		return nil, nil, err
+	}
+	return c.debug, c.sch, nil
+}
+
+// Runnable returns the compiled program under a zero VM config: plain .vp
+// workloads run with defaults (no fault injection, no tick cap beyond the
+// causal engine's own budget).
+func (r *programResolver) Runnable(workload string) (*compiler.Program, vm.Config, error) {
+	c, err := r.compile(workload)
+	if err != nil {
+		return nil, vm.Config{}, err
+	}
+	return c.prog, vm.Config{}, nil
+}
+
+func (r *programResolver) compile(workload string) (*compiledProgram, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if c, ok := r.compiled[workload]; ok {
-		return c.debug, c.sch, nil
+		return c, nil
 	}
 	path, ok := r.paths[workload]
 	if !ok {
-		return nil, nil, fmt.Errorf("no program registered for workload %q", workload)
+		return nil, fmt.Errorf("no program registered for workload %q", workload)
 	}
 	src, err := os.ReadFile(path)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	f, err := lang.Parse(path, string(src))
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	prog, err := compiler.Compile(f)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	c := &compiledProgram{debug: prog.Debug, sch: schema.GenerateIR(f, prog, schema.Options{})}
+	c := &compiledProgram{prog: prog, debug: prog.Debug, sch: schema.GenerateIR(f, prog, schema.Options{})}
 	r.compiled[workload] = c
-	return c.debug, c.sch, nil
+	return c, nil
 }
 
 // Source re-reads the workload's registered file.
@@ -219,6 +270,29 @@ func (m multiResolver) Source(workload string) (string, string, error) {
 		firstErr = fmt.Errorf("no source for workload %q", workload)
 	}
 	return "", "", firstErr
+}
+
+// Runnable delegates to the first chained resolver that both implements
+// RunnableResolver and knows the workload.
+func (m multiResolver) Runnable(workload string) (*compiler.Program, vm.Config, error) {
+	var firstErr error
+	for _, r := range m {
+		rr, ok := r.(RunnableResolver)
+		if !ok {
+			continue
+		}
+		prog, cfg, err := rr.Runnable(workload)
+		if err == nil {
+			return prog, cfg, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr == nil {
+		firstErr = fmt.Errorf("no runnable program for workload %q", workload)
+	}
+	return nil, vm.Config{}, firstErr
 }
 
 func (m multiResolver) Known() []string {

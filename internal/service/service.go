@@ -11,6 +11,7 @@
 //	GET  /v1/workloads
 //	POST /v1/diagnose        {"workload": w, "candidates": ["0"], "top": 10}
 //	POST /v1/check           {"workload": w} or {"source": text, "path": p}
+//	POST /v1/causal          {"workload": w, "speedups": [10,50,95], "granularity": "func"}
 //	GET  /v1/report/{id}
 //	GET  /v1/stats
 //
@@ -138,6 +139,11 @@ type serviceMetrics struct {
 	poolWaiting *obs.Gauge
 	panics      *obs.Counter
 	shed        *obs.Counter
+
+	causal            *obs.CounterVec
+	causalExperiments *obs.Counter
+	causalDuration    *obs.Histogram
+	causalMemoHits    *obs.Counter
 }
 
 func newServiceMetrics(reg *obs.Registry) serviceMetrics {
@@ -159,6 +165,14 @@ func newServiceMetrics(reg *obs.Registry) serviceMetrics {
 			"Handler panics recovered by the HTTP middleware (served as 500s)."),
 		shed: reg.Counter("vprof_shed_total",
 			"Requests shed with 429 because the admission queue was full."),
+		causal: reg.CounterVec("vprof_causal_requests_total",
+			"Causal-profiling requests, by outcome.", "outcome"),
+		causalExperiments: reg.Counter("vprof_causal_experiments_total",
+			"Virtual-speedup experiments executed by computed causal sweeps."),
+		causalDuration: reg.Histogram("vprof_causal_duration_seconds",
+			"Wall time of computed (non-memoized) causal sweeps.", obs.DefBuckets),
+		causalMemoHits: reg.Counter("vprof_causal_memo_hits_total",
+			"Causal requests served from the memo cache."),
 	}
 }
 
@@ -185,6 +199,9 @@ type Server struct {
 	memo     map[string]*DiagnoseResponse // memo key → result
 	reports  map[string]*DiagnoseResponse // report id → result
 	inflight map[string]chan struct{}
+
+	causalMemo     map[string]*CausalResponse // causal memo key → result
+	causalInflight map[string]chan struct{}
 
 	ingested  atomic.Int64
 	deduped   atomic.Int64
@@ -242,6 +259,9 @@ func New(cfg Config) (*Server, error) {
 		memo:       map[string]*DiagnoseResponse{},
 		reports:    map[string]*DiagnoseResponse{},
 		inflight:   map[string]chan struct{}{},
+
+		causalMemo:     map[string]*CausalResponse{},
+		causalInflight: map[string]chan struct{}{},
 	}
 	s.m.poolSlots.Set(float64(workers))
 	return s, nil
@@ -265,6 +285,7 @@ func (s *Server) Handler() http.Handler {
 	route("GET /v1/workloads", "/v1/workloads", s.handleWorkloads)
 	route("POST /v1/diagnose", "/v1/diagnose", s.handleDiagnose)
 	route("POST /v1/check", "/v1/check", s.handleCheck)
+	route("POST /v1/causal", "/v1/causal", s.handleCausal)
 	route("GET /v1/report/{id}", "/v1/report", s.handleReport)
 	route("GET /v1/stats", "/v1/stats", s.handleStats)
 	mux.Handle("GET /metrics", s.reg.Handler())

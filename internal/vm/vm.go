@@ -71,6 +71,28 @@ type Config struct {
 	// COZ-style causal profiling uses it to apply a virtual speedup to
 	// one basic block.
 	CostScale func(pc int, cost int64) int64
+	// ScaleStack, when non-nil, applies an *inclusive* virtual speedup:
+	// every tick charged (CPU or blocked) while a marked function has a
+	// frame anywhere on the call stack is rescaled by Factor. Where
+	// CostScale models "this code runs faster", ScaleStack models
+	// "optimizing this function — including the work it delegates —
+	// shrinks its whole dynamic extent", which is the experiment
+	// internal/causal runs per candidate function.
+	//
+	// Unlike CostScale's truncating arithmetic, ScaleStack and ScaleSpan
+	// use fractional-carry accounting: the scaled charge's fractional
+	// part carries into the next charge, so long-run tick accrual
+	// matches Factor exactly even for unit-cost instructions. (Naive
+	// truncation zeroes every unit charge at any Factor < 1 — turning a
+	// 10% virtual speedup into total removal and letting a scaled
+	// infinite loop run forever without ever reaching its tick budget.)
+	ScaleStack *StackScale
+	// ScaleSpan, when non-nil, applies an *exclusive* virtual speedup to
+	// one PC range with the same fractional-carry accounting: CPU ticks
+	// charged at a PC in [Start, End) are rescaled by Factor; blocked
+	// time is untouched. This is internal/causal's block-granularity
+	// experiment.
+	ScaleSpan *SpanScale
 	// OnBranch, when non-nil, observes every conditional branch outcome
 	// (statistical debugging's branch predicates).
 	OnBranch func(pc int, taken bool)
@@ -89,6 +111,25 @@ type Config struct {
 	MaxWallTicks int64
 	// CountCalls enables per-edge call counting (gprof's mcount).
 	CountCalls bool
+}
+
+// StackScale configures the inclusive virtual-speedup hook (Config.ScaleStack).
+type StackScale struct {
+	// Marked flags function indexes (parallel to the program's function
+	// table) whose dynamic extent is virtually sped up.
+	Marked []bool
+	// Factor is the remaining fraction of each charged tick while marked
+	// code is on the stack: 0.25 means a 75% virtual speedup.
+	Factor float64
+}
+
+// SpanScale configures the exclusive virtual-speedup hook (Config.ScaleSpan).
+type SpanScale struct {
+	// [Start, End) is the half-open PC range sped up.
+	Start, End int
+	// Factor is the remaining fraction of each CPU tick charged inside
+	// the range: 0.25 means a 75% virtual speedup.
+	Factor float64
 }
 
 // ChildRequest records a spawn() call: a process to run after the parent,
@@ -122,6 +163,13 @@ type VM struct {
 	halted  bool
 	result  Value
 	stopErr error // set by Interrupt; checked once per instruction
+	// markedDepth counts frames of ScaleStack-marked functions currently
+	// on the stack; charges are rescaled while it is positive.
+	markedDepth int
+	// carryStack/carrySpan accumulate the fractional remainders of
+	// ScaleStack/ScaleSpan rescaling (always in [0,1)).
+	carryStack float64
+	carrySpan  float64
 
 	// Children collects spawn() requests in order.
 	Children []ChildRequest
@@ -246,6 +294,11 @@ func (vm *VM) Frame(depth int) (FrameView, bool) {
 func (vm *VM) Run() error {
 	initIdx := len(vm.prog.Funcs) - 1 // __init is emitted last
 	vm.frames = append(vm.frames[:0], frame{funcIndex: initIdx, retPC: -1})
+	vm.markedDepth = 0
+	vm.carryStack, vm.carrySpan = 0, 0
+	if vm.marked(initIdx) {
+		vm.markedDepth = 1
+	}
 	vm.pc = vm.prog.EntryPC
 	vm.halted = false
 	return vm.loop()
@@ -263,9 +316,34 @@ func (vm *VM) RunFunc(funcIndex int, args []Value, globals []Value) error {
 	fr := frame{funcIndex: funcIndex, retPC: -1, slots: make([]Value, fn.NumSlots)}
 	copy(fr.slots, args)
 	vm.frames = append(vm.frames[:0], fr)
+	vm.markedDepth = 0
+	vm.carryStack, vm.carrySpan = 0, 0
+	if vm.marked(funcIndex) {
+		vm.markedDepth = 1
+	}
 	vm.pc = fn.Entry
 	vm.halted = false
 	return vm.loop()
+}
+
+// rescale scales a non-negative charge by factor with fractional-carry
+// accounting: the remainder below one tick carries into the next charge via
+// *carry (kept in [0,1)), so scaled tick accrual tracks factor exactly
+// instead of truncating every sub-tick charge to zero.
+func rescale(n int64, factor float64, carry *float64) int64 {
+	want := float64(n)*factor + *carry
+	out := int64(want)
+	if out < 0 {
+		out = 0
+	}
+	*carry = want - float64(out)
+	return out
+}
+
+// marked reports whether function index idx is in the ScaleStack mark set.
+func (vm *VM) marked(idx int) bool {
+	ss := vm.cfg.ScaleStack
+	return ss != nil && idx >= 0 && idx < len(ss.Marked) && ss.Marked[idx]
 }
 
 // charge consumes n ticks, firing alarms at every interval crossing with the
@@ -277,6 +355,12 @@ func (vm *VM) charge(n int64) {
 		if n < 0 {
 			n = 0
 		}
+	}
+	if ss := vm.cfg.ScaleSpan; ss != nil && vm.pc >= ss.Start && vm.pc < ss.End {
+		n = rescale(n, ss.Factor, &vm.carrySpan)
+	}
+	if vm.markedDepth > 0 {
+		n = rescale(n, vm.cfg.ScaleStack.Factor, &vm.carryStack)
 	}
 	cpuAlarms := vm.cfg.AlarmInterval > 0 && vm.cfg.OnAlarm != nil
 	wallAlarms := vm.cfg.WallAlarmInterval > 0 && vm.cfg.OnWallAlarm != nil
@@ -313,6 +397,11 @@ func (vm *VM) charge(n int64) {
 // block(n)): the CPU-time alarm does not advance — a SIGPROF CPU profiler
 // never fires while the process sleeps — but wall alarms do.
 func (vm *VM) chargeBlocked(n int64) {
+	// An inclusive virtual speedup shrinks blocked time too: optimizing a
+	// function's extent includes the waiting it causes.
+	if vm.markedDepth > 0 {
+		n = rescale(n, vm.cfg.ScaleStack.Factor, &vm.carryStack)
+	}
 	if vm.cfg.WallAlarmInterval <= 0 || vm.cfg.OnWallAlarm == nil {
 		vm.blocked += n
 		return
@@ -458,6 +547,9 @@ func (vm *VM) loop() error {
 				fr.slots[i] = vm.pop()
 			}
 			vm.frames = append(vm.frames, fr)
+			if vm.marked(int(ins.A)) {
+				vm.markedDepth++
+			}
 			vm.pc = fn.Entry
 		case compiler.OpCallB:
 			if err := vm.builtin(compiler.Builtin(ins.A), int(ins.B)); err != nil {
@@ -472,6 +564,9 @@ func (vm *VM) loop() error {
 			vm.BranchTaken[vm.top().funcIndex]++
 			if vm.cfg.OnReturn != nil {
 				vm.cfg.OnReturn(vm.top().funcIndex, v)
+			}
+			if vm.marked(vm.top().funcIndex) {
+				vm.markedDepth--
 			}
 			vm.frames = vm.frames[:len(vm.frames)-1]
 			if len(vm.frames) == 0 {

@@ -207,3 +207,108 @@ func main() { g = 7; }`)
 		t.Error("Globals() returned aliased memory")
 	}
 }
+
+// markFuncs builds a StackScale mark vector for the named functions.
+func markFuncs(p *compiler.Program, names ...string) []bool {
+	marked := make([]bool, len(p.Funcs))
+	for i, f := range p.Funcs {
+		for _, n := range names {
+			if f.Name == n {
+				marked[i] = true
+			}
+		}
+	}
+	return marked
+}
+
+func TestScaleStackInclusive(t *testing.T) {
+	// driver's own code is cheap, but its extent covers hot's work: an
+	// inclusive speedup of driver must erase hot's cost, while a CostScale
+	// over driver's PC range would not.
+	src := `
+func hot() { work(1000); return 0; }
+func driver() { var i = 0; while (i < 4) { hot(); i = i + 1; } return 0; }
+func main() { driver(); work(500); }`
+	p := compile(t, src)
+	base := vm.New(p, vm.Config{})
+	if err := base.Run(); err != nil {
+		t.Fatal(err)
+	}
+	scaled := vm.New(p, vm.Config{ScaleStack: &vm.StackScale{Marked: markFuncs(p, "driver"), Factor: 0}})
+	if err := scaled.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// All 4x1000 hot ticks (plus driver's own) vanish; main's work(500)
+	// and the entry code remain.
+	if got := base.Ticks() - scaled.Ticks(); got < 4000 {
+		t.Errorf("inclusive speedup removed only %d ticks", got)
+	}
+	if scaled.Ticks() < 500 {
+		t.Errorf("unmarked code was scaled: %d ticks", scaled.Ticks())
+	}
+
+	// Exclusive scaling of the same (cheap) function barely moves the total.
+	fn := p.FuncNamed("driver")
+	excl := vm.New(p, vm.Config{CostScale: func(pc int, cost int64) int64 {
+		if pc >= fn.Entry && pc < fn.End {
+			return 0
+		}
+		return cost
+	}})
+	if err := excl.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if base.Ticks()-excl.Ticks() > 200 {
+		t.Errorf("exclusive scaling of driver removed %d ticks, want < 200", base.Ticks()-excl.Ticks())
+	}
+}
+
+func TestScaleStackRecursionAndBlocked(t *testing.T) {
+	src := `
+func rec(n) { if (n <= 0) { return 0; } work(100); block(100); return rec(n - 1); }
+func main() { rec(5); block(300); }`
+	p := compile(t, src)
+	base := vm.New(p, vm.Config{})
+	if err := base.Run(); err != nil {
+		t.Fatal(err)
+	}
+	scaled := vm.New(p, vm.Config{ScaleStack: &vm.StackScale{Marked: markFuncs(p, "rec"), Factor: 0}})
+	if err := scaled.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Nested marked frames scale once (not multiplicatively) and fully
+	// unwind: main's block(300) after rec returns is NOT scaled.
+	if scaled.BlockedTicks() != 300 {
+		t.Errorf("blocked ticks = %d, want exactly main's 300", scaled.BlockedTicks())
+	}
+	if base.BlockedTicks() != 300+5*100 {
+		t.Errorf("base blocked ticks = %d", base.BlockedTicks())
+	}
+	if base.Ticks()-scaled.Ticks() < 500 {
+		t.Errorf("recursion extent not scaled: base %d scaled %d", base.Ticks(), scaled.Ticks())
+	}
+}
+
+func TestScaleStackChildProcess(t *testing.T) {
+	// RunFunc entry frames are part of the marked extent when the spawned
+	// function itself is marked.
+	src := `
+func child(n) { work(n); return 0; }
+func main() { spawn("child", 2000); work(10); }`
+	p := compile(t, src)
+	mk := func(ss *vm.StackScale) int64 {
+		var total int64
+		for _, proc := range vm.RunProcesses(p, func(int) vm.Config { return vm.Config{ScaleStack: ss} }) {
+			if proc.Err != nil {
+				t.Fatal(proc.Err)
+			}
+			total += proc.VM.Ticks()
+		}
+		return total
+	}
+	base := mk(nil)
+	scaled := mk(&vm.StackScale{Marked: markFuncs(p, "child"), Factor: 0})
+	if base-scaled < 2000 {
+		t.Errorf("child extent not scaled: base %d scaled %d", base, scaled)
+	}
+}

@@ -39,6 +39,7 @@ import (
 
 	"vprof/internal/absint"
 	"vprof/internal/analysis"
+	"vprof/internal/causal"
 	"vprof/internal/compiler"
 	"vprof/internal/debuginfo"
 	"vprof/internal/diag"
@@ -447,6 +448,43 @@ func DiagnoseContext(ctx context.Context, prog *Program, sch *Schema, normalSpec
 		Params:  &params,
 	})
 }
+
+// Causal-profiling re-exports: Coz-style virtual-speedup experiments on the
+// deterministic tick VM (internal/causal).
+type (
+	// CausalOptions configures a sweep (speedup factors, granularity,
+	// candidate selection, worker count).
+	CausalOptions = causal.Options
+	// CausalReport holds per-candidate speedup curves and the impact
+	// ranking.
+	CausalReport = causal.Report
+	// CausalCurve is one candidate's speedup curve.
+	CausalCurve = causal.Curve
+)
+
+// Causal runs Coz-style virtual-speedup experiments: for each candidate
+// function (or basic block) the program is re-executed with that
+// candidate's tick costs scaled down by each speedup factor, and the change
+// in end-to-end runtime is measured. The result ranks candidates by how
+// much optimizing them would actually help — "optimize f by p% → q%
+// end-to-end speedup". Deterministic: byte-for-byte identical for every
+// worker count.
+func (p *Program) Causal(spec RunSpec, opts CausalOptions) (*CausalReport, error) {
+	return p.CausalContext(context.Background(), spec, opts)
+}
+
+// CausalContext is Causal with cooperative cancellation: in-flight
+// experiments stop at the VM's next tick-free poll alarm and ctx.Err() is
+// returned.
+func (p *Program) CausalContext(ctx context.Context, spec RunSpec, opts CausalOptions) (*CausalReport, error) {
+	return causal.Run(ctx, p.compiled, spec.vmConfig(), opts)
+}
+
+// FormatCausal renders a causal report's impact ranking (top rows).
+func FormatCausal(r *CausalReport, top int) string { return causal.Render(r, top) }
+
+// FormatCausalCurve renders one candidate's full speedup curve.
+func FormatCausalCurve(c *CausalCurve) string { return causal.RenderCurve(c) }
 
 // FormatSchema renders a schema in the paper's textual format.
 func FormatSchema(sch *Schema) string { return schema.Format(sch) }
