@@ -12,6 +12,7 @@ import (
 
 	"vprof/internal/service"
 	"vprof/internal/store"
+	"vprof/internal/vm"
 )
 
 // captureStdout runs fn with os.Stdout redirected and returns what it wrote.
@@ -391,5 +392,35 @@ func TestPushQueryEndToEnd(t *testing.T) {
 	})
 	if !strings.Contains(rep, "workload recovery") {
 		t.Fatalf("report output:\n%s", rep)
+	}
+}
+
+// TestEngineFlag pins the -engine plumbing: both engines produce the
+// identical run output (they are tick-for-tick equivalent), the flag
+// resets the process default, and a bad engine name is a usage error.
+func TestEngineFlag(t *testing.T) {
+	prog := "../../testdata/recovery.vp"
+	prev := vm.DefaultEngine()
+	defer vm.SetDefaultEngine(prev)
+
+	treeOut := captureStdout(t, func() error {
+		return cmdRun([]string{prog, "-inputs", "40", "-engine", "tree"})
+	})
+	regOut := captureStdout(t, func() error {
+		return cmdRun([]string{prog, "-inputs", "40", "-engine", "register"})
+	})
+	if treeOut != regOut {
+		t.Errorf("run output differs between engines:\n--- tree ---\n%s\n--- register ---\n%s", treeOut, regOut)
+	}
+	if got := vm.DefaultEngine(); got != vm.EngineRegister {
+		t.Errorf("default engine after -engine register = %q", got)
+	}
+
+	err := cmdRun([]string{prog, "-engine", "quantum"})
+	if err == nil {
+		t.Fatal("bad engine name accepted")
+	}
+	if exitCode(err) != 2 {
+		t.Errorf("bad engine name: exit code %d, want 2 (usage)", exitCode(err))
 	}
 }

@@ -1,0 +1,92 @@
+package vm
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"vprof/internal/compiler"
+)
+
+// Execution engine names accepted by Config.Engine, SetDefaultEngine and
+// the VPROF_ENGINE environment variable.
+const (
+	// EngineTree is the original tree-walking (switch-dispatch,
+	// operand-stack) interpreter. It remains the semantic reference.
+	EngineTree = "tree"
+	// EngineRegister is the register-based engine: the stack IR is
+	// lowered to register superinstructions (compiler.CompileRegister)
+	// executed over flat arena frames with batched tick accounting. It
+	// is observationally identical to the tree walker — same ticks,
+	// alarms, samples, traps — and is gated by the differential suite
+	// in diff_test.go.
+	EngineRegister = "register"
+)
+
+// defaultEngine is the process-wide engine used when Config.Engine is
+// empty; initialized from VPROF_ENGINE, falling back to the tree walker.
+var defaultEngine atomic.Value
+
+func init() {
+	eng := EngineTree
+	if e := os.Getenv("VPROF_ENGINE"); e != "" {
+		if n, err := normalizeEngine(e); err == nil {
+			eng = n
+		}
+	}
+	defaultEngine.Store(eng)
+}
+
+func normalizeEngine(name string) (string, error) {
+	switch name {
+	case "", EngineTree:
+		return EngineTree, nil
+	case EngineRegister:
+		return EngineRegister, nil
+	}
+	return "", fmt.Errorf("vm: unknown engine %q (want %q or %q)", name, EngineTree, EngineRegister)
+}
+
+// DefaultEngine returns the process-wide default execution engine.
+func DefaultEngine() string { return defaultEngine.Load().(string) }
+
+// SetDefaultEngine sets the process-wide default execution engine,
+// returning the previous value. It is safe for concurrent use; runs
+// already in flight keep the engine they resolved at start.
+func SetDefaultEngine(name string) (prev string, err error) {
+	n, err := normalizeEngine(name)
+	if err != nil {
+		return DefaultEngine(), err
+	}
+	return defaultEngine.Swap(n).(string), nil
+}
+
+// resolveEngine picks the engine for this run: Config.Engine when set,
+// else the process default.
+func (vm *VM) resolveEngine() (string, error) {
+	if vm.cfg.Engine != "" {
+		return normalizeEngine(vm.cfg.Engine)
+	}
+	return DefaultEngine(), nil
+}
+
+// regCache memoizes register lowerings per *compiler.Program so repeated
+// runs (profiling sweeps, causal experiments) pay compilation once.
+var regCache sync.Map // *compiler.Program -> regCacheEntry
+
+type regCacheEntry struct {
+	rp  *compiler.RegProgram
+	err error
+}
+
+func regProgramFor(p *compiler.Program) (*compiler.RegProgram, error) {
+	if v, ok := regCache.Load(p); ok {
+		e := v.(regCacheEntry)
+		return e.rp, e.err
+	}
+	rp, err := compiler.CompileRegister(p)
+	v, _ := regCache.LoadOrStore(p, regCacheEntry{rp: rp, err: err})
+	e := v.(regCacheEntry)
+	return e.rp, e.err
+}

@@ -111,6 +111,11 @@ type Config struct {
 	MaxWallTicks int64
 	// CountCalls enables per-edge call counting (gprof's mcount).
 	CountCalls bool
+	// Engine selects the execution engine for this run: EngineTree,
+	// EngineRegister, or "" for the process default (SetDefaultEngine /
+	// VPROF_ENGINE). Both engines are observationally identical — same
+	// ticks, alarms, samples, traps — differing only in speed.
+	Engine string
 }
 
 // StackScale configures the inclusive virtual-speedup hook (Config.ScaleStack).
@@ -145,6 +150,12 @@ type frame struct {
 	retPC     int // PC of the OpCall instruction in the caller
 	slots     []Value
 	stack     []Value
+	// Register-engine bookkeeping (unused by the tree walker): the
+	// frame's base offset in the register arena, the caller's resume
+	// register-code index, and the caller register receiving the result.
+	base int32
+	rret int32
+	rres int32
 }
 
 // VM is a single simulated process executing one program.
@@ -170,6 +181,9 @@ type VM struct {
 	// ScaleStack/ScaleSpan rescaling (always in [0,1)).
 	carryStack float64
 	carrySpan  float64
+	// regs is the register engine's frame arena (all live frames' named
+	// slots and scratch registers, contiguously).
+	regs []Value
 
 	// Children collects spawn() requests in order.
 	Children []ChildRequest
@@ -292,7 +306,14 @@ func (vm *VM) Frame(depth int) (FrameView, bool) {
 // initializers and calls main). It returns nil on normal halt,
 // ErrTicksExceeded if the budget ran out, or a *RuntimeError on a trap.
 func (vm *VM) Run() error {
+	eng, err := vm.resolveEngine()
+	if err != nil {
+		return err
+	}
 	initIdx := len(vm.prog.Funcs) - 1 // __init is emitted last
+	if eng == EngineRegister {
+		return vm.runRegister(initIdx, nil)
+	}
 	vm.frames = append(vm.frames[:0], frame{funcIndex: initIdx, retPC: -1})
 	vm.markedDepth = 0
 	vm.carryStack, vm.carrySpan = 0, 0
@@ -312,7 +333,14 @@ func (vm *VM) RunFunc(funcIndex int, args []Value, globals []Value) error {
 	if len(args) != fn.NumParams {
 		return fmt.Errorf("vm: RunFunc %s: %d args, want %d", fn.Name, len(args), fn.NumParams)
 	}
+	eng, err := vm.resolveEngine()
+	if err != nil {
+		return err
+	}
 	copy(vm.globals, globals)
+	if eng == EngineRegister {
+		return vm.runRegister(funcIndex, args)
+	}
 	fr := frame{funcIndex: funcIndex, retPC: -1, slots: make([]Value, fn.NumSlots)}
 	copy(fr.slots, args)
 	vm.frames = append(vm.frames[:0], fr)
