@@ -330,6 +330,7 @@ func BenchmarkVMExecution(b *testing.B) {
 		m := vm.New(built.Prog, cfg)
 		_ = m.Run()
 		ticks += m.Ticks()
+		m.Recycle()
 	}
 	b.ReportMetric(float64(ticks)/float64(b.N), "ticks/run")
 }
@@ -356,6 +357,7 @@ func BenchmarkEngineExec(b *testing.B) {
 					m := vm.New(built.Prog, cfg)
 					_ = m.Run()
 					ticks += m.Ticks()
+					m.Recycle()
 				}
 				b.ReportMetric(float64(ticks)/float64(b.N), "ticks/run")
 			})

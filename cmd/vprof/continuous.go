@@ -57,6 +57,7 @@ func cmdServe(args []string) error {
 	baselineCap := fs.Int("baseline-cap", 16, "rolling baseline corpus size per workload")
 	requestTimeout := fs.Duration("request-timeout", 0, "per-request deadline (0 = none)")
 	maxQueue := fs.Int("max-queue", 0, "admission queue bound before shedding with 429 (0 = default)")
+	sketches := fs.Bool("sketches", false, "serve diagnoses from persisted per-variable sketches (incremental path)")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "grace period for in-flight requests on SIGTERM")
 	logLevel := fs.String("log-level", "info", "log verbosity: debug, info, warn, error")
 	logFormat := fs.String("log-format", "text", "log encoding: text or json")
@@ -103,7 +104,8 @@ func cmdServe(args []string) error {
 		Store: st, Resolver: resolver, Workers: *workers,
 		AnalysisWorkers: *analysisWorkers, Top: *top,
 		RequestTimeout: *requestTimeout, MaxQueue: *maxQueue,
-		Metrics: reg, Logger: logger,
+		Sketches: *sketches,
+		Metrics:  reg, Logger: logger,
 	})
 	if err != nil {
 		return err
@@ -256,6 +258,7 @@ func cmdQuery(args []string) error {
 	workload := fs.String("workload", "", "workload to diagnose")
 	candidates := fs.String("candidates", "", "comma-separated candidate run ids (default: all)")
 	top := fs.Int("top", 10, "report rows")
+	sketches := fs.Bool("sketches", false, "diagnose via the server's persisted sketches (incremental path)")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -275,7 +278,7 @@ func cmdQuery(args []string) error {
 		if *workload == "" {
 			return usageError{fmt.Errorf("query diagnose: -workload is required")}
 		}
-		req := service.DiagnoseRequest{Workload: *workload, Top: *top}
+		req := service.DiagnoseRequest{Workload: *workload, Top: *top, Sketches: *sketches}
 		if *candidates != "" {
 			req.Candidates = strings.Split(*candidates, ",")
 		}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -481,6 +482,7 @@ func cmdAnalyze(args []string) error {
 	top := fs.Int("top", 10, "rows to print")
 	funcs := fs.String("funcs", "", "comma-separated component functions (must match the profiling schema)")
 	workers := fs.Int("workers", 0, "analysis worker pool (0 = VPROF_WORKERS or GOMAXPROCS, 1 = sequential)")
+	sketches := fs.Bool("sketches", false, "analyze via mergeable per-variable sketches (no block localization)")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -519,9 +521,12 @@ func cmdAnalyze(args []string) error {
 	if err != nil {
 		return err
 	}
-	params := vprof.DefaultParams()
-	params.Workers = *workers
-	report, err := vprof.Analyze(prog, sch, normals, buggies, params)
+	report, err := vprof.AnalyzeContext(context.Background(), vprof.AnalyzeRequest{
+		Program: prog,
+		Schema:  sch,
+		Normal:  normals,
+		Buggy:   buggies,
+	}, vprof.WithWorkers(*workers), vprof.WithSketches(*sketches))
 	if err != nil {
 		return err
 	}

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -97,7 +98,12 @@ func main() {
 		normals = append(normals, prog.Profile(n, sch))
 		buggies = append(buggies, prog.Profile(b, sch))
 	}
-	report, err := vprof.Analyze(prog, sch, normals, buggies, vprof.DefaultParams())
+	report, err := vprof.AnalyzeContext(context.Background(), vprof.AnalyzeRequest{
+		Program: prog,
+		Schema:  sch,
+		Normal:  normals,
+		Buggy:   buggies,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -53,6 +53,44 @@ func AnalyzeContext(ctx context.Context, in Input, p Params) (*Report, error) {
 			varCost[fn] = float64(units * buggy.Interval)
 		}
 	}
+
+	// Hist-discounter for functions with no variable verdict.
+	var hist map[string]float64
+	if !p.DisableHistDiscounter {
+		hist, err = histDiscounter(ctx, p, in.Normal, in.Buggy, in.Debug)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	return assemble(ctx, p, in.Debug, costInputs{
+		vars:       vars,
+		attributed: attributed,
+		pcCost:     pcCost,
+		varCost:    varCost,
+		hist:       hist,
+	})
+}
+
+// costInputs bundles the per-side evidence both analysis front ends — full
+// profiles (AnalyzeContext) and sketches (AnalyzeSketchesContext) — hand to
+// the shared ranking back end.
+type costInputs struct {
+	vars       map[string]*VariableReport
+	attributed map[string][]*VariableReport
+	pcCost     map[string]float64
+	varCost    map[string]float64
+	// hist is nil when the hist-discounter is disabled.
+	hist map[string]float64
+}
+
+// assemble is the shared back half of the analysis: build the function
+// universe, attribute costs and discounts per function, sort into the
+// calibrated ranking, and classify bug patterns. Identical for any worker
+// count.
+func assemble(ctx context.Context, p Params, info *debuginfo.Info, in costInputs) (*Report, error) {
+	pcCost, varCost, hist := in.pcCost, in.varCost, in.hist
+	attributed := in.attributed
 	universe := make([]string, 0, len(pcCost)+len(varCost))
 	seen := map[string]bool{}
 	for fn := range pcCost {
@@ -66,23 +104,14 @@ func AnalyzeContext(ctx context.Context, in Input, p Params) (*Report, error) {
 	}
 	sort.Strings(universe)
 
-	// Hist-discounter for functions with no variable verdict.
-	var hist map[string]float64
-	if !p.DisableHistDiscounter {
-		hist, err = histDiscounter(ctx, p, in.Normal, in.Buggy, in.Debug)
-		if err != nil {
-			return nil, err
-		}
-	}
-
 	// Per-function cost attribution fans out over the worker pool; every
 	// input (cost maps, attributed variables, hist ratios) is read-only
 	// from here on and each index fills only its own row, so the rows —
 	// and after the deterministic sort, the whole ranking — are identical
 	// for any worker count.
 	workers := parallel.Workers(p.Workers)
-	report := &Report{Params: p, Variables: vars}
-	report.Funcs, err = parallel.MapCtx(ctx, workers, len(universe), func(i int) FuncReport {
+	report := &Report{Params: p, Variables: in.vars}
+	funcs, err := parallel.MapCtx(ctx, workers, len(universe), func(i int) FuncReport {
 		fn := universe[i]
 		fr := FuncReport{
 			Name:    fn,
@@ -128,6 +157,7 @@ func AnalyzeContext(ctx context.Context, in Input, p Params) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	report.Funcs = funcs
 
 	sort.Slice(report.Funcs, func(i, j int) bool {
 		a, b := &report.Funcs[i], &report.Funcs[j]
@@ -154,7 +184,7 @@ func AnalyzeContext(ctx context.Context, in Input, p Params) (*Report, error) {
 		if match != nil {
 			fr.TopVariable = match
 		}
-		fr.Blocks = localizeBlocks(in.Debug, fr)
+		fr.Blocks = localizeBlocks(info, fr)
 	}); err != nil {
 		return nil, err
 	}

@@ -28,27 +28,32 @@ func tickSeries(samples []sampler.Sample) []float64 {
 	return out
 }
 
-// discountVariable computes the discount ratio for one variable across the
-// paper's three dimensions, returning the minimum and the dimension that
-// produced it.
-func discountVariable(p Params, isPointer bool, normal, buggy []float64) (float64, Dimension, bool) {
-	type dim struct {
-		d    Dimension
-		n, b []float64
-	}
-	dims := []dim{
-		{DimValue, normal, buggy},
-		{DimDelta, stats.ChangeDeltas(normal), stats.ChangeDeltas(buggy)},
-		{DimCost, stats.RunLengths(normal), stats.RunLengths(buggy)},
-	}
-	if isPointer {
-		// Pointer values (addresses) carry no meaning across runs; only
-		// the processing-cost dimension applies (paper §5.1).
-		dims = dims[2:]
-	} else if p.DimensionsValueOnly {
-		dims = dims[:1]
-	}
+// dimSeries is one candidate dimension's pair of observation series, fed to
+// the shared selection loop by both analysis front ends (raw profiles in
+// discountVariable, sketches in discountVariableSketch).
+type dimSeries struct {
+	d    Dimension
+	n, b []float64
+}
 
+// trimDims applies the paper's dimension restrictions: pointer values
+// (addresses) carry no meaning across runs, so only the processing-cost
+// dimension applies (§5.1); DimensionsValueOnly is the ablation switch.
+func trimDims(p Params, isPointer bool, dims []dimSeries) []dimSeries {
+	if isPointer {
+		return dims[2:]
+	}
+	if p.DimensionsValueOnly {
+		return dims[:1]
+	}
+	return dims
+}
+
+// selectDiscount runs discountOneDim over the candidate dimensions and
+// returns the verdict with the minimum raw ratio (raw, not floored —
+// dimension selection compares raw ratios, per the paper's Redis-8668
+// walkthrough) plus the dimension that produced it.
+func selectDiscount(p Params, dims []dimSeries) (float64, Dimension, bool) {
 	best, bestRaw := 1.0, 2.0
 	bestDim := DimNone
 	tested := false
@@ -67,6 +72,17 @@ func discountVariable(p Params, isPointer bool, normal, buggy []float64) (float6
 		return 1, DimNone, false
 	}
 	return best, bestDim, true
+}
+
+// discountVariable computes the discount ratio for one variable across the
+// paper's three dimensions, returning the minimum and the dimension that
+// produced it.
+func discountVariable(p Params, isPointer bool, normal, buggy []float64) (float64, Dimension, bool) {
+	return selectDiscount(p, trimDims(p, isPointer, []dimSeries{
+		{DimValue, normal, buggy},
+		{DimDelta, stats.ChangeDeltas(normal), stats.ChangeDeltas(buggy)},
+		{DimCost, stats.RunLengths(normal), stats.RunLengths(buggy)},
+	}))
 }
 
 // discountOneDim computes the discount ratio for a single dimension,
@@ -317,28 +333,33 @@ func attributeVariables(vars map[string]*VariableReport, buggy *sampler.Profile,
 		}
 		out[vr.Func] = append(out[vr.Func], vr)
 	}
-	// Deterministic per-function ordering: most anomalous first; on ties,
-	// tagged variables (more diagnostic signal) and locals before
-	// globals, then by name.
 	for _, list := range out {
-		sort.Slice(list, func(i, j int) bool {
-			a, b := list[i], list[j]
-			if a.Discount != b.Discount {
-				return a.Discount < b.Discount
-			}
-			aTag, bTag := a.Tags != schema.TagNone, b.Tags != schema.TagNone
-			if aTag != bTag {
-				return aTag
-			}
-			aLocal, bLocal := a.Func != debuginfo.GlobalScope, b.Func != debuginfo.GlobalScope
-			if aLocal != bLocal {
-				return aLocal
-			}
-			if a.Func != b.Func {
-				return a.Func < b.Func
-			}
-			return a.Name < b.Name
-		})
+		sortAttributed(list)
 	}
 	return out
+}
+
+// sortAttributed is the deterministic per-function ordering of attributed
+// variables shared by both analysis front ends: most anomalous first; on
+// ties, tagged variables (more diagnostic signal) and locals before
+// globals, then by name.
+func sortAttributed(list []*VariableReport) {
+	sort.Slice(list, func(i, j int) bool {
+		a, b := list[i], list[j]
+		if a.Discount != b.Discount {
+			return a.Discount < b.Discount
+		}
+		aTag, bTag := a.Tags != schema.TagNone, b.Tags != schema.TagNone
+		if aTag != bTag {
+			return aTag
+		}
+		aLocal, bLocal := a.Func != debuginfo.GlobalScope, b.Func != debuginfo.GlobalScope
+		if aLocal != bLocal {
+			return aLocal
+		}
+		if a.Func != b.Func {
+			return a.Func < b.Func
+		}
+		return a.Name < b.Name
+	})
 }

@@ -1,0 +1,354 @@
+package analysis
+
+// Sketch-aware analysis kernels: the same calibrated diagnosis computed
+// from mergeable per-variable sketches (internal/sketch) instead of decoded
+// profiles. Where sketch buckets are exact (integral values up to 1<<20 —
+// run lengths, change deltas, and the value ranges of the reproduced
+// issues) the verdicts are bit-for-bit identical to AnalyzeContext: the
+// Anderson-Darling and Hellinger statistics are order-invariant, so the
+// histogram expansion loses nothing, and the hist-discounter's pairwise
+// rank cross-comparison is recomputed exactly from the Corpus rank
+// multisets. Sketches carry no ordered per-tick PC trail, so
+// VariableReport.AbnormalPCs (and the derived block localization) stay
+// empty in sketch mode; classification and ranking do not depend on them.
+
+import (
+	"context"
+	"sort"
+
+	"vprof/internal/debuginfo"
+	"vprof/internal/parallel"
+	"vprof/internal/schema"
+	"vprof/internal/sketch"
+	"vprof/internal/stats"
+)
+
+// Corpus summarizes a baseline (normal) run set for the hist-discounter:
+// per function, the sorted multiset of its per-run cost ranks. Adding a run
+// is O(functions); merging two corpora is associative and commutative, so a
+// shard can answer with a partial corpus and the coordinator folds them.
+type Corpus struct {
+	// Runs is the number of runs folded in.
+	Runs int
+	// Ranks maps a function name to its dense cost rank in each run where
+	// it appeared, ascending.
+	Ranks map[string][]int
+}
+
+// NewCorpus returns an empty corpus.
+func NewCorpus() *Corpus { return &Corpus{Ranks: map[string][]int{}} }
+
+// AddSketch folds one run's sketch into the corpus.
+func (c *Corpus) AddSketch(s *sketch.Profile, info *debuginfo.Info) {
+	c.AddRanks(stats.Ranks(pcCostAppSketch(s, info)))
+}
+
+// AddRanks folds one run's per-function cost ranking into the corpus.
+func (c *Corpus) AddRanks(ranks map[string]int) {
+	c.Runs++
+	for f, r := range ranks {
+		lst := c.Ranks[f]
+		i := sort.SearchInts(lst, r)
+		lst = append(lst, 0)
+		copy(lst[i+1:], lst[i:])
+		lst[i] = r
+		c.Ranks[f] = lst
+	}
+}
+
+// Merge folds other into c (associative and commutative).
+func (c *Corpus) Merge(other *Corpus) {
+	c.Runs += other.Runs
+	for f, rs := range other.Ranks {
+		merged := append(append([]int(nil), c.Ranks[f]...), rs...)
+		sort.Ints(merged)
+		c.Ranks[f] = merged
+	}
+}
+
+// Clone returns a deep copy.
+func (c *Corpus) Clone() *Corpus {
+	out := &Corpus{Runs: c.Runs, Ranks: make(map[string][]int, len(c.Ranks))}
+	for f, rs := range c.Ranks {
+		out.Ranks[f] = append([]int(nil), rs...)
+	}
+	return out
+}
+
+// CorpusOfSketches builds a corpus from a baseline run set.
+func CorpusOfSketches(sketches []*sketch.Profile, info *debuginfo.Info) *Corpus {
+	c := NewCorpus()
+	for _, s := range sketches {
+		c.AddSketch(s, info)
+	}
+	return c
+}
+
+// SketchInput bundles the inputs of the sketch-mode analysis.
+type SketchInput struct {
+	Debug  *debuginfo.Info
+	Schema *schema.Schema
+	// Normal is run 0 of the normal side (the variable-discounter's
+	// baseline); Corpus summarizes every normal run's cost ranking for
+	// the hist-discounter. A nil Corpus is rebuilt from Normal alone.
+	Normal *sketch.Profile
+	Corpus *Corpus
+	// Buggy are the candidate runs' sketches: Buggy[0] feeds the
+	// variable-discounter, all feed the hist cross-comparison.
+	Buggy []*sketch.Profile
+}
+
+// AnalyzeSketches is AnalyzeSketchesContext with a background context.
+func AnalyzeSketches(in SketchInput, p Params) (*Report, error) {
+	return AnalyzeSketchesContext(context.Background(), in, p)
+}
+
+// AnalyzeSketchesContext runs the calibrated diagnosis over sketches. The
+// report matches AnalyzeContext bit-for-bit where sketch buckets are exact,
+// except that AbnormalPCs/Blocks localization is unavailable (sketches keep
+// no ordered PC trail). Cancellation mirrors AnalyzeContext.
+func AnalyzeSketchesContext(ctx context.Context, in SketchInput, p Params) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if in.Normal == nil || len(in.Buggy) == 0 {
+		return nil, ErrNoProfiles
+	}
+	corpus := in.Corpus
+	if corpus == nil {
+		corpus = CorpusOfSketches([]*sketch.Profile{in.Normal}, in.Debug)
+	}
+	buggy := in.Buggy[0]
+
+	vars, err := analyzeVariablesSketch(ctx, p, in)
+	if err != nil {
+		return nil, err
+	}
+	attributed := attributeVariablesSketch(vars, buggy, in.Debug)
+
+	pcCost := pcCostAppSketch(buggy, in.Debug)
+	varCost := map[string]float64{}
+	if !p.DisableVarCost {
+		units := map[string]int64{}
+		for pc, n := range buggy.UnitsByPC {
+			if fn := in.Debug.FuncAt(int(pc)); fn != nil {
+				units[fn.Name] += n
+			}
+		}
+		for fn, u := range units {
+			f := in.Debug.FuncNamed(fn)
+			if f == nil || f.Library || isSynthetic(fn) {
+				continue
+			}
+			varCost[fn] = float64(u * buggy.Interval)
+		}
+	}
+
+	var hist map[string]float64
+	if !p.DisableHistDiscounter {
+		hist, err = histDiscounterSketch(ctx, p, corpus, in.Buggy, in.Debug)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	return assemble(ctx, p, in.Debug, costInputs{
+		vars:       vars,
+		attributed: attributed,
+		pcCost:     pcCost,
+		varCost:    varCost,
+		hist:       hist,
+	})
+}
+
+// pcCostAppSketch is pcCostApp over a sketch's sparse PC histogram.
+func pcCostAppSketch(s *sketch.Profile, info *debuginfo.Info) map[string]float64 {
+	out := map[string]float64{}
+	for pc, n := range s.Hist {
+		if n == 0 {
+			continue
+		}
+		fn := info.FuncAt(int(pc))
+		if fn == nil || fn.Library || isSynthetic(fn.Name) {
+			continue
+		}
+		out[fn.Name] += float64(n * s.Interval)
+	}
+	return out
+}
+
+// analyzeVariablesSketch is the variable-discounter over the run-0 sketches
+// of each side: per variable, the three dimension histograms expand to
+// sorted observation series and feed the same one-dimension test.
+func analyzeVariablesSketch(ctx context.Context, p Params, in SketchInput) (map[string]*VariableReport, error) {
+	normal, buggy := in.Normal, in.Buggy[0]
+	type varPair struct{ n, b *sketch.VarSummary }
+	pairs := map[string]varPair{}
+	for i := range normal.Vars {
+		v := &normal.Vars[i]
+		pairs[v.Key()] = varPair{n: v}
+	}
+	for i := range buggy.Vars {
+		v := &buggy.Vars[i]
+		pr := pairs[v.Key()]
+		pr.b = v
+		pairs[v.Key()] = pr
+	}
+	names := make([]string, 0, len(pairs))
+	for key := range pairs {
+		names = append(names, key)
+	}
+	sort.Strings(names)
+
+	empty := &sketch.VarSummary{}
+	reports, err := parallel.MapCtx(ctx, parallel.Workers(p.Workers), len(names), func(i int) *VariableReport {
+		key := names[i]
+		pr := pairs[key]
+		// The buggy side's layout entry wins when both sides carry the
+		// variable, matching analyzeVariables' key map construction.
+		l := pr.b
+		if l == nil {
+			l = pr.n
+		}
+		nv, bv := pr.n, pr.b
+		if nv == nil {
+			nv = empty
+		}
+		if bv == nil {
+			bv = empty
+		}
+		vr := &VariableReport{
+			Func:        l.Func,
+			Name:        l.Name,
+			IsPointer:   l.IsPointer,
+			NormalCount: int(nv.Count),
+			BuggyCount:  int(bv.Count),
+		}
+		if e := in.Schema.Lookup(l.Func, l.Name); e != nil {
+			vr.Tags = e.Tags
+		}
+		vr.Discount, vr.Dimension, vr.Tested = selectDiscount(p, trimDims(p, l.IsPointer, []dimSeries{
+			{DimValue, nv.Values.Expand(), bv.Values.Expand()},
+			{DimDelta, nv.Deltas.Expand(), bv.Deltas.Expand()},
+			{DimCost, nv.Runs.Expand(), bv.Runs.Expand()},
+		}))
+		vr.MaxRunNormal = nv.MaxRun
+		vr.MaxRunBuggy = bv.MaxRun
+		vr.RunsBuggy = int(bv.NumRuns)
+		// AbnormalPCs intentionally left empty: sketches keep no ordered
+		// per-tick trail to mark abnormal instants on.
+		return vr
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]*VariableReport, len(names))
+	for i, key := range names {
+		out[key] = reports[i]
+	}
+	return out, nil
+}
+
+// attributeVariablesSketch mirrors attributeVariables: locals to their
+// declaring function, globals to every function containing a PC at which
+// the global was sampled in the buggy run (the sketch's per-variable PC
+// set).
+func attributeVariablesSketch(vars map[string]*VariableReport, buggy *sketch.Profile, info *debuginfo.Info) map[string][]*VariableReport {
+	out := map[string][]*VariableReport{}
+	for key, vr := range vars {
+		if vr.Func != debuginfo.GlobalScope {
+			out[vr.Func] = append(out[vr.Func], vr)
+			continue
+		}
+		bv := buggy.Var(key)
+		if bv == nil {
+			continue
+		}
+		fns := map[string]bool{}
+		for _, pc := range bv.PCs {
+			if fn := info.FuncAt(int(pc)); fn != nil {
+				fns[fn.Name] = true
+			}
+		}
+		for fn := range fns {
+			out[fn] = append(out[fn], vr)
+		}
+	}
+	for _, list := range out {
+		sortAttributed(list)
+	}
+	return out
+}
+
+// histDiscounterSketch recomputes histDiscounter's pairwise rank
+// cross-comparison from the corpus rank multisets, exactly: for a function
+// ranked bRank in a buggy run, the normal runs that outrank it are the
+// corpus entries < bRank (one binary search), and runs where it never
+// appeared contribute the same h/c increments as the original pair loop.
+func histDiscounterSketch(ctx context.Context, p Params, corpus *Corpus, buggy []*sketch.Profile, info *debuginfo.Info) (map[string]float64, error) {
+	workers := parallel.Workers(p.Workers)
+	buggyRanks, err := parallel.MapCtx(ctx, workers, len(buggy), func(i int) map[string]int {
+		return stats.Ranks(pcCostAppSketch(buggy[i], info))
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	funcs := map[string]bool{}
+	for f := range corpus.Ranks {
+		funcs[f] = true
+	}
+	for _, r := range buggyRanks {
+		for f := range r {
+			funcs[f] = true
+		}
+	}
+	names := make([]string, 0, len(funcs))
+	for f := range funcs {
+		names = append(names, f)
+	}
+	sort.Strings(names)
+
+	type verdict struct {
+		r  float64
+		ok bool
+	}
+	verdicts, err := parallel.MapCtx(ctx, workers, len(names), func(i int) verdict {
+		f := names[i]
+		nList := corpus.Ranks[f]
+		h, c := 0, 0
+		for _, br := range buggyRanks {
+			if bRank, bOK := br[f]; bOK {
+				// Every normal run pairs up; the ones where f ranked
+				// more costly (smaller rank) add to h, absences add
+				// nothing.
+				c += corpus.Runs
+				h += sort.SearchInts(nList, bRank)
+			} else {
+				// Only normal runs where f appeared pair up, each as
+				// "costlier in normal".
+				c += len(nList)
+				h += len(nList)
+			}
+		}
+		if c == 0 {
+			return verdict{}
+		}
+		r := float64(h) / float64(c)
+		if r < p.ValidDiscount {
+			r = 0
+		}
+		return verdict{r, true}
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := make(map[string]float64, len(names))
+	for i, f := range names {
+		if verdicts[i].ok {
+			out[f] = verdicts[i].r
+		}
+	}
+	return out, nil
+}

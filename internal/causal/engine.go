@@ -58,7 +58,9 @@ func SpanScaler(spans []Span, factor float64) func(pc int, cost int64) int64 {
 func RootCPUTicks(prog *compiler.Program, cfg vm.Config) int64 {
 	m := vm.New(prog, cfg)
 	_ = m.Run()
-	return m.Ticks()
+	t := m.Ticks()
+	m.Recycle()
+	return t
 }
 
 // Measurement is the end-to-end outcome of one experiment run.
@@ -99,6 +101,9 @@ func MeasureTree(ctx context.Context, prog *compiler.Program, cfg vm.Config) (Me
 		if errors.Is(p.Err, vm.ErrTicksExceeded) {
 			m.Capped = true
 		}
+		// Experiments run by the thousand; recycling the arenas keeps
+		// per-experiment allocation flat.
+		p.VM.Recycle()
 	}
 	if err := ctx.Err(); err != nil {
 		return Measurement{}, err

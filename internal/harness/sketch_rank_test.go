@@ -1,0 +1,90 @@
+package harness_test
+
+import (
+	"testing"
+
+	"vprof/internal/analysis"
+	"vprof/internal/bugs"
+	"vprof/internal/harness"
+	"vprof/internal/sampler"
+	"vprof/internal/sketch"
+)
+
+// TestSketchRankIdentity is the rank-identity golden for the incremental
+// path: for every reproduced issue (b1-b15) and unresolved issue (u1-u3),
+// analyzing folded per-variable sketches must produce the same ranked
+// function table — names, ranks, calibrated costs, discount verdicts — as
+// the full profile analysis, and in particular the same root-cause rank.
+// The sketch analysis is also run twice to pin its determinism (block
+// localization is absent from sketches, so Render is compared only
+// sketch-vs-sketch, not sketch-vs-full).
+func TestSketchRankIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profiles all 18 workloads; slow")
+	}
+	all := append(bugs.All(), bugs.UnresolvedIssues()...)
+	for _, w := range all {
+		w := w
+		t.Run(w.ID, func(t *testing.T) {
+			t.Parallel()
+			b, err := w.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			in := analysis.Input{Debug: b.Prog.Debug, Schema: b.Schema}
+			for i := 0; i < harness.Runs; i++ {
+				np, _ := b.ProfileNormal(i)
+				bp, _ := b.ProfileBuggy(i)
+				in.Normal = append(in.Normal, np)
+				in.Buggy = append(in.Buggy, bp)
+			}
+			params := analysis.DefaultParams()
+			full, err := analysis.Analyze(in, params)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			fold := func(ps []*sampler.Profile) []*sketch.Profile {
+				out := make([]*sketch.Profile, len(ps))
+				for i, p := range ps {
+					out[i] = sketch.FromProfile(p)
+				}
+				return out
+			}
+			normals := fold(in.Normal)
+			si := analysis.SketchInput{
+				Debug:  b.Prog.Debug,
+				Schema: b.Schema,
+				Normal: normals[0],
+				Corpus: analysis.CorpusOfSketches(normals, b.Prog.Debug),
+				Buggy:  fold(in.Buggy),
+			}
+			sk, err := analysis.AnalyzeSketches(si, params)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if got, want := sk.Rank(w.RootFunc), full.Rank(w.RootFunc); got != want {
+				t.Errorf("root cause %s: sketch rank %d, full rank %d", w.RootFunc, got, want)
+			}
+			if len(sk.Funcs) != len(full.Funcs) {
+				t.Fatalf("sketch ranked %d funcs, full %d", len(sk.Funcs), len(full.Funcs))
+			}
+			for i := range full.Funcs {
+				f, g := full.Funcs[i], sk.Funcs[i]
+				if f.Name != g.Name || f.Rank != g.Rank || f.Calibrated != g.Calibrated || f.Discount != g.Discount {
+					t.Fatalf("rank table diverges at %d: full %s (rank %d, cal %v, disc %v) vs sketch %s (rank %d, cal %v, disc %v)",
+						i, f.Name, f.Rank, f.Calibrated, f.Discount, g.Name, g.Rank, g.Calibrated, g.Discount)
+				}
+			}
+
+			again, err := analysis.AnalyzeSketches(si, params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := again.Render(10), sk.Render(10); got != want {
+				t.Errorf("sketch analysis nondeterministic:\nfirst:\n%s\nsecond:\n%s", want, got)
+			}
+		})
+	}
+}

@@ -1,0 +1,187 @@
+package profilefmt_test
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"vprof/internal/profilefmt"
+	"vprof/internal/sketch"
+	"vprof/internal/stats"
+)
+
+func randSketchSeries(rng *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		if i > 0 && rng.Intn(3) == 0 {
+			out[i] = out[i-1]
+		} else {
+			out[i] = float64(rng.Intn(2000) - 300)
+		}
+	}
+	return out
+}
+
+func randSketch(rng *rand.Rand) *sketch.Profile {
+	p := &sketch.Profile{
+		BlobID:     "blob-test",
+		Interval:   37,
+		TotalTicks: int64(rng.Intn(100000)),
+		NumAlarms:  int64(rng.Intn(500)),
+		HistLen:    128,
+		Hist:       map[int32]int64{},
+		UnitsByPC:  map[int32]int64{},
+	}
+	for i := 0; i < rng.Intn(15); i++ {
+		p.Hist[int32(rng.Intn(128))] += int64(rng.Intn(40) + 1)
+	}
+	for i := 0; i < rng.Intn(15); i++ {
+		p.UnitsByPC[int32(rng.Intn(128))] += int64(rng.Intn(40) + 1)
+	}
+	keys := []struct{ fn, nm string }{
+		{"f", "a"}, {"f", "b"}, {"g", "a"}, {"", "glob"},
+	}
+	for _, k := range keys[:1+rng.Intn(len(keys))] {
+		series := randSketchSeries(rng, rng.Intn(25))
+		vs := sketch.VarSummary{
+			Func: k.fn, Name: k.nm,
+			IsPointer: rng.Intn(4) == 0,
+			Count:     int64(len(series)),
+		}
+		if len(series) > 0 {
+			vs.Min, vs.Max, _ = stats.MinMax(series)
+			for _, v := range series {
+				vs.Sum += v
+			}
+		}
+		vs.Values = sketch.HistOf(series)
+		vs.Deltas = sketch.HistOf(stats.ChangeDeltas(series))
+		runs := stats.RunLengths(series)
+		vs.Runs = sketch.HistOf(runs)
+		vs.NumRuns = int64(len(runs))
+		_, vs.MaxRun, _ = stats.MinMax(runs)
+		for pc := int32(0); pc < 128 && len(vs.PCs) < 6; pc += int32(13 + rng.Intn(9)) {
+			vs.PCs = append(vs.PCs, pc)
+		}
+		p.Vars = append(p.Vars, vs)
+	}
+	// Vars must be in key order; the fixture list above already is for any
+	// prefix except the global ("" sorts first), so sort explicitly.
+	for i := 1; i < len(p.Vars); i++ {
+		for j := i; j > 0 && p.Vars[j].Key() < p.Vars[j-1].Key(); j-- {
+			p.Vars[j], p.Vars[j-1] = p.Vars[j-1], p.Vars[j]
+		}
+	}
+	return p
+}
+
+func TestSketchRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 100; i++ {
+		want := randSketch(rng)
+		blob, err := profilefmt.MarshalSketch(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := profilefmt.UnmarshalSketch(blob)
+		if err != nil {
+			t.Fatalf("roundtrip decode: %v", err)
+		}
+		// Empty maps decode as empty (non-nil) maps; normalize for compare.
+		if len(want.Hist) == 0 {
+			want.Hist = map[int32]int64{}
+		}
+		if len(want.UnitsByPC) == 0 {
+			want.UnitsByPC = map[int32]int64{}
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("roundtrip mismatch:\nwant %+v\ngot  %+v", want, got)
+		}
+	}
+}
+
+// TestSketchEncodingCanonical: one sketch, one byte representation —
+// re-encoding a decoded sketch reproduces the input exactly, and encoding
+// is deterministic across runs despite map-backed sections.
+func TestSketchEncodingCanonical(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for i := 0; i < 50; i++ {
+		s := randSketch(rng)
+		a, err := profilefmt.MarshalSketch(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := profilefmt.MarshalSketch(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatal("encoding not deterministic")
+		}
+		dec, err := profilefmt.UnmarshalSketch(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := profilefmt.MarshalSketch(dec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, c) {
+			t.Fatal("re-encoding a decoded sketch changed bytes")
+		}
+	}
+}
+
+func TestSketchDecodeRejectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	s := randSketch(rng)
+	blob, err := profilefmt.MarshalSketch(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := profilefmt.UnmarshalSketch(append(blob, 0)); err == nil {
+		t.Error("trailing garbage accepted")
+	}
+	if _, err := profilefmt.UnmarshalSketch(blob[:len(blob)-1]); err == nil {
+		t.Error("truncated sketch accepted")
+	}
+	bad := append([]byte(nil), blob...)
+	bad[0] ^= 0xff
+	if _, err := profilefmt.UnmarshalSketch(bad); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func FuzzSketchDecode(f *testing.F) {
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 4; i++ {
+		blob, err := profilefmt.MarshalSketch(randSketch(rng))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(blob)
+	}
+	f.Add([]byte("VPRS"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := profilefmt.UnmarshalSketch(data)
+		if err != nil {
+			return
+		}
+		// Any accepted sketch must be canonical: re-encoding reproduces
+		// the input bytes, and its histograms expand within bounds.
+		re, err := profilefmt.MarshalSketch(s)
+		if err != nil {
+			t.Fatalf("re-encode of accepted sketch failed: %v", err)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("accepted sketch is not canonical: %d vs %d bytes", len(re), len(data))
+		}
+		for i := range s.Vars {
+			for _, h := range []sketch.Hist{s.Vars[i].Values, s.Vars[i].Deltas, s.Vars[i].Runs} {
+				_ = h.Expand()
+			}
+		}
+	})
+}

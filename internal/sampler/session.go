@@ -22,6 +22,12 @@ type RunResult struct {
 // Root returns the root process profile.
 func (r *RunResult) Root() *Profile { return r.Profiles[0] }
 
+// Recycle returns every process VM's arenas to the execution pool (see
+// vm.Recycle). Callers that only keep the Profiles — the common case —
+// should call it once done with Procs; scalar VM state (ticks, outputs)
+// stays readable afterwards.
+func (r *RunResult) Recycle() { vm.RecycleProcesses(r.Procs) }
+
 // TotalTicks sums simulated time across processes.
 func (r *RunResult) TotalTicks() int64 {
 	var t int64

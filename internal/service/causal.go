@@ -4,11 +4,8 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
-	"encoding/json"
 	"fmt"
-	"io"
 	"net/http"
-	"time"
 
 	"vprof/internal/causal"
 )
@@ -47,23 +44,6 @@ type CausalResponse struct {
 	Render      string         `json:"render"`
 	// Cached is true when this reply was served from the memo cache.
 	Cached bool `json:"cached"`
-}
-
-func (s *Server) handleCausal(w http.ResponseWriter, r *http.Request) {
-	var req CausalRequest
-	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, CodeBadRequest, "decode request: %v", err)
-		return
-	}
-	resp, status, err := s.CausalContext(r.Context(), req)
-	if err != nil {
-		if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
-			w.Header().Set("Retry-After", retryAfterSeconds)
-		}
-		writeErr(w, status, errCode(err), "%v", err)
-		return
-	}
-	writeJSON(w, http.StatusOK, resp)
 }
 
 // Causal runs (or recalls) one causal-profiling sweep. Exported so the CLI
@@ -114,73 +94,9 @@ func (s *Server) CausalContext(ctx context.Context, req CausalRequest) (*CausalR
 	}
 
 	key := causalMemoKey(req.Workload, gran, speedups, req.Funcs, top)
-	for {
-		s.mu.Lock()
-		if resp, ok := s.causalMemo[key]; ok {
-			s.mu.Unlock()
-			s.m.causalMemoHits.Inc()
-			s.m.causal.With("cached").Inc()
-			out := *resp
-			out.Cached = true
-			return &out, http.StatusOK, nil
-		}
-		ch, busy := s.causalInflight[key]
-		if !busy {
-			ch = make(chan struct{})
-			s.causalInflight[key] = ch
-			s.mu.Unlock()
-			break
-		}
-		s.mu.Unlock()
-		select {
-		case <-ch:
-		case <-ctx.Done():
-			cerr := cancelErr(ctx.Err())
-			s.m.causal.With(outcomeFor(cerr)).Inc()
-			return nil, statusFor(cerr), cerr
-		}
-	}
-	start := time.Now()
-	resp, status, err := s.computeCausalGuarded(ctx, req.Workload, gran, speedups, req.Funcs, top, key)
-	s.mu.Lock()
-	if err == nil {
-		s.causalMemo[key] = resp
-	}
-	ch := s.causalInflight[key]
-	delete(s.causalInflight, key)
-	s.mu.Unlock()
-	close(ch)
-	if err != nil {
-		s.m.causal.With(outcomeFor(err)).Inc()
-		s.log.Warn("causal failed", "workload", req.Workload, "status", status, "err", err)
-		return nil, status, err
-	}
-	s.m.causal.With("computed").Inc()
-	s.m.causalExperiments.Add(float64(resp.Experiments))
-	s.m.causalDuration.Observe(time.Since(start).Seconds())
-	s.log.Info("causal computed", "workload", req.Workload, "report", resp.ReportID,
-		"granularity", string(gran), "experiments", resp.Experiments,
-		"capped", resp.Capped, "duration", time.Since(start))
-	out := *resp
-	return &out, http.StatusOK, nil
-}
-
-// computeCausalGuarded mirrors computeGuarded: a panic mid-sweep releases
-// the in-flight dedup entry before propagating to the recovery middleware.
-func (s *Server) computeCausalGuarded(ctx context.Context, workload string, gran causal.Granularity, speedups []float64, funcs []string, top int, key string) (resp *CausalResponse, status int, err error) {
-	defer func() {
-		if p := recover(); p != nil {
-			s.mu.Lock()
-			ch := s.causalInflight[key]
-			delete(s.causalInflight, key)
-			s.mu.Unlock()
-			if ch != nil {
-				close(ch)
-			}
-			panic(p)
-		}
-	}()
-	return s.computeCausal(ctx, workload, gran, speedups, funcs, top, key)
+	return s.causalEP.run(ctx, req.Workload, key, func(ctx context.Context) (*CausalResponse, int, error) {
+		return s.computeCausal(ctx, req.Workload, gran, speedups, req.Funcs, top, key)
+	})
 }
 
 func (s *Server) computeCausal(ctx context.Context, workload string, gran causal.Granularity, speedups []float64, funcs []string, top int, key string) (*CausalResponse, int, error) {

@@ -1,9 +1,7 @@
 package service
 
 import (
-	"encoding/json"
 	"fmt"
-	"io"
 	"net/http"
 
 	"vprof/internal/absint"
@@ -46,20 +44,6 @@ type CheckResponse struct {
 	// ExitCode mirrors the CLI convention: 1 when any finding is at
 	// warning severity or above, 0 otherwise.
 	ExitCode int `json:"exit_code"`
-}
-
-func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
-	var req CheckRequest
-	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, CodeBadRequest, "decode request: %v", err)
-		return
-	}
-	resp, status, err := s.Check(req)
-	if err != nil {
-		writeErr(w, status, errCode(err), "%v", err)
-		return
-	}
-	writeJSON(w, http.StatusOK, resp)
 }
 
 // Check resolves the request's source, compiles it, and runs the abstract

@@ -77,6 +77,10 @@ type Config struct {
 	// that the service sheds load with 429 + Retry-After instead of
 	// building an unbounded backlog (default 64).
 	MaxQueue int
+	// Sketches serves every diagnosis from the store's persisted
+	// per-variable sketches by default (the incremental path: no raw blob
+	// is re-decoded). Individual requests can also opt in per call.
+	Sketches bool
 }
 
 // Machine-readable error codes carried in the JSON error body alongside the
@@ -195,13 +199,18 @@ type Server struct {
 	draining bool
 	inFlight sync.WaitGroup // admitted requests not yet finished
 
-	mu       sync.Mutex
-	memo     map[string]*DiagnoseResponse // memo key → result
-	reports  map[string]*DiagnoseResponse // report id → result
-	inflight map[string]chan struct{}
+	sketches bool // default every diagnosis to the sketch path
 
-	causalMemo     map[string]*CausalResponse // causal memo key → result
-	causalInflight map[string]chan struct{}
+	// mu guards reports, the endpoints' memo/inflight maps, and corpora.
+	mu      sync.Mutex
+	reports map[string]*DiagnoseResponse // report id → result
+	// corpora caches one hist-discounter corpus per workload, keyed by the
+	// exact baseline id set; an unchanged baseline set re-uses it, so an
+	// incremental diagnosis folds only the new candidates' sketches.
+	corpora map[string]*corpusEntry
+
+	diagEP   *endpoint[DiagnoseResponse]
+	causalEP *endpoint[CausalResponse]
 
 	ingested  atomic.Int64
 	deduped   atomic.Int64
@@ -256,14 +265,38 @@ func New(cfg Config) (*Server, error) {
 		reg:        reg,
 		m:          newServiceMetrics(reg),
 		log:        logger,
-		memo:       map[string]*DiagnoseResponse{},
+		sketches:   cfg.Sketches,
 		reports:    map[string]*DiagnoseResponse{},
-		inflight:   map[string]chan struct{}{},
-
-		causalMemo:     map[string]*CausalResponse{},
-		causalInflight: map[string]chan struct{}{},
+		corpora:    map[string]*corpusEntry{},
 	}
 	s.m.poolSlots.Set(float64(workers))
+
+	s.diagEP = newEndpoint[DiagnoseResponse](s, "diagnose", s.m.diagnoses, s.m.memoHits, s.m.duration)
+	s.diagEP.onHit = func(resp *DiagnoseResponse) *DiagnoseResponse {
+		s.memoHits.Add(1)
+		return s.cachedCopy(resp)
+	}
+	s.diagEP.onStore = func(resp *DiagnoseResponse) { s.reports[resp.ReportID] = resp }
+	s.diagEP.finish = func(resp *DiagnoseResponse) (*DiagnoseResponse, []any) {
+		s.diagnoses.Add(1)
+		out := *resp
+		out.MemoHits = s.memoHits.Load()
+		return &out, []any{"report", resp.ReportID,
+			"baselines", len(resp.Baselines), "candidates", len(resp.Candidates)}
+	}
+
+	s.causalEP = newEndpoint[CausalResponse](s, "causal", s.m.causal, s.m.causalMemoHits, s.m.causalDuration)
+	s.causalEP.onHit = func(resp *CausalResponse) *CausalResponse {
+		out := *resp
+		out.Cached = true
+		return &out
+	}
+	s.causalEP.finish = func(resp *CausalResponse) (*CausalResponse, []any) {
+		s.m.causalExperiments.Add(float64(resp.Experiments))
+		out := *resp
+		return &out, []any{"report", resp.ReportID, "granularity", resp.Granularity,
+			"experiments", resp.Experiments, "capped", resp.Capped}
+	}
 	return s, nil
 }
 
@@ -283,9 +316,17 @@ func (s *Server) Handler() http.Handler {
 	}
 	route("POST /v1/profiles", "/v1/profiles", s.handleIngest)
 	route("GET /v1/workloads", "/v1/workloads", s.handleWorkloads)
-	route("POST /v1/diagnose", "/v1/diagnose", s.handleDiagnose)
-	route("POST /v1/check", "/v1/check", s.handleCheck)
-	route("POST /v1/causal", "/v1/causal", s.handleCausal)
+	// r.Context() ends when the client disconnects, so an abandoned
+	// request aborts its analysis fan-out and releases its pool slot.
+	route("POST /v1/diagnose", "/v1/diagnose", handleJSON(func(ctx context.Context, req DiagnoseRequest) (any, int, error) {
+		return s.DiagnoseContext(ctx, req)
+	}))
+	route("POST /v1/check", "/v1/check", handleJSON(func(ctx context.Context, req CheckRequest) (any, int, error) {
+		return s.Check(req)
+	}))
+	route("POST /v1/causal", "/v1/causal", handleJSON(func(ctx context.Context, req CausalRequest) (any, int, error) {
+		return s.CausalContext(ctx, req)
+	}))
 	route("GET /v1/report/{id}", "/v1/report", s.handleReport)
 	route("GET /v1/stats", "/v1/stats", s.handleStats)
 	mux.Handle("GET /metrics", s.reg.Handler())
@@ -537,6 +578,11 @@ type DiagnoseRequest struct {
 	Candidates []string `json:"candidates,omitempty"`
 	// Top bounds the rendered report (default: server's Top).
 	Top int `json:"top,omitempty"`
+	// Sketches opts this diagnosis into the incremental sketch path: the
+	// analysis reads the store's persisted per-variable sketches instead of
+	// re-decoding raw profile blobs. Implied when the server was configured
+	// with Config.Sketches.
+	Sketches bool `json:"sketches,omitempty"`
 }
 
 // RankEntry is one row of the calibrated ranking.
@@ -560,27 +606,11 @@ type DiagnoseResponse struct {
 	Render     string      `json:"render"`
 	// Cached is true when this reply was served from the memo cache.
 	Cached bool `json:"cached"`
+	// Sketches is true when this diagnosis ran on the incremental sketch
+	// path instead of decoded profiles.
+	Sketches bool `json:"sketches,omitempty"`
 	// MemoHits snapshots the server-wide diagnosis cache-hit counter.
 	MemoHits int64 `json:"memo_hits"`
-}
-
-func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
-	var req DiagnoseRequest
-	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, CodeBadRequest, "decode request: %v", err)
-		return
-	}
-	// r.Context() ends when the client disconnects, so an abandoned
-	// request aborts its analysis fan-out and releases its pool slot.
-	resp, status, err := s.DiagnoseContext(r.Context(), req)
-	if err != nil {
-		if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
-			w.Header().Set("Retry-After", retryAfterSeconds)
-		}
-		writeErr(w, status, errCode(err), "%v", err)
-		return
-	}
-	writeJSON(w, http.StatusOK, resp)
 }
 
 // Diagnose runs (or recalls) one differential diagnosis. Exported so the
@@ -636,59 +666,17 @@ func (s *Server) DiagnoseContext(ctx context.Context, req DiagnoseRequest) (*Dia
 		return nil, http.StatusConflict, withCode(CodeNoCandidates, fmt.Errorf("workload %q has no candidate runs", req.Workload))
 	}
 
-	key := memoKey(req.Workload, top, baselines, candidates)
-	// Memo fast path; an in-flight identical diagnosis is awaited rather
-	// than recomputed.
-	for {
-		s.mu.Lock()
-		if resp, ok := s.memo[key]; ok {
-			s.mu.Unlock()
-			s.memoHits.Add(1)
-			s.m.memoHits.Inc()
-			s.m.diagnoses.With("cached").Inc()
-			return s.cachedCopy(resp), http.StatusOK, nil
+	// Memoization and in-flight dedup live in the shared endpoint; the key
+	// carries the sketch flag because sketch-mode renders localize no
+	// blocks, so the two modes must not share results.
+	sketches := req.Sketches || s.sketches
+	key := memoKey(req.Workload, top, baselines, candidates, sketches)
+	return s.diagEP.run(ctx, req.Workload, key, func(ctx context.Context) (*DiagnoseResponse, int, error) {
+		if sketches {
+			return s.computeSketches(ctx, req.Workload, top, key, baselines, candidates)
 		}
-		ch, busy := s.inflight[key]
-		if !busy {
-			ch = make(chan struct{})
-			s.inflight[key] = ch
-			s.mu.Unlock()
-			break
-		}
-		s.mu.Unlock()
-		select {
-		case <-ch:
-		case <-ctx.Done():
-			cerr := cancelErr(ctx.Err())
-			s.m.diagnoses.With(outcomeFor(cerr)).Inc()
-			return nil, statusFor(cerr), cerr
-		}
-	}
-	start := time.Now()
-	resp, status, err := s.computeGuarded(ctx, req.Workload, top, key, baselines, candidates)
-	s.mu.Lock()
-	if err == nil {
-		s.memo[key] = resp
-		s.reports[resp.ReportID] = resp
-	}
-	ch := s.inflight[key]
-	delete(s.inflight, key)
-	s.mu.Unlock()
-	close(ch)
-	if err != nil {
-		s.m.diagnoses.With(outcomeFor(err)).Inc()
-		s.log.Warn("diagnose failed", "workload", req.Workload, "status", status, "err", err)
-		return nil, status, err
-	}
-	s.diagnoses.Add(1)
-	s.m.diagnoses.With("computed").Inc()
-	s.m.duration.Observe(time.Since(start).Seconds())
-	s.log.Info("diagnose computed", "workload", req.Workload, "report", resp.ReportID,
-		"baselines", len(resp.Baselines), "candidates", len(resp.Candidates),
-		"duration", time.Since(start))
-	out := *resp
-	out.MemoHits = s.memoHits.Load()
-	return &out, http.StatusOK, nil
+		return s.compute(ctx, req.Workload, top, key, baselines, candidates)
+	})
 }
 
 // outcomeFor buckets a diagnose failure for the outcome counter.
@@ -705,26 +693,6 @@ func outcomeFor(err error) string {
 	}
 }
 
-// computeGuarded runs compute with the in-flight dedup entry protected
-// against panics: whatever happens, waiters on this key are released and
-// the key freed for the next attempt before the panic continues up to the
-// recovery middleware.
-func (s *Server) computeGuarded(ctx context.Context, workload string, top int, key string, baselines, candidates []*store.Entry) (resp *DiagnoseResponse, status int, err error) {
-	defer func() {
-		if p := recover(); p != nil {
-			s.mu.Lock()
-			ch := s.inflight[key]
-			delete(s.inflight, key)
-			s.mu.Unlock()
-			if ch != nil {
-				close(ch)
-			}
-			panic(p)
-		}
-	}()
-	return s.compute(ctx, workload, top, key, baselines, candidates)
-}
-
 func (s *Server) cachedCopy(resp *DiagnoseResponse) *DiagnoseResponse {
 	out := *resp
 	out.Cached = true
@@ -733,11 +701,14 @@ func (s *Server) cachedCopy(resp *DiagnoseResponse) *DiagnoseResponse {
 }
 
 // memoKey hashes the exact diagnosis inputs: every blob id on both sides,
-// in order, plus the render bound. Any new push that changes either set
-// changes the key.
-func memoKey(workload string, top int, baselines, candidates []*store.Entry) string {
+// in order, plus the render bound and the analysis mode. Any new push that
+// changes either set changes the key.
+func memoKey(workload string, top int, baselines, candidates []*store.Entry, sketches bool) string {
 	h := sha256.New()
 	fmt.Fprintf(h, "%s\x00%d\x00", workload, top)
+	if sketches {
+		fmt.Fprintf(h, "sk\x00")
+	}
 	for _, e := range baselines {
 		fmt.Fprintf(h, "b:%s\x00", e.ID)
 	}
@@ -796,6 +767,12 @@ func (s *Server) compute(ctx context.Context, workload string, top int, key stri
 		}
 		return nil, http.StatusUnprocessableEntity, withCode(CodeAnalysisFailed, fmt.Errorf("analyze %q: %w", workload, err))
 	}
+	return diagnoseResponse(report, key, workload, top, bIDs, cIDs), http.StatusOK, nil
+}
+
+// diagnoseResponse shapes an analysis report into the API response; shared
+// by the decoded-profile and sketch compute paths.
+func diagnoseResponse(report *analysis.Report, key, workload string, top int, bIDs, cIDs []string) *DiagnoseResponse {
 	resp := &DiagnoseResponse{
 		ReportID:   "r-" + key[:16],
 		Workload:   workload,
@@ -817,7 +794,7 @@ func (s *Server) compute(ctx context.Context, workload string, top int, key stri
 			Pattern:    fr.Pattern.String(),
 		})
 	}
-	return resp, http.StatusOK, nil
+	return resp
 }
 
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
@@ -889,14 +866,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // Stats is the observability snapshot, including the diagnosis cache-hit
 // counter the end-to-end harness asserts on.
 type Stats struct {
-	Ingested          int64            `json:"ingested"`
-	Deduped           int64            `json:"deduped"`
-	Rejected          int64            `json:"rejected"`
-	Diagnoses         int64            `json:"diagnoses"`
-	DiagnoseCacheHits int64            `json:"diagnose_cache_hits"`
-	DecodeCache       store.CacheStats `json:"decode_cache"`
-	Workers           int              `json:"workers"`
-	Workloads         int              `json:"workloads"`
+	Ingested          int64             `json:"ingested"`
+	Deduped           int64             `json:"deduped"`
+	Rejected          int64             `json:"rejected"`
+	Diagnoses         int64             `json:"diagnoses"`
+	DiagnoseCacheHits int64             `json:"diagnose_cache_hits"`
+	DecodeCache       store.CacheStats  `json:"decode_cache"`
+	SketchCache       store.SketchStats `json:"sketch_cache"`
+	Workers           int               `json:"workers"`
+	Workloads         int               `json:"workloads"`
 }
 
 // StatsSnapshot returns current counters.
@@ -908,6 +886,7 @@ func (s *Server) StatsSnapshot() Stats {
 		Diagnoses:         s.diagnoses.Load(),
 		DiagnoseCacheHits: s.memoHits.Load(),
 		DecodeCache:       s.store.CacheStats(),
+		SketchCache:       s.store.SketchStats(),
 		Workers:           cap(s.sem),
 		Workloads:         len(s.store.Workloads()),
 	}

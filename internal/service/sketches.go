@@ -1,0 +1,114 @@
+package service
+
+// The incremental diagnose path: instead of re-decoding every stored
+// profile blob, the analysis reads the per-variable sketches the store
+// folded at ingest (internal/sketch) plus one cached hist-discounter corpus
+// per workload. Diagnosing a workload that just received one new candidate
+// run touches only that run's sketch and the cached corpus — the baseline
+// blobs are never re-read, which the service tests assert via the store's
+// decode-cache counters.
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"vprof/internal/analysis"
+	"vprof/internal/debuginfo"
+	"vprof/internal/sketch"
+	"vprof/internal/store"
+)
+
+// corpusEntry caches one workload's hist-discounter corpus together with
+// the exact baseline id set it was folded from.
+type corpusEntry struct {
+	ids    string // "\x00"-joined baseline blob ids, in corpus order
+	corpus *analysis.Corpus
+}
+
+// corpusFor returns the workload's baseline corpus, rebuilding it only when
+// the baseline id set changed since the cached fold. The corpus is treated
+// as immutable once published; the sketch analysis only reads it.
+func (s *Server) corpusFor(workload string, baselines []*store.Entry, dbg *debuginfo.Info) (*analysis.Corpus, []string, error) {
+	ids := make([]string, 0, len(baselines))
+	for _, e := range baselines {
+		ids = append(ids, e.ID)
+	}
+	idKey := strings.Join(ids, "\x00")
+
+	s.mu.Lock()
+	if ce, ok := s.corpora[workload]; ok && ce.ids == idKey {
+		s.mu.Unlock()
+		return ce.corpus, ids, nil
+	}
+	s.mu.Unlock()
+
+	corpus := analysis.NewCorpus()
+	for _, e := range baselines {
+		sk, err := s.store.GetSketch(e.ID)
+		if err != nil {
+			return nil, nil, withCode(CodeInternal, err)
+		}
+		corpus.AddSketch(sk, dbg)
+	}
+	s.mu.Lock()
+	s.corpora[workload] = &corpusEntry{ids: idKey, corpus: corpus}
+	s.mu.Unlock()
+	return corpus, ids, nil
+}
+
+// computeSketches is compute's incremental twin: same validation, worker
+// slot, and response shape, but the inputs are the store's persisted
+// sketches and the cached corpus — no raw profile blob is decoded.
+func (s *Server) computeSketches(ctx context.Context, workload string, top int, key string, baselines, candidates []*store.Entry) (*DiagnoseResponse, int, error) {
+	release, err := s.acquireCtx(ctx)
+	if err != nil {
+		return nil, statusFor(err), err
+	}
+	defer release()
+
+	dbg, sch, err := s.resolver.Resolve(workload)
+	if err != nil {
+		return nil, http.StatusNotFound, withCode(CodeNotFound, fmt.Errorf("resolve workload %q: %w", workload, err))
+	}
+	if err := ctx.Err(); err != nil {
+		cerr := cancelErr(err)
+		return nil, statusFor(cerr), cerr
+	}
+	corpus, bIDs, err := s.corpusFor(workload, baselines, dbg)
+	if err != nil {
+		return nil, http.StatusInternalServerError, err
+	}
+	normal, err := s.store.GetSketch(baselines[0].ID)
+	if err != nil {
+		return nil, http.StatusInternalServerError, withCode(CodeInternal, err)
+	}
+	buggy := make([]*sketch.Profile, 0, len(candidates))
+	cIDs := make([]string, 0, len(candidates))
+	for _, e := range candidates {
+		sk, err := s.store.GetSketch(e.ID)
+		if err != nil {
+			return nil, http.StatusInternalServerError, withCode(CodeInternal, err)
+		}
+		buggy = append(buggy, sk)
+		cIDs = append(cIDs, e.ID)
+	}
+	report, err := analysis.AnalyzeSketchesContext(ctx, analysis.SketchInput{
+		Debug:  dbg,
+		Schema: sch,
+		Normal: normal,
+		Corpus: corpus,
+		Buggy:  buggy,
+	}, s.params)
+	if err != nil {
+		if ctx.Err() != nil {
+			cerr := cancelErr(ctx.Err())
+			return nil, statusFor(cerr), cerr
+		}
+		return nil, http.StatusUnprocessableEntity, withCode(CodeAnalysisFailed, fmt.Errorf("analyze %q: %w", workload, err))
+	}
+	resp := diagnoseResponse(report, key, workload, top, bIDs, cIDs)
+	resp.Sketches = true
+	return resp, http.StatusOK, nil
+}

@@ -19,6 +19,9 @@ import (
 type FsckReport struct {
 	Dir     string
 	Records int // valid manifest records that survived
+	// SketchRecords counts whole sketch frames surviving in sketches.log
+	// (derived data: losses here rebuild from blobs, never drop entries).
+	SketchRecords int
 
 	// Issues lists every problem found; empty means the store was clean.
 	Issues []string
@@ -42,7 +45,7 @@ func (r *FsckReport) Clean() bool { return len(r.Issues) == 0 }
 // Render formats the report for humans (the `vprof fsck` output).
 func (r *FsckReport) Render() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "store %s: %d record(s)", r.Dir, r.Records)
+	fmt.Fprintf(&b, "store %s: %d record(s), %d sketch(es)", r.Dir, r.Records, r.SketchRecords)
 	if r.Clean() {
 		b.WriteString(", clean\n")
 		return b.String()
@@ -142,6 +145,12 @@ func recoverDir(fsys faultfs.FS, dir string, o recoverOpts) (*FsckReport, []reco
 
 	records, err := replayManifest(fsys, dir, rep, o)
 	if err != nil {
+		return rep, nil, err
+	}
+
+	// The sketch log is derived data: recover it independently (truncate a
+	// torn tail, quarantine on a bad header) without affecting any record.
+	if err := recoverSketchLog(fsys, dir, rep, o); err != nil {
 		return rep, nil, err
 	}
 

@@ -292,9 +292,10 @@ func TestManifestSyncErrorPath(t *testing.T) {
 	dir := t.TempDir()
 	inj := faultfs.NewInjector(nil)
 	boom := errors.New("manifest sync: disk full")
-	// Sync #1 seals the first segment's header at create time, #2 is the
-	// first push's segment sync, #3 its manifest sync.
-	inj.FailNth(faultfs.OpSync, 3, boom)
+	// Sync #1 seals the first segment's header at create time, #2 the
+	// sketch log's; #3 is the first push's segment sync, #4 its manifest
+	// sync.
+	inj.FailNth(faultfs.OpSync, 4, boom)
 
 	s, err := store.Open(dir, store.Options{FS: inj})
 	if err != nil {
@@ -340,10 +341,11 @@ func TestRolloverErrorLeavesStoreUsable(t *testing.T) {
 	dir := t.TempDir()
 	inj := faultfs.NewInjector(nil)
 	boom := errors.New("segment header write failed")
-	// Write #1 is the first segment's header; push #1 writes its blob
-	// frame (#2) and manifest line (#3); push #2 rolls over first, so the
-	// next segment's header write is #4.
-	inj.FailNth(faultfs.OpWrite, 4, boom)
+	// Write #1 is the first segment's header, #2 the sketch log's; push #1
+	// writes its blob frame (#3), manifest line (#4) and sketch frame
+	// (#5); push #2 rolls over first, so the next segment's header write
+	// is #6.
+	inj.FailNth(faultfs.OpWrite, 6, boom)
 
 	s, err := store.Open(dir, store.Options{FS: inj, SegmentSize: 64})
 	if err != nil {

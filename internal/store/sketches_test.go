@@ -1,0 +1,236 @@
+package store_test
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"vprof/internal/sketch"
+	"vprof/internal/store"
+)
+
+// TestSketchPersistedAtIngest: a push folds and persists its sketch, and
+// GetSketch serves it — from cache or log — without ever touching the
+// decoded-profile cache or the raw blob.
+func TestSketchPersistedAtIngest(t *testing.T) {
+	dir := t.TempDir()
+	s, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := testProfile(3)
+	e, _, err := s.Put("w", store.LabelNormal, "0", prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sketch.FromProfile(prof)
+	want.BlobID = e.ID
+
+	sk, err := s.GetSketch(e.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sk, want) {
+		t.Fatalf("sketch from warm store differs from direct fold:\n%+v\n%+v", sk, want)
+	}
+	if st := s.SketchStats(); st.Rebuilds != 0 || st.Indexed != 1 {
+		t.Fatalf("warm sketch read caused rebuilds: %+v", st)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cold restart: the sketch must come back from the log, not the blob.
+	s2, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if !s2.Recovery().Clean() {
+		t.Fatalf("unclean recovery:\n%s", s2.Recovery().Render())
+	}
+	if got := s2.Recovery().SketchRecords; got != 1 {
+		t.Fatalf("recovery saw %d sketch frames, want 1", got)
+	}
+	before := s2.CacheStats()
+	sk2, err := s2.GetSketch(e.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sk2, want) {
+		t.Fatal("sketch from cold log differs")
+	}
+	after := s2.CacheStats()
+	if after.Misses != before.Misses || after.Hits != before.Hits {
+		t.Fatalf("sketch read touched the decoded-profile cache: %+v -> %+v", before, after)
+	}
+	if st := s2.SketchStats(); st.Rebuilds != 0 {
+		t.Fatalf("cold sketch read rebuilt from blob: %+v", st)
+	}
+}
+
+// TestSketchUpgradeFromOldStore: a store created before the sketch log
+// existed (simulated by deleting it) rebuilds sketches lazily from raw
+// blobs and persists them, so the rebuild happens once.
+func TestSketchUpgradeFromOldStore(t *testing.T) {
+	dir := t.TempDir()
+	s, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _, err := s.Put("w", store.LabelNormal, "0", testProfile(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, "sketches.log")); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s2.SketchStats(); st.Indexed != 0 {
+		t.Fatalf("fresh log indexed %d sketches", st.Indexed)
+	}
+	sk, err := s2.GetSketch(e.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sk.BlobID != e.ID {
+		t.Fatalf("rebuilt sketch has BlobID %q", sk.BlobID)
+	}
+	if st := s2.SketchStats(); st.Rebuilds != 1 || st.Indexed != 1 {
+		t.Fatalf("after upgrade read: %+v, want 1 rebuild persisted", st)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The rebuild persisted: the next incarnation reads it from the log.
+	s3, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if _, err := s3.GetSketch(e.ID); err != nil {
+		t.Fatal(err)
+	}
+	if st := s3.SketchStats(); st.Rebuilds != 0 {
+		t.Fatalf("persisted rebuild not reused: %+v", st)
+	}
+}
+
+// TestSketchLogTornTailRecovery: a torn sketch frame is truncated away
+// without dropping any manifest record, and the lost sketch rebuilds from
+// its blob on demand.
+func TestSketchLogTornTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e0, _, err := s.Put("w", store.LabelNormal, "0", testProfile(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, _, err := s.Put("w", store.LabelNormal, "1", testProfile(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the second frame: chop bytes off the end of the log.
+	path := filepath.Join(dir, "sketches.log")
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()-7); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	rec := s2.Recovery()
+	if rec.Clean() || rec.SketchRecords != 1 || rec.DroppedRecords != 0 {
+		t.Fatalf("recovery: %s", rec.Render())
+	}
+	// Both entries survive; the torn sketch rebuilds.
+	for _, e := range []string{e0.ID, e1.ID} {
+		if _, err := s2.GetSketch(e); err != nil {
+			t.Fatalf("GetSketch(%s): %v", e[:8], err)
+		}
+	}
+	if st := s2.SketchStats(); st.Rebuilds != 1 {
+		t.Fatalf("want exactly the torn sketch rebuilt: %+v", st)
+	}
+	// A second recovery pass is clean.
+	rep, err := store.Fsck(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("store not clean after repair:\n%s", rep.Render())
+	}
+}
+
+// TestSketchLogBadHeaderQuarantined: a sketch log whose header is garbage is
+// quarantined whole — it is derived data, so nothing is lost — and a fresh
+// log takes its place.
+func TestSketchLogBadHeaderQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	s, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _, err := s.Put("w", store.LabelNormal, "0", testProfile(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(dir, "sketches.log")
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr := make([]byte, 8)
+	copy(hdr, "XXXX")
+	binary.LittleEndian.PutUint32(hdr[4:], 999)
+	if _, err := f.WriteAt(hdr, 0); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	rec := s2.Recovery()
+	if rec.Clean() || len(rec.Quarantined) != 1 || rec.Quarantined[0] != "sketches.log" {
+		t.Fatalf("recovery: %s", rec.Render())
+	}
+	if rec.DroppedRecords != 0 {
+		t.Fatalf("quarantining derived data dropped %d records", rec.DroppedRecords)
+	}
+	if _, err := s2.GetSketch(e.ID); err != nil {
+		t.Fatal(err)
+	}
+	if st := s2.SketchStats(); st.Rebuilds != 1 || st.Indexed != 1 {
+		t.Fatalf("sketch not rebuilt into the fresh log: %+v", st)
+	}
+}

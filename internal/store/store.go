@@ -56,6 +56,7 @@ import (
 	"vprof/internal/obs"
 	"vprof/internal/profilefmt"
 	"vprof/internal/sampler"
+	"vprof/internal/sketch"
 )
 
 // ErrInvalidProfile wraps every decode rejection at ingest, so API layers
@@ -189,6 +190,17 @@ type Store struct {
 	cacheHits  int64
 	cacheMiss  int64
 
+	// Sketch log state (sketches.go): per-blob variable sketches the
+	// incremental diagnosis path reads instead of the raw blobs.
+	sketchLog        faultfs.File
+	sketchLogSize    int64
+	sketchIdx        map[string]sketchRef
+	sketchCache      map[string]*sketch.Profile
+	sketchCacheOrder []string
+	sketchHits       int64
+	sketchMiss       int64
+	sketchRebuilt    int64
+
 	m storeMetrics
 }
 
@@ -203,6 +215,10 @@ type storeMetrics struct {
 	quarantined    *obs.Counter
 	recoveredDrops *obs.Counter
 	recoveredBytes *obs.Counter
+	sketchWrites   *obs.Counter
+	sketchHits     *obs.Counter
+	sketchMisses   *obs.Counter
+	sketchRebuilds *obs.Counter
 }
 
 func newStoreMetrics(reg *obs.Registry) storeMetrics {
@@ -228,6 +244,14 @@ func newStoreMetrics(reg *obs.Registry) storeMetrics {
 			"Manifest records dropped during recovery (torn tail or quarantined segment)."),
 		recoveredBytes: reg.Counter("vprof_store_recovery_truncated_bytes_total",
 			"Torn bytes trimmed from the manifest and segments during recovery."),
+		sketchWrites: reg.Counter("vprof_store_sketch_writes_total",
+			"Sketch frames appended to the sketch log."),
+		sketchHits: reg.Counter("vprof_store_sketch_cache_hits_total",
+			"Sketch reads served from the in-memory sketch cache."),
+		sketchMisses: reg.Counter("vprof_store_sketch_cache_misses_total",
+			"Sketch reads that had to hit the sketch log or rebuild."),
+		sketchRebuilds: reg.Counter("vprof_store_sketch_rebuilds_total",
+			"Sketches rebuilt from raw blobs (stores predating the sketch log)."),
 	}
 }
 
@@ -247,16 +271,17 @@ func Open(dir string, opts Options) (*Store, error) {
 		return nil, err
 	}
 	s := &Store{
-		dir:      dir,
-		opts:     opts,
-		fsys:     fsys,
-		blobs:    map[string]blobRef{},
-		entries:  map[string]*Entry{},
-		byWl:     map[string][]*Entry{},
-		readers:  map[int]faultfs.File{},
-		cache:    map[string]*sampler.Profile{},
-		recovery: rep,
-		m:        newStoreMetrics(opts.Metrics),
+		dir:         dir,
+		opts:        opts,
+		fsys:        fsys,
+		blobs:       map[string]blobRef{},
+		entries:     map[string]*Entry{},
+		byWl:        map[string][]*Entry{},
+		readers:     map[int]faultfs.File{},
+		cache:       map[string]*sampler.Profile{},
+		sketchCache: map[string]*sketch.Profile{},
+		recovery:    rep,
+		m:           newStoreMetrics(opts.Metrics),
 	}
 	s.m.quarantined.Add(float64(len(rep.Quarantined)))
 	s.m.recoveredDrops.Add(float64(rep.DroppedRecords))
@@ -285,6 +310,10 @@ func Open(dir string, opts Options) (*Store, error) {
 	}
 	s.seg, s.segSize = seg, size
 	s.m.segments.Inc()
+	if err := s.openSketchLog(); err != nil {
+		s.Close()
+		return nil, err
+	}
 	return s, nil
 }
 
@@ -499,6 +528,11 @@ func (s *Store) PutBlob(workload string, label Label, run string, blob []byte) (
 	}
 	s.indexLocked(e, ref)
 	s.cacheAddLocked(id, p)
+	// Fold and persist the blob's sketch so incremental diagnoses never
+	// re-decode it. Sketches are derived data: an append failure is
+	// absorbed (GetSketch rebuilds on demand), never failing an
+	// acknowledged push.
+	_ = s.appendSketchLocked(id, p)
 	cp := *s.entries[key]
 	return &cp, false, nil
 }
@@ -803,6 +837,11 @@ func (s *Store) Flush() error {
 	if err := s.manifest.Sync(); err != nil {
 		return fmt.Errorf("store: flush manifest: %w", err)
 	}
+	if s.sketchLog != nil {
+		if err := s.sketchLog.Sync(); err != nil {
+			return fmt.Errorf("store: flush sketch log: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -844,6 +883,10 @@ func (s *Store) Close() error {
 	if s.seg != nil {
 		keep(s.seg.Close())
 		s.seg = nil
+	}
+	if s.sketchLog != nil {
+		keep(s.sketchLog.Close())
+		s.sketchLog = nil
 	}
 	for _, r := range s.readers {
 		keep(r.Close())

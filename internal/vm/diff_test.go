@@ -252,6 +252,10 @@ func runTraced(p *compiler.Program, c diffCase, inputs []int64, seed uint64, eng
 		tr.Children = len(pr.VM.Children)
 		out[i] = *tr
 	}
+	// Recycling here hands each engine run the other's dirty arena, so the
+	// whole differential matrix (and the fuzzer built on it) doubles as a
+	// stale-arena equivalence check.
+	vm.RecycleProcesses(procs)
 	return out
 }
 

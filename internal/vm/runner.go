@@ -59,3 +59,12 @@ func RunProcesses(prog *compiler.Program, mkConfig func(pid int) Config) []Proce
 	}
 	return procs
 }
+
+// RecycleProcesses returns every process VM's arenas to the pool (see
+// VM.Recycle). Call it once the caller has extracted what it needs from
+// the process tree and will no longer inspect any VM's stack.
+func RecycleProcesses(procs []Process) {
+	for _, p := range procs {
+		p.VM.Recycle()
+	}
+}

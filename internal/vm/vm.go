@@ -16,6 +16,7 @@ package vm
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"vprof/internal/compiler"
 	"vprof/internal/lang"
@@ -158,6 +159,21 @@ type frame struct {
 	rres int32
 }
 
+// vmArena bundles the two growable per-run allocations — the register
+// engine's flat register arena and the call-stack frame array — so drivers
+// that execute many runs back to back (causal experiments, profiling
+// fan-outs, sub-millisecond workloads like b14 where per-run setup
+// dominates) can reuse them via Recycle instead of re-allocating each run.
+// Value holds no GC pointers and Recycle clears the frames' slice views,
+// so a pooled arena retains nothing beyond raw integers, which New clears
+// before reuse.
+type vmArena struct {
+	regs   []Value
+	frames []frame
+}
+
+var arenaPool = sync.Pool{New: func() any { return new(vmArena) }}
+
 // VM is a single simulated process executing one program.
 type VM struct {
 	prog    *compiler.Program
@@ -184,6 +200,9 @@ type VM struct {
 	// regs is the register engine's frame arena (all live frames' named
 	// slots and scratch registers, contiguously).
 	regs []Value
+	// arena is the pooled backing storage behind regs/frames, surrendered
+	// by Recycle.
+	arena *vmArena
 
 	// Children collects spawn() requests in order.
 	Children []ChildRequest
@@ -209,11 +228,23 @@ func New(prog *compiler.Program, cfg Config) *VM {
 	if cfg.MaxTicks <= 0 {
 		cfg.MaxTicks = DefaultMaxTicks
 	}
+	// Reuse a pooled arena when one is available. No clearing is needed
+	// for execution to match a fresh allocation bit for bit: both engines
+	// assign every frame field on push; named slots are zeroed on every
+	// frame entry (runRegister's root loop, RCall's callee loop) and are
+	// all FrameView.Slot exposes; scratch registers are operand-stack
+	// canonical registers, written before read by stack discipline. The
+	// differential fuzzer recycles between engine runs to keep this
+	// stale-arena equivalence continuously checked.
+	a := arenaPool.Get().(*vmArena)
 	vm := &VM{
 		prog:        prog,
 		cfg:         cfg,
 		globals:     make([]Value, prog.NumGlobals()),
 		rng:         cfg.Seed,
+		regs:        a.regs,
+		frames:      a.frames,
+		arena:       a,
 		BranchTaken: make([]int64, len(prog.Funcs)),
 	}
 	vm.next = cfg.AlarmPhase
@@ -257,6 +288,29 @@ func (vm *VM) Depth() int { return len(vm.frames) }
 
 // Result returns the value of the final return (used by RunFunc callers).
 func (vm *VM) Result() Value { return vm.result }
+
+// Recycle returns the VM's register and frame arenas to a process-wide
+// pool for reuse by a future New. Call it once the VM is done executing
+// and its stack will no longer be inspected; scalar post-run state
+// (Ticks, Result, Outputs, BranchTaken, Children) remains readable.
+// Recycling is optional — an un-recycled VM is simply garbage collected —
+// and a second Recycle is a no-op.
+func (vm *VM) Recycle() {
+	a := vm.arena
+	if a == nil {
+		return
+	}
+	vm.arena = nil
+	// Drop the frames' slice views (tree-walker slots/stacks are separate
+	// heap slices) so the pooled arena pins no dead memory.
+	frames := vm.frames[:cap(vm.frames)]
+	for i := range frames {
+		frames[i].slots, frames[i].stack = nil, nil
+	}
+	a.regs, a.frames = vm.regs, frames[:0]
+	vm.regs, vm.frames = nil, nil
+	arenaPool.Put(a)
+}
 
 // Global reads global variable i.
 func (vm *VM) Global(i int) Value { return vm.globals[i] }

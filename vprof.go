@@ -28,8 +28,10 @@
 //	fmt.Print(report.Render(10))
 //
 // The context cancels profiling runs (checked at each sampling alarm) and
-// the analysis fan-out; the deprecated positional Analyze wrapper remains
-// for existing callers.
+// the analysis fan-out. AnalyzeRequest (plus the With* options) is the only
+// analysis entry point; WithSketches(true) runs the same diagnosis over
+// mergeable per-variable sketches (internal/sketch), the representation the
+// service's incremental diagnose path stores and merges.
 package vprof
 
 import (
@@ -47,6 +49,7 @@ import (
 	"vprof/internal/parallel"
 	"vprof/internal/sampler"
 	"vprof/internal/schema"
+	"vprof/internal/sketch"
 	"vprof/internal/vm"
 )
 
@@ -265,6 +268,7 @@ func (p *Program) Run(spec RunSpec) (outputs []int64, ticks int64, err error) {
 			err = proc.Err
 		}
 	}
+	vm.RecycleProcesses(procs)
 	return outputs, ticks, err
 }
 
@@ -284,7 +288,9 @@ func (p *Program) ProfileContext(ctx context.Context, spec RunSpec, sch *Schema)
 	meta := schema.Translate(sch, p.compiled.Debug)
 	res, err := sampler.ProfileRunContext(ctx, p.compiled, meta, spec.vmConfig(),
 		sampler.Options{Interval: spec.interval(), OffCPU: spec.OffCPU})
-	return sampler.MergeProfiles(res.Profiles), err
+	prof := sampler.MergeProfiles(res.Profiles)
+	res.Recycle()
+	return prof, err
 }
 
 // Disassemble renders the compiled text section with function and
@@ -320,8 +326,8 @@ func (p *Program) Metadata(sch *Schema) []debuginfo.VarLoc {
 // basic-block ranges, line table, variable locations).
 func (p *Program) Debug() *debuginfo.Info { return p.compiled.Debug }
 
-// AnalyzeRequest bundles the inputs to the post-profiling analysis, replacing
-// the old 5-positional-argument Analyze call. Profiles must have been
+// AnalyzeRequest bundles the inputs to the post-profiling analysis (the old
+// 5-positional-argument Analyze call is gone). Profiles must have been
 // produced with the same schema. The first profile of each side feeds the
 // variable-discounter; all profiles feed the hist-discounter.
 type AnalyzeRequest struct {
@@ -335,6 +341,11 @@ type AnalyzeRequest struct {
 	// Params are the analysis tunables; nil means DefaultParams. The
 	// WithParams / WithWorkers options modify this field.
 	Params *Params
+	// Sketches folds the profiles into mergeable per-variable sketches and
+	// runs the sketch-mode analysis: identical ranking and verdicts where
+	// sketch buckets are exact, but no per-block localization (sketches
+	// keep no ordered PC trail). Set via WithSketches.
+	Sketches bool
 }
 
 // AnalyzeOption tweaks an AnalyzeRequest; pass options to AnalyzeContext.
@@ -359,6 +370,12 @@ func WithWorkers(n int) AnalyzeOption {
 	}
 }
 
+// WithSketches toggles the sketch-mode analysis (see
+// AnalyzeRequest.Sketches).
+func WithSketches(on bool) AnalyzeOption {
+	return func(r *AnalyzeRequest) { r.Sketches = on }
+}
+
 // AnalyzeContext runs the post-profiling analysis. The context cancels the
 // analysis fan-out cooperatively (workers drain, ctx.Err() is returned);
 // with a never-canceled context the report is byte-for-byte the sequential
@@ -371,27 +388,33 @@ func AnalyzeContext(ctx context.Context, req AnalyzeRequest, opts ...AnalyzeOpti
 	if req.Params != nil {
 		params = *req.Params
 	}
+	dbg := req.Program.compiled.Debug
+	if req.Sketches {
+		fold := func(ps []*Profile) []*sketch.Profile {
+			out := make([]*sketch.Profile, 0, len(ps))
+			for _, p := range ps {
+				out = append(out, sketch.FromProfile(p))
+			}
+			return out
+		}
+		normal := fold(req.Normal)
+		if len(normal) == 0 || len(req.Buggy) == 0 {
+			return nil, analysis.ErrNoProfiles
+		}
+		return analysis.AnalyzeSketchesContext(ctx, analysis.SketchInput{
+			Debug:  dbg,
+			Schema: req.Schema,
+			Normal: normal[0],
+			Corpus: analysis.CorpusOfSketches(normal, dbg),
+			Buggy:  fold(req.Buggy),
+		}, params)
+	}
 	return analysis.AnalyzeContext(ctx, analysis.Input{
-		Debug:  req.Program.compiled.Debug,
+		Debug:  dbg,
 		Schema: req.Schema,
 		Normal: req.Normal,
 		Buggy:  req.Buggy,
 	}, params)
-}
-
-// Analyze runs the post-profiling analysis over profiles of normal and buggy
-// executions of prog.
-//
-// Deprecated: use AnalyzeContext with an AnalyzeRequest; this positional
-// form is kept so existing callers compile unchanged.
-func Analyze(prog *Program, sch *Schema, normal, buggy []*Profile, params Params) (*Report, error) {
-	return AnalyzeContext(context.Background(), AnalyzeRequest{
-		Program: prog,
-		Schema:  sch,
-		Normal:  normal,
-		Buggy:   buggy,
-		Params:  &params,
-	})
 }
 
 // Diagnose is the one-call workflow of the paper's Figure 2: profile the
