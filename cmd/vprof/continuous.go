@@ -20,6 +20,7 @@ import (
 	"time"
 
 	vprof "vprof"
+	"vprof/internal/cluster"
 	"vprof/internal/obs"
 	"vprof/internal/parallel"
 	"vprof/internal/profilefmt"
@@ -46,10 +47,41 @@ func buildResolver(progFiles []string, useBugs bool) (service.Resolver, error) {
 	return service.NewMultiResolver(rs...), nil
 }
 
+// parseClusterSpec turns "-cluster id=url,id2=url2" into node references.
+// IDs must be unique: placement hashes the ID, so a duplicate would silently
+// halve the replica count for every shard the pair owns.
+func parseClusterSpec(spec string) ([]cluster.NodeRef, error) {
+	var refs []cluster.NodeRef
+	seen := make(map[string]bool)
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, base, ok := strings.Cut(part, "=")
+		if !ok || id == "" || base == "" {
+			return nil, fmt.Errorf("serve: bad -cluster entry %q (want id=http://host:port)", part)
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("serve: duplicate cluster node id %q", id)
+		}
+		seen[id] = true
+		refs = append(refs, cluster.NodeRef{ID: id, Base: strings.TrimRight(base, "/")})
+	}
+	if len(refs) == 0 {
+		return nil, fmt.Errorf("serve: -cluster lists no nodes")
+	}
+	return refs, nil
+}
+
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:7070", "listen address")
 	storeDir := fs.String("store", "vprof-store", "profile store directory")
+	clusterSpec := fs.String("cluster", "", `route to cluster nodes instead of a local store: "id=http://host:port,id2=url2,..."`)
+	replicas := fs.Int("replicas", 3, "cluster copies per shard (clamped to node count)")
+	writeQuorum := fs.Int("write-quorum", 0, "cluster acks required per ingest (0 = majority of replicas)")
+	shards := fs.Int("shards", cluster.DefaultShards, "cluster keyspace partitions (all routers must agree)")
 	useBugs := fs.Bool("bugs", false, "also serve the built-in bug workloads (default when no programs are given)")
 	workers := fs.Int("workers", 4, "bounded ingest/diagnose worker pool size")
 	analysisWorkers := fs.Int("analysis-workers", 0, "per-diagnosis analysis worker pool (0 = VPROF_WORKERS or GOMAXPROCS, 1 = sequential)")
@@ -85,28 +117,51 @@ func cmdServe(args []string) error {
 	parallel.Instrument(reg)
 	sampler.Instrument(reg)
 
-	st, err := store.Open(*storeDir, store.Options{BaselineCap: *baselineCap, Metrics: reg})
-	if err != nil {
-		return err
+	cfg := service.Config{
+		Workers:         *workers,
+		AnalysisWorkers: *analysisWorkers, Top: *top,
+		RequestTimeout: *requestTimeout, MaxQueue: *maxQueue,
+		Sketches: *sketches,
+		Metrics:  reg, Logger: logger,
 	}
-	defer st.Close()
-	if rec := st.Recovery(); rec != nil && !rec.Clean() {
-		logger.Warn("store recovered at startup",
-			"dropped_records", rec.DroppedRecords,
-			"quarantined", len(rec.Quarantined),
-			"truncated_bytes", rec.TruncatedBytes)
+	backendDesc := "store " + *storeDir
+	if *clusterSpec != "" {
+		// Cluster mode: this process owns no store — it shards, replicates
+		// and merges across the listed node processes.
+		refs, err := parseClusterSpec(*clusterSpec)
+		if err != nil {
+			return usageError{err}
+		}
+		router, err := cluster.NewRouter(cluster.RouterConfig{
+			Nodes: refs, Replicas: *replicas, WriteQuorum: *writeQuorum,
+			Shards: *shards, BaselineCap: *baselineCap,
+			Metrics: reg, Logger: logger,
+		})
+		if err != nil {
+			return err
+		}
+		cfg.Backend = router
+		backendDesc = fmt.Sprintf("cluster of %d node(s)", len(refs))
+	} else {
+		st, err := store.Open(*storeDir, store.Options{BaselineCap: *baselineCap, Metrics: reg})
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		if rec := st.Recovery(); rec != nil && !rec.Clean() {
+			logger.Warn("store recovered at startup",
+				"dropped_records", rec.DroppedRecords,
+				"quarantined", len(rec.Quarantined),
+				"truncated_bytes", rec.TruncatedBytes)
+		}
+		cfg.Store = st
 	}
 	resolver, err := buildResolver(fs.Args(), *useBugs)
 	if err != nil {
 		return usageError{err}
 	}
-	srv, err := service.New(service.Config{
-		Store: st, Resolver: resolver, Workers: *workers,
-		AnalysisWorkers: *analysisWorkers, Top: *top,
-		RequestTimeout: *requestTimeout, MaxQueue: *maxQueue,
-		Sketches: *sketches,
-		Metrics:  reg, Logger: logger,
-	})
+	cfg.Resolver = resolver
+	srv, err := service.New(cfg)
 	if err != nil {
 		return err
 	}
@@ -114,8 +169,8 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	logger.Info("vprof service listening", "addr", ln.Addr().String(), "store", *storeDir)
-	fmt.Printf("vprof service listening on http://%s (store %s)\n", ln.Addr(), *storeDir)
+	logger.Info("vprof service listening", "addr", ln.Addr().String(), "backend", backendDesc)
+	fmt.Printf("vprof service listening on http://%s (%s)\n", ln.Addr(), backendDesc)
 
 	// Serve until the listener fails or a termination signal arrives. On
 	// SIGTERM/SIGINT the service drains: new requests are refused with 503,

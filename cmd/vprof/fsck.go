@@ -7,6 +7,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"strings"
 
 	"vprof/internal/store"
 )
@@ -20,8 +21,9 @@ import (
 //	2 — store is unrecoverable or the check itself failed
 func cmdFsck(args []string) error {
 	fs := flag.NewFlagSet("fsck", flag.ContinueOnError)
-	storeDir := fs.String("store", "vprof-store", "profile store directory")
+	storeDir := fs.String("store", "vprof-store", "profile store directory (with -cluster: comma-separated node store directories)")
 	repair := fs.Bool("repair", false, "apply repairs (truncate torn tails, quarantine corrupt segments)")
+	clusterMode := fs.Bool("cluster", false, "check every node store listed in -store, exiting with the worst result")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -33,14 +35,44 @@ func cmdFsck(args []string) error {
 	if *repair {
 		check = store.Repair
 	}
-	report, err := check(*storeDir)
-	if err != nil {
-		// The directory is missing or unreadable: nothing to repair.
-		return exitError{code: 2, err: err}
+	dirs := []string{*storeDir}
+	if *clusterMode {
+		dirs = dirs[:0]
+		for _, d := range strings.Split(*storeDir, ",") {
+			if d = strings.TrimSpace(d); d != "" {
+				dirs = append(dirs, d)
+			}
+		}
+		if len(dirs) == 0 {
+			return usageError{fmt.Errorf("fsck: -cluster needs node directories in -store")}
+		}
 	}
-	fmt.Print(report.Render())
-	if report.Clean() {
+	worst := 0
+	var firstErr error
+	for _, dir := range dirs {
+		if *clusterMode {
+			fmt.Printf("== %s ==\n", dir)
+		}
+		report, err := check(dir)
+		if err != nil {
+			// The directory is missing or unreadable: nothing to repair.
+			if !*clusterMode {
+				return exitError{code: 2, err: err}
+			}
+			fmt.Printf("fsck: %v\n", err)
+			worst = 2
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		fmt.Print(report.Render())
+		if !report.Clean() && worst < 1 {
+			worst = 1
+		}
+	}
+	if worst == 0 {
 		return nil
 	}
-	return exitError{code: 1}
+	return exitError{code: worst, err: firstErr}
 }

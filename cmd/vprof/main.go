@@ -42,6 +42,7 @@ var commands = map[string]func([]string) error{
 	"diagnose": cmdDiagnose,
 	"causal":   cmdCausal,
 	"serve":    cmdServe,
+	"node":     cmdNode,
 	"push":     cmdPush,
 	"query":    cmdQuery,
 	"fsck":     cmdFsck,
@@ -172,11 +173,15 @@ func usage() {
   vprof serve [-addr host:port] [-store dir] [-bugs] [-workers n]
               [-analysis-workers n] [-request-timeout d] [-max-queue n]
               [-drain-timeout d] [-log-level l] [-log-format text|json]
+              [-cluster id=url,...] [-replicas n] [-write-quorum n] [-shards n]
               [prog.vp ...]
+  vprof node -id name [-addr host:port] [-store dir] [-bugs]
+             [-drain-timeout d] [-log-level l] [-log-format text|json]
+             [prog.vp ...]
   vprof push <prog.vp> -server url -label normal|candidate [-workload w]
              [-inputs a,b] [-runs n] | push -server url -label l -dir artifacts
   vprof query workloads|diagnose|report|stats -server url [args]
-  vprof fsck [-store dir] [-repair]
+  vprof fsck [-store dir] [-repair] [-cluster]
 `)
 }
 

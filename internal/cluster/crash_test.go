@@ -1,0 +1,283 @@
+package cluster_test
+
+// Whole-node-loss crash matrices: the third replica's filesystem is driven
+// by a faultfs injector and "the machine dies" at every single mutating
+// disk operation — mid-ingest, mid-rebalance, and mid-read-repair. After
+// each loss the node's directory is reopened like a process restart (store
+// recovery runs), one anti-entropy pass converges the cluster, and every
+// quorum-acked push must be back on every owner with a clean fsck.
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"vprof/internal/cluster"
+	"vprof/internal/faultfs"
+	"vprof/internal/obs"
+	"vprof/internal/store"
+)
+
+// ackKey records one push the router acknowledged (quorum held it).
+type ackKey struct {
+	workload string
+	label    store.Label
+	run      string
+	id       string
+}
+
+// crashCluster builds a 3-node cluster whose node-2 ("the victim") persists
+// through inj. A crash during the victim's own store open leaves it down —
+// exactly what a node that dies while recovering looks like to the router.
+func crashCluster(t *testing.T, inj *faultfs.Injector) *env {
+	t.Helper()
+	e := &env{reg: obs.NewRegistry()}
+	refs := make([]cluster.NodeRef, 3)
+	for i := 0; i < 3; i++ {
+		en := &envNode{id: fmt.Sprintf("node-%d", i), dir: filepath.Join(t.TempDir(), "store")}
+		en.srv = httptest.NewServer(en)
+		t.Cleanup(en.srv.Close)
+		opts := store.Options{}
+		if i == 2 && inj != nil {
+			en.inj = inj
+			opts.FS = inj
+		}
+		if err := en.tryRestart(opts, nil); err == nil {
+			t.Cleanup(func() { en.kill(t) })
+		}
+		e.nodes = append(e.nodes, en)
+		refs[i] = cluster.NodeRef{ID: en.id, Base: en.srv.URL}
+	}
+	router, err := cluster.NewRouter(cluster.RouterConfig{Nodes: refs, Metrics: e.reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.router = router
+	return e
+}
+
+// crashIngest replays a fixed ingest sequence through the router. Every
+// push must ack: two of three replicas are always healthy, which meets the
+// majority write quorum regardless of where the victim dies.
+func crashIngest(t *testing.T, e *env) []ackKey {
+	t.Helper()
+	var acked []ackKey
+	for i := 0; i < 6; i++ {
+		wl := "redis"
+		if i%2 == 1 {
+			wl = "mysql"
+		}
+		label := store.LabelNormal
+		if i >= 4 {
+			label = store.LabelCandidate
+		}
+		run := fmt.Sprint(i / 2)
+		entry, _, err := e.router.PutBlob(wl, label, run, mustBlob(t, int64(i)))
+		if err != nil {
+			t.Fatalf("push %d must reach quorum with 2/3 replicas healthy: %v", i, err)
+		}
+		acked = append(acked, ackKey{workload: wl, label: label, run: run, id: entry.ID})
+	}
+	return acked
+}
+
+// recoverVictim plays the restart: close whatever is left of the crashed
+// process, reopen the directory through the real filesystem (recovery runs),
+// and rejoin at the same address.
+func recoverVictim(t *testing.T, e *env) *envNode {
+	t.Helper()
+	victim := e.nodes[2]
+	victim.kill(t)
+	victim.setInjector(nil)
+	victim.restart(t, store.Options{}, nil)
+	return victim
+}
+
+// verifyConverged asserts every acked push is on every owner, readable and
+// intact, and that the victim's directory fscks clean once closed.
+func verifyConverged(t *testing.T, e *env, acked []ackKey) {
+	t.Helper()
+	for _, a := range acked {
+		winner, ok := e.router.Lookup(a.workload, a.label, a.run)
+		if !ok {
+			t.Fatalf("acked push %v lost after node loss", a)
+		}
+		if winner.ID != a.id {
+			t.Fatalf("acked push %v came back as %s", a, winner.ID)
+		}
+		for _, en := range e.owners(a.workload, a.label, a.run) {
+			got, ok := en.lookup(t, a.workload, a.label, a.run)
+			if !ok || got.ID != a.id {
+				t.Fatalf("owner %s of %v: ok=%v, want id %s", en.id, a, ok, a.id)
+			}
+			en.mu.Lock()
+			_, err := en.st.Get(a.id)
+			en.mu.Unlock()
+			if err != nil {
+				t.Fatalf("owner %s: acked blob %s unreadable: %v", en.id, a.id, err)
+			}
+		}
+	}
+	victim := e.nodes[2]
+	victim.kill(t)
+	rep, err := store.Fsck(victim.dir)
+	if err != nil {
+		t.Fatalf("fsck victim after recovery: %v", err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("victim store not clean after recovery:\n%s", rep.Render())
+	}
+}
+
+// TestNodeLossMidIngestMatrix kills the third replica at every mutating disk
+// operation of the ingest sequence. Quorum-acked pushes must survive the
+// loss, the recovered cluster must converge in one rebalance pass, and the
+// victim's store must fsck clean.
+func TestNodeLossMidIngestMatrix(t *testing.T) {
+	dry := faultfs.NewInjector(nil)
+	e := crashCluster(t, dry)
+	crashIngest(t, e)
+	total := dry.Mutations()
+	if total < 10 {
+		t.Fatalf("suspiciously few crash points: %d", total)
+	}
+
+	for n := 1; n <= total; n++ {
+		n := n
+		t.Run(fmt.Sprintf("crash-at-%02d", n), func(t *testing.T) {
+			inj := faultfs.NewInjector(nil)
+			inj.CrashAt(n)
+			inj.SetTorn(n%2 == 0)
+			e := crashCluster(t, inj)
+			acked := crashIngest(t, e)
+			if !inj.Crashed() {
+				t.Fatalf("crash point %d never reached", n)
+			}
+			recoverVictim(t, e)
+			if _, err := e.router.Rebalance(context.Background()); err != nil {
+				t.Fatalf("rebalance after node loss: %v", err)
+			}
+			verifyConverged(t, e, acked)
+		})
+	}
+}
+
+// midRebalanceSetup stages the rebalance crash: the victim misses the whole
+// ingest (down), then rejoins with inj under its filesystem, so the
+// anti-entropy copies onto it are what the crash interrupts.
+func midRebalanceSetup(t *testing.T, inj *faultfs.Injector) (*env, []ackKey) {
+	t.Helper()
+	e := crashCluster(t, nil)
+	e.nodes[2].kill(t)
+	acked := crashIngest(t, e)
+	e.nodes[2].setInjector(inj)
+	// The rejoin may itself die mid-open; the matrix covers those points too.
+	_ = e.nodes[2].tryRestart(store.Options{FS: inj}, nil)
+	return e, acked
+}
+
+// TestNodeLossMidRebalanceMatrix kills the rejoining replica at every
+// mutating disk operation of the anti-entropy pass. The pass is idempotent:
+// after recovery a rerun must converge with zero errors.
+func TestNodeLossMidRebalanceMatrix(t *testing.T) {
+	dry := faultfs.NewInjector(nil)
+	e, _ := midRebalanceSetup(t, dry)
+	if _, err := e.router.Rebalance(context.Background()); err != nil {
+		t.Fatalf("fault-free rebalance: %v", err)
+	}
+	total := dry.Mutations()
+	if total < 10 {
+		t.Fatalf("suspiciously few crash points: %d", total)
+	}
+
+	for n := 1; n <= total; n++ {
+		n := n
+		t.Run(fmt.Sprintf("crash-at-%02d", n), func(t *testing.T) {
+			inj := faultfs.NewInjector(nil)
+			inj.CrashAt(n)
+			inj.SetTorn(n%2 == 0)
+			e, acked := midRebalanceSetup(t, inj)
+			// The interrupted pass reports its failures; whatever it copied
+			// before the crash stays copied.
+			_, _ = e.router.Rebalance(context.Background())
+			if !inj.Crashed() {
+				t.Fatalf("crash point %d never reached", n)
+			}
+			recoverVictim(t, e)
+			if _, err := e.router.Rebalance(context.Background()); err != nil {
+				t.Fatalf("rebalance rerun after node loss: %v", err)
+			}
+			verifyConverged(t, e, acked)
+		})
+	}
+}
+
+// midRepairSetup stages the read-repair crash: four baseline runs ingested
+// while the victim is down, victim back with inj underneath, so the repairs
+// a merged read triggers are what the crash interrupts.
+func midRepairSetup(t *testing.T, inj *faultfs.Injector) (*env, []ackKey) {
+	t.Helper()
+	e := crashCluster(t, nil)
+	e.nodes[2].kill(t)
+	var acked []ackKey
+	for i := 0; i < 4; i++ {
+		run := fmt.Sprint(i)
+		entry, _, err := e.router.PutBlob("redis", store.LabelNormal, run, mustBlob(t, int64(40+i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		acked = append(acked, ackKey{workload: "redis", label: store.LabelNormal, run: run, id: entry.ID})
+	}
+	e.nodes[2].setInjector(inj)
+	_ = e.nodes[2].tryRestart(store.Options{FS: inj}, nil)
+	return e, acked
+}
+
+// TestNodeLossMidReadRepairMatrix kills the lagging replica at every
+// mutating disk operation of the read-repair writes. Repair is best-effort:
+// the reads that trigger it must keep succeeding through the loss.
+func TestNodeLossMidReadRepairMatrix(t *testing.T) {
+	dry := faultfs.NewInjector(nil)
+	e, _ := midRepairSetup(t, dry)
+	e.router.Baselines("redis") // triggers the repair writes the matrix interrupts
+	total := dry.Mutations()
+	if total < 10 {
+		t.Fatalf("suspiciously few crash points: %d", total)
+	}
+
+	for n := 1; n <= total; n++ {
+		n := n
+		t.Run(fmt.Sprintf("crash-at-%02d", n), func(t *testing.T) {
+			inj := faultfs.NewInjector(nil)
+			inj.CrashAt(n)
+			inj.SetTorn(n%2 == 0)
+			e, acked := midRepairSetup(t, inj)
+
+			// Reads ride through the node loss: repair failures are counted,
+			// never surfaced.
+			got := e.router.Baselines("redis")
+			if len(got) != len(acked) {
+				t.Fatalf("read during node loss: %d baselines, want %d", len(got), len(acked))
+			}
+			for i, a := range acked {
+				if got[i].ID != a.id {
+					t.Fatalf("baseline %d: id %s, want %s", i, got[i].ID, a.id)
+				}
+			}
+			if !inj.Crashed() {
+				t.Fatalf("crash point %d never reached", n)
+			}
+			if _, ok := e.router.Lookup("redis", store.LabelNormal, "0"); !ok {
+				t.Fatal("lookup failed during node loss")
+			}
+
+			recoverVictim(t, e)
+			if _, err := e.router.Rebalance(context.Background()); err != nil {
+				t.Fatalf("rebalance after node loss: %v", err)
+			}
+			verifyConverged(t, e, acked)
+		})
+	}
+}

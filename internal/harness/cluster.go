@@ -1,0 +1,351 @@
+package harness
+
+// Cluster-mode replay: the continuous-profiling replay pointed at a 3-node
+// sharded, replicated profile store instead of a single local store. The
+// acceptance bar is the same byte-for-byte one — every diagnosis served by
+// the cluster-backed service (full and sketch mode, before a node loss,
+// during it, and after the node recovers) must equal the offline pipeline
+// over the identical profiles.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"path/filepath"
+	"strings"
+
+	"vprof/internal/analysis"
+	"vprof/internal/bugs"
+	"vprof/internal/cluster"
+	"vprof/internal/obs"
+	"vprof/internal/service"
+	vsketch "vprof/internal/sketch"
+	"vprof/internal/store"
+)
+
+// ClusterReplayRow extends the continuous-replay row with the cluster-only
+// checks: sketch-mode equivalence, and equivalence while a replica is down
+// and again after it recovered.
+type ClusterReplayRow struct {
+	ReplayRow
+	// SketchRank/SketchMatch compare the sketch-mode diagnosis (folded
+	// shard-local on the nodes, merged at the coordinator) against the
+	// offline sketch analysis of the same profiles.
+	SketchRank  int
+	SketchMatch bool
+	// DegradedMatch is true when a fresh coordinator over the cluster with
+	// one replica down still reproduces both diagnoses byte for byte.
+	DegradedMatch bool
+	// RecoveredMatch is the same bar after the lost node rejoined and one
+	// anti-entropy pass converged the cluster.
+	RecoveredMatch bool
+}
+
+// clusterNode is one running replica: a store under its own directory served
+// over the internal cluster API.
+type clusterNode struct {
+	id  string
+	dir string
+	st  *store.Store
+	hs  *http.Server
+	url string
+}
+
+func startClusterNode(dir, id string) (*clusterNode, error) {
+	st, err := store.Open(dir, store.Options{Metrics: obs.NewRegistry()})
+	if err != nil {
+		return nil, err
+	}
+	node, err := cluster.NewNode(cluster.NodeConfig{
+		ID:       id,
+		Store:    st,
+		Resolver: service.NewBugsResolver(),
+	})
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	hs := &http.Server{Handler: node.Handler()}
+	go hs.Serve(ln)
+	return &clusterNode{
+		id: id, dir: dir, st: st, hs: hs,
+		url: "http://" + ln.Addr().String(),
+	}, nil
+}
+
+func (n *clusterNode) stop() {
+	if n.hs != nil {
+		n.hs.Close()
+		n.hs = nil
+	}
+	if n.st != nil {
+		n.st.Close()
+		n.st = nil
+	}
+}
+
+// coordinator is one service front end over the cluster: router + HTTP
+// service + instrumented client, torn down together.
+type coordinator struct {
+	router *cluster.Router
+	hs     *http.Server
+	base   string
+	client *service.Client
+}
+
+func startCoordinator(refs []cluster.NodeRef) (*coordinator, error) {
+	reg := obs.NewRegistry()
+	router, err := cluster.NewRouter(cluster.RouterConfig{Nodes: refs, Metrics: reg})
+	if err != nil {
+		return nil, err
+	}
+	srv, err := service.New(service.Config{
+		Backend:  router,
+		Resolver: service.NewBugsResolver(),
+		Workers:  4,
+		Top:      replayTop,
+		Metrics:  reg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	return &coordinator{
+		router: router,
+		hs:     hs,
+		base:   base,
+		client: service.NewClient(base).Instrument(reg),
+	}, nil
+}
+
+func (c *coordinator) stop() { c.hs.Close() }
+
+// ReplayCluster replays the workloads end to end against a 3-node cluster:
+//
+//  1. Every workload's runs pushed concurrently through the routing front
+//     end (quorum-replicated across the nodes), then diagnosed in full mode
+//     and in sketch mode; both renders must equal the offline pipelines
+//     byte for byte, and the sketch diagnosis must not fetch a single raw
+//     blob at the coordinator (its decode-cache counters stay flat).
+//  2. One node is lost. /healthz must degrade — not fail — and a fresh
+//     coordinator over the degraded cluster must reproduce every diagnosis.
+//  3. The node rejoins (store recovery runs), one anti-entropy pass
+//     converges the cluster, and a third coordinator must again reproduce
+//     every diagnosis byte for byte.
+func ReplayCluster(dir string, workloads []*bugs.Workload) ([]ClusterReplayRow, error) {
+	nodes := make([]*clusterNode, 3)
+	refs := make([]cluster.NodeRef, 3)
+	for i := range nodes {
+		n, err := startClusterNode(filepath.Join(dir, fmt.Sprintf("node-%d", i)), fmt.Sprintf("node-%d", i))
+		if err != nil {
+			return nil, err
+		}
+		defer n.stop()
+		nodes[i] = n
+		refs[i] = cluster.NodeRef{ID: n.id, Base: n.url}
+	}
+	co, err := startCoordinator(refs)
+	if err != nil {
+		return nil, err
+	}
+	defer co.stop()
+
+	var rows []ClusterReplayRow
+	var data []*replayData
+	offlineSk := make([]*analysis.Report, 0, len(workloads))
+	for _, w := range workloads {
+		base, d, err := replayWorkloadData(co.client, w)
+		if err != nil {
+			return rows, fmt.Errorf("%s: %w", w.ID, err)
+		}
+		row := ClusterReplayRow{ReplayRow: base}
+
+		// Sketch mode: the corpus folds shard-local on the nodes, the
+		// normal/candidate sketches come from the replicas' sketch logs, and
+		// no raw blob crosses the wire — the coordinator's blob cache must
+		// not move at all.
+		before := co.router.CacheStats()
+		resp, err := co.client.Diagnose(service.DiagnoseRequest{Workload: w.ID, Top: replayTop, Sketches: true})
+		if err != nil {
+			return rows, fmt.Errorf("%s: sketch diagnose: %w", w.ID, err)
+		}
+		after := co.router.CacheStats()
+		if after.Misses != before.Misses || after.Hits != before.Hits {
+			return rows, fmt.Errorf("%s: sketch diagnosis touched the coordinator blob cache: %+v -> %+v",
+				w.ID, before, after)
+		}
+		off, err := offlineSketchReport(d)
+		if err != nil {
+			return rows, fmt.Errorf("%s: offline sketch analysis: %w", w.ID, err)
+		}
+		row.SketchRank = resp.RootRank(w.RootFunc)
+		row.SketchMatch = resp.Render == off.Render(replayTop)
+		offlineSk = append(offlineSk, off)
+		rows = append(rows, row)
+		data = append(data, d)
+	}
+	if err := checkClusterObservability(co.base, "ok"); err != nil {
+		return rows, err
+	}
+
+	// Phase 2: whole-node loss. Health degrades, reads ride on the surviving
+	// replicas, and a coordinator with cold caches still reproduces every
+	// diagnosis.
+	victim := nodes[2]
+	victim.stop()
+	if err := checkClusterObservability(co.base, "degraded"); err != nil {
+		return rows, fmt.Errorf("after node loss: %w", err)
+	}
+	degraded, err := startCoordinator(refs)
+	if err != nil {
+		return rows, err
+	}
+	defer degraded.stop()
+	for i, w := range workloads {
+		match, err := rediagnose(degraded.client, w, data[i], offlineSk[i])
+		if err != nil {
+			return rows, fmt.Errorf("%s degraded: %w", w.ID, err)
+		}
+		rows[i].DegradedMatch = match
+	}
+
+	// Phase 3: the node rejoins (store recovery runs on open), one
+	// idempotent anti-entropy pass converges the cluster, and a third cold
+	// coordinator must again match the offline pipeline byte for byte.
+	revived, err := startClusterNode(victim.dir, victim.id)
+	if err != nil {
+		return rows, fmt.Errorf("revive %s: %w", victim.id, err)
+	}
+	defer revived.stop()
+	refs[2] = cluster.NodeRef{ID: revived.id, Base: revived.url}
+	recovered, err := startCoordinator(refs)
+	if err != nil {
+		return rows, err
+	}
+	defer recovered.stop()
+	if _, err := recovered.router.Rebalance(context.Background()); err != nil {
+		return rows, fmt.Errorf("rebalance after recovery: %w", err)
+	}
+	for i, w := range workloads {
+		match, err := rediagnose(recovered.client, w, data[i], offlineSk[i])
+		if err != nil {
+			return rows, fmt.Errorf("%s recovered: %w", w.ID, err)
+		}
+		rows[i].RecoveredMatch = match
+	}
+	if err := checkClusterObservability(recovered.base, "ok"); err != nil {
+		return rows, fmt.Errorf("after recovery: %w", err)
+	}
+	return rows, nil
+}
+
+// rediagnose runs both diagnosis modes through a cold coordinator and
+// reports whether each reproduced its offline render byte for byte.
+func rediagnose(client *service.Client, w *bugs.Workload, d *replayData, offSk *analysis.Report) (bool, error) {
+	full, err := client.Diagnose(service.DiagnoseRequest{Workload: w.ID, Top: replayTop})
+	if err != nil {
+		return false, err
+	}
+	sk, err := client.Diagnose(service.DiagnoseRequest{Workload: w.ID, Top: replayTop, Sketches: true})
+	if err != nil {
+		return false, err
+	}
+	return full.Render == d.offline.Render(replayTop) && sk.Render == offSk.Render(replayTop), nil
+}
+
+// offlineSketchReport runs the offline sketch pipeline over the replayed
+// profiles: fold each run's sketch directly and analyze, with no store and
+// no cluster anywhere near it.
+func offlineSketchReport(d *replayData) (*analysis.Report, error) {
+	corpus := analysis.NewCorpus()
+	skNormal := make([]*vsketch.Profile, len(d.normal))
+	for i, p := range d.normal {
+		skNormal[i] = vsketch.FromProfile(p)
+		corpus.AddSketch(skNormal[i], d.b.Prog.Debug)
+	}
+	buggy := make([]*vsketch.Profile, len(d.buggy))
+	for i, p := range d.buggy {
+		buggy[i] = vsketch.FromProfile(p)
+	}
+	return analysis.AnalyzeSketches(analysis.SketchInput{
+		Debug:  d.b.Prog.Debug,
+		Schema: d.b.Schema,
+		Normal: skNormal[0],
+		Corpus: corpus,
+		Buggy:  buggy,
+	}, analysis.DefaultParams())
+}
+
+// checkClusterObservability asserts the coordinator's operational surface:
+// /healthz carries the expected cluster status (degraded states still answer
+// HTTP 200 — a cluster missing one replica serves), and /metrics exposes the
+// request-path and cluster series, including the per-shard replica gauge.
+func checkClusterObservability(base, wantStatus string) error {
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		return err
+	}
+	var h service.Health
+	err = json.NewDecoder(resp.Body).Decode(&h)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("healthz: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK || h.Status != wantStatus {
+		return fmt.Errorf("healthz: HTTP %d, status %q, want 200 %q (checks %v)",
+			resp.StatusCode, h.Status, wantStatus, h.Checks)
+	}
+
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	exposition := string(body)
+	for _, series := range []string{
+		"vprof_http_requests_total",
+		"vprof_diagnose_requests_total",
+		"vprof_diagnose_memo_hits_total",
+		"vprof_replicas_healthy",
+		"vprof_cluster_ingest_bytes_total",
+		"vprof_cluster_read_repairs_total",
+		"vprof_cluster_quorum_failures_total",
+	} {
+		if !strings.Contains(exposition, series) {
+			return fmt.Errorf("metrics exposition missing %s", series)
+		}
+	}
+	return nil
+}
+
+// RenderClusterReplay formats cluster replay rows for the experiment log.
+func RenderClusterReplay(rows []ClusterReplayRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Cluster-mode replay: 3-node sharded store vs offline pipeline.\n\n")
+	fmt.Fprintf(&sb, "%-4s %-30s %-9s %-9s %-6s %-7s %-9s %-10s\n",
+		"ID", "root cause", "offline", "service", "match", "sketch", "degraded", "recovered")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-4s %-30s %-9s %-9s %-6v %-7v %-9v %-10v\n",
+			r.ID, r.RootFunc, RankString(r.OfflineRank), RankString(r.ServiceRank),
+			r.RenderMatch, r.SketchMatch, r.DegradedMatch, r.RecoveredMatch)
+	}
+	return sb.String()
+}

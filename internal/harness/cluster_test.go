@@ -1,0 +1,75 @@
+package harness
+
+import (
+	"testing"
+
+	"vprof/internal/bugs"
+)
+
+// TestClusterReplaySubset is the CI-budget variant of the full cluster
+// replay: a reduced workload set through the identical three-phase pipeline
+// (healthy, one replica down, recovered). The nightly-equivalent full matrix
+// is TestClusterReplayAllWorkloads.
+func TestClusterReplaySubset(t *testing.T) {
+	if raceEnabled {
+		t.Skip("cluster replay is minutes-slow under the race detector; internal/cluster carries the -race coverage")
+	}
+	workloads := bugs.All()[:4]
+	rows, err := ReplayCluster(t.TempDir(), workloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(workloads) {
+		t.Fatalf("replayed %d workloads, want %d", len(rows), len(workloads))
+	}
+	for _, r := range rows {
+		if !r.RenderMatch || !r.SketchMatch || !r.DegradedMatch || !r.RecoveredMatch {
+			t.Errorf("%s: match=%v sketch=%v degraded=%v recovered=%v, want all true",
+				r.ID, r.RenderMatch, r.SketchMatch, r.DegradedMatch, r.RecoveredMatch)
+		}
+	}
+	t.Logf("\n%s", RenderClusterReplay(rows))
+}
+
+// TestClusterReplayAllWorkloads is the cluster tentpole's acceptance test:
+// all 18 bug workloads replayed through the routing front end of a 3-node
+// replicated cluster must diagnose byte-for-byte like the offline pipeline —
+// in full mode, in sketch mode (with the coordinator's decode-cache counters
+// flat), with one node lost, and again after the node recovered.
+func TestClusterReplayAllWorkloads(t *testing.T) {
+	if testing.Short() || raceEnabled {
+		t.Skip("3-node cluster replay is minutes-slow; reduced variant and -race cluster coverage run in CI")
+	}
+	workloads := append(bugs.All(), bugs.UnresolvedIssues()...)
+	rows, err := ReplayCluster(t.TempDir(), workloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 18 {
+		t.Fatalf("replayed %d workloads, want 18", len(rows))
+	}
+	for _, r := range rows {
+		if r.Pushes != 2*Runs || r.Dups != 0 {
+			t.Errorf("%s: pushes=%d dups=%d, want %d/0", r.ID, r.Pushes, r.Dups, 2*Runs)
+		}
+		if !r.RenderMatch {
+			t.Errorf("%s: cluster service report differs from offline report", r.ID)
+		}
+		if r.ServiceRank != r.OfflineRank {
+			t.Errorf("%s: service rank %d != offline rank %d", r.ID, r.ServiceRank, r.OfflineRank)
+		}
+		if !r.SketchMatch {
+			t.Errorf("%s: cluster sketch report differs from offline sketch report", r.ID)
+		}
+		if !r.CachedSecond {
+			t.Errorf("%s: second diagnosis was not served from the memo cache", r.ID)
+		}
+		if !r.DegradedMatch {
+			t.Errorf("%s: diagnosis diverged while a replica was down", r.ID)
+		}
+		if !r.RecoveredMatch {
+			t.Errorf("%s: diagnosis diverged after the replica recovered", r.ID)
+		}
+	}
+	t.Logf("\n%s", RenderClusterReplay(rows))
+}

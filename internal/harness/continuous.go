@@ -152,10 +152,24 @@ func checkObservability(base string) error {
 	return nil
 }
 
+// replayData carries the raw material of one replayed workload, for callers
+// (the cluster replay) that re-diagnose the same profiles through other
+// paths and need the offline ground truth to compare against.
+type replayData struct {
+	b             *bugs.Built
+	normal, buggy []*sampler.Profile
+	offline       *analysis.Report
+}
+
 func replayWorkload(client *service.Client, w *bugs.Workload) (ReplayRow, error) {
+	row, _, err := replayWorkloadData(client, w)
+	return row, err
+}
+
+func replayWorkloadData(client *service.Client, w *bugs.Workload) (ReplayRow, *replayData, error) {
 	b, err := w.Build()
 	if err != nil {
-		return ReplayRow{}, err
+		return ReplayRow{}, nil, err
 	}
 	row := ReplayRow{ID: w.ID, RootFunc: w.RootFunc}
 
@@ -182,7 +196,7 @@ func replayWorkload(client *service.Client, w *bugs.Workload) (ReplayRow, error)
 	wg.Wait()
 	for i, err := range errs {
 		if err != nil {
-			return row, fmt.Errorf("push %d: %w", i, err)
+			return row, nil, fmt.Errorf("push %d: %w", i, err)
 		}
 		row.Pushes++
 		if results[i].Dup {
@@ -192,11 +206,11 @@ func replayWorkload(client *service.Client, w *bugs.Workload) (ReplayRow, error)
 
 	resp, err := client.Diagnose(service.DiagnoseRequest{Workload: w.ID, Top: replayTop})
 	if err != nil {
-		return row, err
+		return row, nil, err
 	}
 	again, err := client.Diagnose(service.DiagnoseRequest{Workload: w.ID, Top: replayTop})
 	if err != nil {
-		return row, err
+		return row, nil, err
 	}
 	row.CachedSecond = again.Cached && again.Render == resp.Render
 
@@ -208,12 +222,12 @@ func replayWorkload(client *service.Client, w *bugs.Workload) (ReplayRow, error)
 		Buggy:  buggy,
 	}, analysis.DefaultParams())
 	if err != nil {
-		return row, err
+		return row, nil, err
 	}
 	row.OfflineRank = offline.Rank(w.RootFunc)
 	row.ServiceRank = resp.RootRank(w.RootFunc)
 	row.RenderMatch = resp.Render == offline.Render(replayTop)
-	return row, nil
+	return row, &replayData{b: b, normal: normal, buggy: buggy, offline: offline}, nil
 }
 
 // RenderReplay formats replay rows for the experiment log.

@@ -1,0 +1,9 @@
+//go:build race
+
+package harness
+
+// raceEnabled reports whether this binary was built with the race detector.
+// The cluster replay tests skip under it: they fork three store-backed HTTP
+// nodes with fsync-on-ack and take minutes at race-detector speed, while the
+// -race coverage of the cluster logic itself lives in internal/cluster.
+const raceEnabled = true

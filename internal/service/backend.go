@@ -1,0 +1,50 @@
+package service
+
+import (
+	"vprof/internal/analysis"
+	"vprof/internal/sampler"
+	"vprof/internal/sketch"
+	"vprof/internal/store"
+)
+
+// Backend is the storage surface the server runs over. *store.Store
+// satisfies it natively (the single-node deployment); cluster.Router
+// satisfies it structurally (the sharded, replicated deployment), which
+// keeps the service package free of a cluster dependency.
+type Backend interface {
+	PutBlob(workload string, label store.Label, run string, blob []byte) (*store.Entry, bool, error)
+	Get(id string) (*sampler.Profile, error)
+	GetSketch(id string) (*sketch.Profile, error)
+	Lookup(workload string, label store.Label, run string) (*store.Entry, bool)
+	Baselines(workload string) []*store.Entry
+	Candidates(workload string) []*store.Entry
+	Workloads() []store.WorkloadInfo
+	CacheStats() store.CacheStats
+	SketchStats() store.SketchStats
+	Health() error
+	Flush() error
+}
+
+// CorpusBackend is an optional Backend refinement: a backend that can fold
+// the baseline sketch corpus itself (the cluster router does it shard-local
+// on each node and merges at the coordinator). When the fold fails the
+// server falls back to fetching raw sketches one by one.
+type CorpusBackend interface {
+	Corpus(workload string, ids []string) (*analysis.Corpus, error)
+}
+
+// healthDetailer is an optional Backend refinement: a backend that can
+// classify its own health as ok/degraded/unavailable with named checks
+// (the cluster router reports replica loss and dirty-recovered nodes as
+// degraded). Declared structurally so implementing packages need no service
+// import.
+type healthDetailer interface {
+	HealthDetail() (status string, checks map[string]string)
+}
+
+// recoveryReporter matches *store.Store's Recovery accessor; a single-node
+// backend that came up from a dirty shutdown degrades /healthz until a
+// clean restart.
+type recoveryReporter interface {
+	Recovery() *store.FsckReport
+}

@@ -115,6 +115,7 @@ type clientMetrics struct {
 	retries   *obs.Counter
 	throttled *obs.Counter
 	giveups   *obs.Counter
+	failovers *obs.Counter
 }
 
 // Client talks to a running vprof service (vprof push / vprof query, and
@@ -123,9 +124,16 @@ type clientMetrics struct {
 // backoff + jitter, honoring the server's Retry-After hint and the
 // caller's context deadline.
 type Client struct {
-	Base  string // server base URL, e.g. http://127.0.0.1:7070
-	HTTP  *http.Client
-	Retry RetryPolicy
+	Base string // server base URL, e.g. http://127.0.0.1:7070
+	// Failover lists alternate base URLs (replica front ends). A transport
+	// failure — connection refused, reset, DNS — rotates the next attempt to
+	// the next endpoint instead of hammering the dead one. Served errors
+	// (429/503) retry the same endpoint, honoring its Retry-After: the node
+	// is alive and asking for patience. Pushes stay safe across failover
+	// because ingest is content-addressed and deduplicated server-side.
+	Failover []string
+	HTTP     *http.Client
+	Retry    RetryPolicy
 
 	m clientMetrics
 }
@@ -133,6 +141,19 @@ type Client struct {
 // NewClient wraps a base URL with the default HTTP client and retry policy.
 func NewClient(base string) *Client {
 	return &Client{Base: base, HTTP: http.DefaultClient}
+}
+
+// NewClusterClient wraps a set of equivalent front-end URLs: the first is
+// preferred, the rest are failover targets.
+func NewClusterClient(bases ...string) *Client {
+	c := NewClient(bases[0])
+	c.Failover = bases[1:]
+	return c
+}
+
+// endpoints returns the rotation list (Base first).
+func (c *Client) endpoints() []string {
+	return append([]string{c.Base}, c.Failover...)
 }
 
 // Instrument registers the client's retry counters on reg (the "recovery"
@@ -146,6 +167,8 @@ func (c *Client) Instrument(reg *obs.Registry) *Client {
 			"429/503 responses received (server shedding or draining)."),
 		giveups: reg.Counter("vprof_client_giveups_total",
 			"Requests abandoned after exhausting the retry budget."),
+		failovers: reg.Counter("vprof_client_failovers_total",
+			"Attempts rotated to a failover endpoint after a transport error."),
 	}
 	return c
 }
@@ -202,14 +225,18 @@ func retryAfter(resp *http.Response) time.Duration {
 	return 0
 }
 
-// do runs one request with the retry loop. The body is a byte slice (not a
-// stream) precisely so every attempt can replay it. A context that is
-// already done short-circuits before anything is sent.
-func (c *Client) do(ctx context.Context, method, rawURL, contentType string, body []byte) (*http.Response, error) {
+// do runs one request with the retry loop against path (e.g. "/v1/stats").
+// The body is a byte slice (not a stream) precisely so every attempt can
+// replay it. A context that is already done short-circuits before anything
+// is sent. Transport failures rotate subsequent attempts through the
+// Failover endpoints; served errors stay on the endpoint that answered.
+func (c *Client) do(ctx context.Context, method, path, contentType string, body []byte) (*http.Response, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	policy := c.Retry.withDefaults()
+	eps := c.endpoints()
+	ep := 0
 	var lastErr error
 	for attempt := 1; ; attempt++ {
 		// Never dial on a dead context — an expired deadline means the
@@ -217,7 +244,7 @@ func (c *Client) do(ctx context.Context, method, rawURL, contentType string, bod
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		req, err := http.NewRequestWithContext(ctx, method, rawURL, bytes.NewReader(body))
+		req, err := http.NewRequestWithContext(ctx, method, eps[ep]+path, bytes.NewReader(body))
 		if err != nil {
 			return nil, err
 		}
@@ -232,6 +259,10 @@ func (c *Client) do(ctx context.Context, method, rawURL, contentType string, bod
 				return nil, ctx.Err()
 			}
 			lastErr = err // transport failure: retryable
+			if len(eps) > 1 {
+				ep = (ep + 1) % len(eps)
+				c.m.failovers.Inc()
+			}
 		case retryableStatus(resp.StatusCode):
 			if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
 				c.m.throttled.Inc()
@@ -257,8 +288,8 @@ func (c *Client) do(ctx context.Context, method, rawURL, contentType string, bod
 }
 
 // doJSON runs a request and decodes a 200 JSON body into out.
-func (c *Client) doJSON(ctx context.Context, method, rawURL, contentType string, body []byte, out any) error {
-	resp, err := c.do(ctx, method, rawURL, contentType, body)
+func (c *Client) doJSON(ctx context.Context, method, path, contentType string, body []byte, out any) error {
+	resp, err := c.do(ctx, method, path, contentType, body)
 	if err != nil {
 		return err
 	}
@@ -275,7 +306,7 @@ func (c *Client) doJSON(ctx context.Context, method, rawURL, contentType string,
 func (c *Client) PushBlobContext(ctx context.Context, workload string, label store.Label, run string, blob []byte) (*PushResult, error) {
 	q := url.Values{"workload": {workload}, "label": {string(label)}, "run": {run}}
 	var out PushResult
-	if err := c.doJSON(ctx, http.MethodPost, c.Base+"/v1/profiles?"+q.Encode(),
+	if err := c.doJSON(ctx, http.MethodPost, "/v1/profiles?"+q.Encode(),
 		"application/octet-stream", blob, &out); err != nil {
 		return nil, err
 	}
@@ -285,6 +316,27 @@ func (c *Client) PushBlobContext(ctx context.Context, workload string, label sto
 // PushBlob is PushBlobContext without a deadline.
 func (c *Client) PushBlob(workload string, label store.Label, run string, blob []byte) (*PushResult, error) {
 	return c.PushBlobContext(context.Background(), workload, label, run, blob)
+}
+
+// PushBatchContext uploads many profiles in one round trip. Items are
+// independent server-side; the returned slice mirrors the request order.
+// Safe to retry (and to replay after a failover): every item is
+// content-addressed and deduplicated.
+func (c *Client) PushBatchContext(ctx context.Context, items []BatchItem) ([]BatchItemResult, error) {
+	body, err := json.Marshal(BatchRequest{Profiles: items})
+	if err != nil {
+		return nil, err
+	}
+	var out BatchResponse
+	if err := c.doJSON(ctx, http.MethodPost, "/v1/profiles:batch", "application/json", body, &out); err != nil {
+		return nil, err
+	}
+	return out.Results, nil
+}
+
+// PushBatch uploads many profiles in one round trip.
+func (c *Client) PushBatch(items []BatchItem) ([]BatchItemResult, error) {
+	return c.PushBatchContext(context.Background(), items)
 }
 
 // PushContext encodes and uploads a profile.
@@ -304,7 +356,7 @@ func (c *Client) Push(workload string, label store.Label, run string, p *sampler
 // WorkloadsContext lists the server's stored workloads.
 func (c *Client) WorkloadsContext(ctx context.Context) ([]store.WorkloadInfo, error) {
 	var out []store.WorkloadInfo
-	if err := c.doJSON(ctx, http.MethodGet, c.Base+"/v1/workloads", "", nil, &out); err != nil {
+	if err := c.doJSON(ctx, http.MethodGet, "/v1/workloads", "", nil, &out); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -324,7 +376,7 @@ func (c *Client) DiagnoseContext(ctx context.Context, req DiagnoseRequest) (*Dia
 		return nil, err
 	}
 	var out DiagnoseResponse
-	if err := c.doJSON(ctx, http.MethodPost, c.Base+"/v1/diagnose", "application/json", body, &out); err != nil {
+	if err := c.doJSON(ctx, http.MethodPost, "/v1/diagnose", "application/json", body, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -343,7 +395,7 @@ func (c *Client) CheckContext(ctx context.Context, req CheckRequest) (*CheckResp
 		return nil, err
 	}
 	var out CheckResponse
-	if err := c.doJSON(ctx, http.MethodPost, c.Base+"/v1/check", "application/json", body, &out); err != nil {
+	if err := c.doJSON(ctx, http.MethodPost, "/v1/check", "application/json", body, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -363,7 +415,7 @@ func (c *Client) CausalContext(ctx context.Context, req CausalRequest) (*CausalR
 		return nil, err
 	}
 	var out CausalResponse
-	if err := c.doJSON(ctx, http.MethodPost, c.Base+"/v1/causal", "application/json", body, &out); err != nil {
+	if err := c.doJSON(ctx, http.MethodPost, "/v1/causal", "application/json", body, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -377,7 +429,7 @@ func (c *Client) Causal(req CausalRequest) (*CausalResponse, error) {
 // ReportContext fetches a stored diagnosis by report id.
 func (c *Client) ReportContext(ctx context.Context, id string) (*DiagnoseResponse, error) {
 	var out DiagnoseResponse
-	if err := c.doJSON(ctx, http.MethodGet, c.Base+"/v1/report/"+url.PathEscape(id), "", nil, &out); err != nil {
+	if err := c.doJSON(ctx, http.MethodGet, "/v1/report/"+url.PathEscape(id), "", nil, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -391,7 +443,7 @@ func (c *Client) Report(id string) (*DiagnoseResponse, error) {
 // StatsContext fetches the server counters.
 func (c *Client) StatsContext(ctx context.Context) (*Stats, error) {
 	var out Stats
-	if err := c.doJSON(ctx, http.MethodGet, c.Base+"/v1/stats", "", nil, &out); err != nil {
+	if err := c.doJSON(ctx, http.MethodGet, "/v1/stats", "", nil, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil

@@ -49,7 +49,12 @@ const MaxUploadBytes = 64 << 20
 
 // Config assembles a server.
 type Config struct {
-	Store    *store.Store
+	// Store is the single-node backend. Exactly one of Store and Backend
+	// must be set.
+	Store *store.Store
+	// Backend is a pluggable storage tier (the cluster router). When set it
+	// takes precedence over Store.
+	Backend  Backend
 	Resolver Resolver
 	// Workers bounds concurrently executing ingest/diagnose work
 	// (default 4).
@@ -182,7 +187,7 @@ func newServiceMetrics(reg *obs.Registry) serviceMetrics {
 
 // Server implements the HTTP API. Create with New.
 type Server struct {
-	store      *store.Store
+	store      Backend
 	resolver   Resolver
 	params     analysis.Params
 	top        int
@@ -219,10 +224,14 @@ type Server struct {
 	memoHits  atomic.Int64
 }
 
-// New builds a server over an open store.
+// New builds a server over an open store (or any other Backend).
 func New(cfg Config) (*Server, error) {
-	if cfg.Store == nil {
-		return nil, fmt.Errorf("service: Config.Store is required")
+	backend := cfg.Backend
+	if backend == nil && cfg.Store != nil {
+		backend = cfg.Store
+	}
+	if backend == nil {
+		return nil, fmt.Errorf("service: Config.Store or Config.Backend is required")
 	}
 	if cfg.Resolver == nil {
 		return nil, fmt.Errorf("service: Config.Resolver is required")
@@ -255,7 +264,7 @@ func New(cfg Config) (*Server, error) {
 		maxQueue = 64
 	}
 	s := &Server{
-		store:      cfg.Store,
+		store:      backend,
 		resolver:   cfg.Resolver,
 		params:     params,
 		top:        top,
@@ -315,6 +324,7 @@ func (s *Server) Handler() http.Handler {
 		mux.Handle(pattern, s.m.http.Wrap(label, s.guard(h)))
 	}
 	route("POST /v1/profiles", "/v1/profiles", s.handleIngest)
+	route("POST /v1/profiles:batch", "/v1/profiles:batch", s.handleBatch)
 	route("GET /v1/workloads", "/v1/workloads", s.handleWorkloads)
 	// r.Context() ends when the client disconnects, so an abandoned
 	// request aborts its analysis fan-out and releases its pool slot.
@@ -545,6 +555,14 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	entry, dup, err := s.store.PutBlob(workload, label, run, blob)
 	release()
 	if err != nil {
+		if errors.Is(err, store.ErrUnavailable) {
+			// Cluster write quorum not reached: a retryable infrastructure
+			// fault, not a client error — don't count it as a rejection.
+			s.log.Warn("ingest unavailable", "workload", workload, "run", run, "err", err)
+			w.Header().Set("Retry-After", retryAfterSeconds)
+			writeErr(w, http.StatusServiceUnavailable, CodeUnavailable, "%v", err)
+			return
+		}
 		s.rejected.Add(1)
 		code := CodeBadRequest
 		if errors.Is(err, store.ErrInvalidProfile) {
@@ -824,11 +842,37 @@ type Health struct {
 // HealthSnapshot evaluates the health checks.
 func (s *Server) HealthSnapshot() Health {
 	h := Health{Status: "ok", Checks: map[string]string{}}
-	if err := s.store.Health(); err != nil {
-		h.Checks["store_writable"] = err.Error()
-		h.Status = "unavailable"
+	if hd, ok := s.store.(healthDetailer); ok {
+		// Cluster backend: it classifies itself (replica loss and
+		// dirty-recovered nodes degrade; a shard below write quorum is
+		// unavailable) and names the failing checks.
+		status, checks := hd.HealthDetail()
+		for k, v := range checks {
+			h.Checks[k] = v
+		}
+		switch status {
+		case "unavailable":
+			h.Status = "unavailable"
+		case "degraded":
+			h.Status = "degraded"
+		}
 	} else {
-		h.Checks["store_writable"] = "ok"
+		if err := s.store.Health(); err != nil {
+			h.Checks["store_writable"] = err.Error()
+			h.Status = "unavailable"
+		} else {
+			h.Checks["store_writable"] = "ok"
+		}
+		// A store that came up from a dirty shutdown serves reads and
+		// writes, but signals the repair until a clean restart.
+		if rr, ok := s.store.(recoveryReporter); ok {
+			if rep := rr.Recovery(); rep != nil && !rep.Clean() {
+				h.Checks["store_recovery"] = fmt.Sprintf("recovered from dirty shutdown (%d issue(s) repaired)", len(rep.Issues))
+				if h.Status == "ok" {
+					h.Status = "degraded"
+				}
+			}
+		}
 	}
 	if known := s.resolver.Known(); len(known) == 0 {
 		h.Checks["resolver"] = "no workloads resolvable"

@@ -44,13 +44,27 @@ func (s *Server) corpusFor(workload string, baselines []*store.Entry, dbg *debug
 	}
 	s.mu.Unlock()
 
-	corpus := analysis.NewCorpus()
-	for _, e := range baselines {
-		sk, err := s.store.GetSketch(e.ID)
-		if err != nil {
-			return nil, nil, withCode(CodeInternal, err)
+	// A cluster backend folds the corpus shard-local on each node and
+	// merges the partials at the coordinator (Corpus.Merge is associative
+	// and commutative, so the result is identical to the local fold). On
+	// any failure, fall back to fetching raw sketches below.
+	var corpus *analysis.Corpus
+	if cb, ok := s.store.(CorpusBackend); ok {
+		if folded, err := cb.Corpus(workload, ids); err == nil {
+			corpus = folded
+		} else {
+			s.log.Warn("cluster corpus fold failed, folding locally", "workload", workload, "err", err)
 		}
-		corpus.AddSketch(sk, dbg)
+	}
+	if corpus == nil {
+		corpus = analysis.NewCorpus()
+		for _, e := range baselines {
+			sk, err := s.store.GetSketch(e.ID)
+			if err != nil {
+				return nil, nil, withCode(CodeInternal, err)
+			}
+			corpus.AddSketch(sk, dbg)
+		}
 	}
 	s.mu.Lock()
 	s.corpora[workload] = &corpusEntry{ids: idKey, corpus: corpus}

@@ -312,6 +312,14 @@ func recoverSketchLog(fsys faultfs.FS, dir string, rep *FsckReport, o recoverOpt
 		if crc32.Checksum(payload, castagnoli) != want {
 			break // corrupt payload: distrust it and everything after
 		}
+		if o.verify {
+			// A CRC-valid frame that no longer decodes as a sketch is
+			// corruption the replay path would silently skip; surface it
+			// here so fsck reports it and repair truncates it away.
+			if _, err := profilefmt.UnmarshalSketch(payload); err != nil {
+				break
+			}
+		}
 		off += sketchFrameHdr + size
 		frames++
 	}

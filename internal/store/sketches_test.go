@@ -2,14 +2,37 @@ package store_test
 
 import (
 	"encoding/binary"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 
 	"vprof/internal/sketch"
 	"vprof/internal/store"
 )
+
+// appendSketchFrame appends a CRC-valid frame with an arbitrary payload to a
+// closed store's sketches.log — the shape of corruption that flips payload
+// bytes and fixes up the checksum, or of a frame written by a future encoder.
+func appendSketchFrame(t *testing.T, dir string, payload []byte) {
+	t.Helper()
+	frame := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, crc32.MakeTable(crc32.Castagnoli)))
+	copy(frame[8:], payload)
+	f, err := os.OpenFile(filepath.Join(dir, "sketches.log"), os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
 
 // TestSketchPersistedAtIngest: a push folds and persists its sketch, and
 // GetSketch serves it — from cache or log — without ever touching the
@@ -182,6 +205,165 @@ func TestSketchLogTornTailRecovery(t *testing.T) {
 	}
 	if !rep.Clean() {
 		t.Fatalf("store not clean after repair:\n%s", rep.Render())
+	}
+}
+
+// TestSketchLogUndecodableFrameFsck: a frame whose CRC holds but whose
+// payload no longer decodes as a sketch is invisible to the replay path (it
+// skips what it cannot decode) — fsck must report it and repair must truncate
+// it, without touching the good frames before it.
+func TestSketchLogUndecodableFrameFsck(t *testing.T) {
+	dir := t.TempDir()
+	s, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e0, _, err := s.Put("w", store.LabelNormal, "0", testProfile(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, _, err := s.Put("w", store.LabelNormal, "1", testProfile(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	payload := []byte("checksummed garbage that is not a sketch encoding")
+	appendSketchFrame(t, dir, payload)
+	path := filepath.Join(dir, "sketches.log")
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fsck is a dry run: it reports the frame but leaves the file alone.
+	rep, err := store.Fsck(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Clean() {
+		t.Fatal("fsck missed the CRC-valid undecodable frame")
+	}
+	if rep.SketchRecords != 2 {
+		t.Fatalf("fsck counted %d good frames, want 2", rep.SketchRecords)
+	}
+	if want := int64(8 + len(payload)); rep.TruncatedBytes != want {
+		t.Fatalf("fsck would truncate %d bytes, want %d", rep.TruncatedBytes, want)
+	}
+	found := false
+	for _, is := range rep.Issues {
+		if strings.Contains(is, "sketches.log") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no sketches.log issue in report:\n%s", rep.Render())
+	}
+	if fi2, err := os.Stat(path); err != nil || fi2.Size() != fi.Size() {
+		t.Fatalf("dry-run fsck changed the log (%d -> %d bytes, err %v)", fi.Size(), fi2.Size(), err)
+	}
+
+	// Repair truncates the frame away; the recheck is clean.
+	rrep, err := store.Repair(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rrep.Repaired) == 0 {
+		t.Fatalf("repair fixed nothing:\n%s", rrep.Render())
+	}
+	rep2, err := store.Fsck(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep2.Clean() || rep2.SketchRecords != 2 {
+		t.Fatalf("store not clean after repair:\n%s", rep2.Render())
+	}
+
+	// Both real sketches survived the surgery.
+	s2, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	for _, id := range []string{e0.ID, e1.ID} {
+		if _, err := s2.GetSketch(id); err != nil {
+			t.Fatalf("GetSketch(%s): %v", id[:8], err)
+		}
+	}
+	if st := s2.SketchStats(); st.Rebuilds != 0 {
+		t.Fatalf("repair cost a good frame: %+v", st)
+	}
+}
+
+// TestSketchLogUndecodableFrameFastOpen: with SkipOpenVerify a store opens
+// right past an undecodable frame (replay skips it) and keeps appending good
+// frames after it. Fsck distrusts the bad frame and everything behind it;
+// after repair the sketches that rode behind it rebuild from their blobs.
+func TestSketchLogUndecodableFrameFastOpen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e0, _, err := s.Put("w", store.LabelNormal, "0", testProfile(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	appendSketchFrame(t, dir, []byte("wedged between two healthy frames"))
+
+	// The fast open tolerates the frame and appends a good one after it.
+	s2, err := store.Open(dir, store.Options{SkipOpenVerify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, _, err := s2.Put("w", store.LabelNormal, "1", testProfile(14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.GetSketch(e1.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := store.Fsck(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Clean() || rep.SketchRecords != 1 {
+		t.Fatalf("fsck after fast open: %d frames, clean=%v:\n%s",
+			rep.SketchRecords, rep.Clean(), rep.Render())
+	}
+	if _, err := store.Repair(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	// The frame behind the corruption is gone with it; its sketch rebuilds.
+	s3, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if !s3.Recovery().Clean() {
+		t.Fatalf("unclean reopen after repair:\n%s", s3.Recovery().Render())
+	}
+	if _, err := s3.GetSketch(e0.ID); err != nil {
+		t.Fatal(err)
+	}
+	if st := s3.SketchStats(); st.Rebuilds != 0 {
+		t.Fatalf("frame before the corruption lost: %+v", st)
+	}
+	if _, err := s3.GetSketch(e1.ID); err != nil {
+		t.Fatal(err)
+	}
+	if st := s3.SketchStats(); st.Rebuilds != 1 {
+		t.Fatalf("frame behind the corruption not rebuilt from its blob: %+v", st)
 	}
 }
 

@@ -63,6 +63,12 @@ import (
 // can map "the uploaded bundle is garbage" to a typed client error.
 var ErrInvalidProfile = errors.New("store: invalid profile bundle")
 
+// ErrUnavailable marks a backend that is temporarily unable to serve the
+// request — a cluster write that missed its quorum, or every replica of a
+// shard unreachable. API layers map it to 503 with a Retry-After so
+// idempotent clients retry instead of surfacing a hard failure.
+var ErrUnavailable = errors.New("store: backend unavailable")
+
 // castagnoli is the CRC32C table shared by manifest records and blob frames.
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
@@ -695,6 +701,33 @@ func (s *Store) Get(id string) (*sampler.Profile, error) {
 	return p, nil
 }
 
+// GetBlob returns the raw encoded bytes stored under id, verified against
+// the content hash but not decoded. Replication copies blobs with it so a
+// receiving replica stores the byte-identical frame (and therefore the same
+// ID) as the sender.
+func (s *Store) GetBlob(id string) ([]byte, error) {
+	s.mu.Lock()
+	ref, ok := s.blobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("store: no blob %s", id)
+	}
+	r, err := s.readerLocked(ref.segment)
+	s.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	blob := make([]byte, ref.size)
+	if _, err := r.ReadAt(blob, ref.offset); err != nil {
+		return nil, fmt.Errorf("store: read blob %s: %w", id, err)
+	}
+	sum := sha256.Sum256(blob)
+	if hex.EncodeToString(sum[:]) != id {
+		return nil, fmt.Errorf("store: blob %s failed content verification", id)
+	}
+	return blob, nil
+}
+
 // readerLocked returns a shared read handle for a segment; ReadAt is safe
 // for concurrent readers.
 func (s *Store) readerLocked(segment int) (faultfs.File, error) {
@@ -784,6 +817,34 @@ func (s *Store) Baselines(workload string) []*Entry {
 // Candidates returns the workload's candidate entries, in run order.
 func (s *Store) Candidates(workload string) []*Entry {
 	return s.labeled(workload, LabelCandidate)
+}
+
+// Entries returns every entry for a workload (all labels) in Seq order, or
+// — when workload is empty — every entry in the store, grouped by workload
+// name. The cluster tier enumerates replicas with it during rebalance and
+// read-repair.
+func (s *Store) Entries(workload string) []*Entry {
+	s.mu.RLock()
+	names := make([]string, 0, len(s.byWl))
+	if workload != "" {
+		if _, ok := s.byWl[workload]; ok {
+			names = append(names, workload)
+		}
+	} else {
+		for wl := range s.byWl {
+			names = append(names, wl)
+		}
+	}
+	var out []*Entry
+	sort.Strings(names)
+	for _, wl := range names {
+		for _, e := range s.byWl[wl] {
+			cp := *e
+			out = append(out, &cp)
+		}
+	}
+	s.mu.RUnlock()
+	return out
 }
 
 // WorkloadInfo summarizes one workload's holdings.
